@@ -1,0 +1,140 @@
+// Command dipbench runs the full experiment suite (E1–E11 of
+// EXPERIMENTS.md) and prints the result tables. Use -quick for a reduced
+// sweep and -seed for reproducibility.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sweeps")
+	seed := flag.Int64("seed", 42, "verifier randomness seed")
+	flag.Parse()
+	if err := run(*quick, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "dipbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	sizes := []int{256, 1024, 4096, 16384, 65536}
+	deltas := []int{4, 8, 16, 32, 64, 128, 256}
+	lens := []int{16, 64, 256, 1024, 4096}
+	if quick {
+		sizes = []int{256, 4096, 32768}
+		deltas = []int{4, 32, 256}
+		lens = []int{16, 256, 2048}
+	}
+
+	type sweep struct {
+		name string
+		f    func(*rand.Rand, int) (exp.SizeRow, error)
+	}
+	sweeps := []sweep{
+		{"E1 path-outerplanarity (Thm 1.2)", exp.E1PathOuterplanarity},
+		{"E2 outerplanarity (Thm 1.3)", exp.E2Outerplanarity},
+		{"E3 planar embedding (Thm 1.4)", exp.E3Embedding},
+		{"E5 series-parallel (Thm 1.6)", exp.E5SeriesParallel},
+		{"E6 treewidth <= 2 (Thm 1.7)", exp.E6Treewidth2},
+		{"E8 LR-sorting (Lemma 4.1)", exp.E8LRSort},
+	}
+	for _, sw := range sweeps {
+		fmt.Printf("\n== %s ==\n", sw.name)
+		fmt.Printf("%10s %8s %12s %14s %10s\n", "n", "rounds", "proof bits", "baseline bits", "verdict")
+		for _, n := range sizes {
+			row, err := sw.f(rng, n)
+			if err != nil {
+				return fmt.Errorf("%s n=%d: %w", sw.name, n, err)
+			}
+			verdict := "accept"
+			if !row.Accepted {
+				verdict = "REJECT"
+			}
+			base := "-"
+			if row.BaselineBits > 0 {
+				base = fmt.Sprint(row.BaselineBits)
+			}
+			fmt.Printf("%10d %8d %12d %14s %10s\n", row.N, row.Rounds, row.Bits, base, verdict)
+		}
+	}
+
+	fmt.Printf("\n== E4 planarity, Δ sweep at n ≈ 2048 (Thm 1.5) ==\n")
+	fmt.Printf("%8s %10s %12s %16s %10s\n", "Δ", "n", "proof bits", "rotation bits", "verdict")
+	for _, d := range deltas {
+		row, err := exp.E4Planarity(rng, 2048, d)
+		if err != nil {
+			return fmt.Errorf("E4 delta=%d: %w", d, err)
+		}
+		verdict := "accept"
+		if !row.Accepted {
+			verdict = "REJECT"
+		}
+		fmt.Printf("%8d %10d %12d %16d %10s\n", row.Delta, row.N, row.Bits, row.RotationBits, verdict)
+	}
+
+	fmt.Printf("\n== E7 one-round lower bound (Thm 1.8): cut-and-paste threshold ==\n")
+	fmt.Printf("%10s %10s %16s %8s\n", "path len", "n", "threshold bits", "log2 n")
+	for _, l := range lens {
+		row, err := exp.E7LowerBound(l)
+		if err != nil {
+			return fmt.Errorf("E7 l=%d: %w", l, err)
+		}
+		fmt.Printf("%10d %10d %16d %8d\n", row.PathLen, row.N, row.Threshold, row.Log2N)
+	}
+
+	fmt.Printf("\n== E9 spanning-tree verification amplification (Lemma 2.5) ==\n")
+	fmt.Printf("%8s %8s %12s %12s\n", "reps", "runs", "accept rate", "2^-reps")
+	for _, reps := range []int{1, 2, 4, 8} {
+		row, err := exp.E9SpanTree(rng, reps, 400)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d %8d %12.4f %12.4f\n", reps, row.Runs, row.Rate, row.Bound)
+	}
+
+	fmt.Printf("\n== E10 multiset equality soundness (Lemma 2.6) ==\n")
+	fmt.Printf("%8s %8s %12s %12s\n", "k", "runs", "accept rate", "k/p")
+	for _, k := range []int{4, 16, 64} {
+		row, err := exp.E10Multiset(rng, k, 400)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d %8d %12.4f %12.6f\n", k, row.Runs, row.Rate, row.Bound)
+	}
+
+	fmt.Printf("\n== Ablation: soundness exponent c (LR-sorting, n = 4096) ==\n")
+	fmt.Printf("%4s %10s %12s %8s %14s %12s\n", "c", "field p0", "proof bits", "runs", "liar accepts", "~1/p0")
+	ablRuns := 400
+	if quick {
+		ablRuns = 150
+	}
+	for _, c := range []int{1, 2, 3, 4} {
+		row, err := exp.AblationExponent(rng, 4096, c, ablRuns)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%4d %10d %12d %8d %14.4f %12.6f\n", row.C, row.FieldP0, row.ProofBits, row.Runs, row.Rate, row.Bound)
+	}
+
+	runs := 40
+	if quick {
+		runs = 10
+	}
+	fmt.Printf("\n== Adversarial soundness suite (n = 64, %d runs each) ==\n", runs)
+	rows, err := exp.SoundnessSuite(rng, 64, runs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-36s %8s %10s %12s\n", "attack", "runs", "accepts", "accept rate")
+	for _, r := range rows {
+		fmt.Printf("%-36s %8d %10d %12.4f\n", r.Name, r.Runs, r.Accepts, r.Rate)
+	}
+	return nil
+}

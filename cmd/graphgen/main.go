@@ -1,0 +1,63 @@
+// Command graphgen emits generated instances of the paper's graph
+// families as edge lists on stdout, for use with planarcheck or external
+// tools.
+//
+//	graphgen -family pathouter -n 64 -seed 1
+//
+// Families: pathouter, outerplanar, triangulation, fanchain, sp,
+// treewidth2, k5sub, k33sub, k4sub.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	family := flag.String("family", "pathouter", "graph family")
+	n := flag.Int("n", 64, "approximate size")
+	delta := flag.Int("delta", 8, "max degree (fanchain)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+	if err := run(*family, *n, *delta, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(family string, n, delta int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	var g *graph.Graph
+	switch family {
+	case "pathouter":
+		g = gen.PathOuterplanar(rng, n, 0.5).G
+	case "outerplanar":
+		g = gen.Outerplanar(rng, n, 0.4).G
+	case "triangulation":
+		g = gen.Triangulation(rng, n).G
+	case "fanchain":
+		g = gen.FanChain(rng, n, delta).G
+	case "sp":
+		g = gen.SeriesParallel(rng, n).G
+	case "treewidth2":
+		g = gen.Treewidth2(rng, n).G
+	case "k5sub":
+		g = gen.K5Subdivision(rng, n)
+	case "k33sub":
+		g = gen.K33Subdivision(rng, n)
+	case "k4sub":
+		g = gen.K4Subdivision(rng, n)
+	default:
+		return fmt.Errorf("unknown family %q", family)
+	}
+	fmt.Printf("# family=%s n=%d seed=%d\n", family, g.N(), seed)
+	for _, e := range g.Edges() {
+		fmt.Printf("%d %d\n", e.U, e.V)
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestRunAllFamilies(t *testing.T) {
+	for _, fam := range []string{
+		"pathouter", "outerplanar", "triangulation", "fanchain",
+		"sp", "treewidth2", "k5sub", "k33sub", "k4sub",
+	} {
+		if err := run(fam, 24, 5, 1); err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+	}
+	if err := run("nope", 10, 5, 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadGraph(t *testing.T) {
+	in := strings.NewReader("# comment\n0 1\n1 2\n2 0\n")
+	g, err := readGraph(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestReadGraphRejectsBadLines(t *testing.T) {
+	if _, err := readGraph(strings.NewReader("0 1 2\n")); err == nil {
+		t.Fatal("three-field line accepted")
+	}
+	if _, err := readGraph(strings.NewReader("a b\n")); err == nil {
+		t.Fatal("non-numeric line accepted")
+	}
+	if _, err := readGraph(strings.NewReader("0 0\n")); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}

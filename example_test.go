@@ -1,0 +1,90 @@
+package planardip_test
+
+import (
+	"fmt"
+	"log"
+
+	planardip "repro"
+)
+
+// The Figure 1 graph of the paper: a Hamiltonian path a..f with the
+// nested chords (b,f), (c,e), (c,f).
+func ExampleVerifyPathOuterplanarity() {
+	g := planardip.NewGraph(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {1, 5}, {2, 4}, {2, 5}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rep, err := planardip.VerifyPathOuterplanarity(g, []int{0, 1, 2, 3, 4, 5}, planardip.WithSeed(2025))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Accepted, rep.Rounds)
+	// Output: true 5
+}
+
+// A K4 is planar but not outerplanar; both protocols agree with the
+// centralized oracles.
+func ExampleVerifyOuterplanarity() {
+	k4 := planardip.NewGraph(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			if err := k4.AddEdge(u, v); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Println("planar oracle:", planardip.IsPlanar(k4))
+	fmt.Println("outerplanar oracle:", planardip.IsOuterplanar(k4))
+	rep, err := planardip.VerifyOuterplanarity(k4, planardip.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("outerplanarity DIP accepted:", rep.Accepted)
+	rep, err = planardip.VerifyPlanarity(k4, nil, planardip.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("planarity DIP accepted:", rep.Accepted)
+	// Output:
+	// planar oracle: true
+	// outerplanar oracle: false
+	// outerplanarity DIP accepted: false
+	// planarity DIP accepted: true
+}
+
+// A triangle is the smallest two-terminal series-parallel graph.
+func ExampleVerifySeriesParallel() {
+	tri := planardip.NewGraph(3)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(0, 2)
+	rep, err := planardip.VerifySeriesParallel(tri, planardip.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Accepted, rep.Rounds)
+	// Output: true 5
+}
+
+// Embed computes a combinatorial planar embedding which VerifyEmbedding
+// then certifies distributively.
+func ExampleEmbed() {
+	g := planardip.NewGraph(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	rot, err := planardip.Embed(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := planardip.VerifyEmbedding(g, rot, planardip.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Accepted)
+	// Output: true
+}

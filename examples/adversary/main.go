@@ -1,0 +1,89 @@
+// Adversary: the soundness story of Section 3. The paper opens by
+// showing why the natural "clustering" approach fails — a cheating prover
+// can split a K5 across clusters, and subdividing its edges spreads the
+// non-planarity so thin that no small neighborhood witnesses it. This
+// example builds exactly that instance (a K5 with every edge subdivided
+// into long paths), plus the other no-instances of the evaluation, and
+// measures how often the protocols of the paper reject them.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	planardip "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	const runs = 10
+
+	fmt.Println("adversarial no-instances vs. the paper's protocols")
+	fmt.Println()
+
+	// 1. The Section 3 instance: K5 subdivided so every pair of original
+	//    hubs is Omega(n/10) apart.
+	k5 := gen.K5Subdivision(rng, 120)
+	g := wrap(k5.N(), k5.Edges())
+	fmt.Printf("K5 subdivision (n=%d): planar oracle says %v\n", g.N(), planardip.IsPlanar(g))
+	rejects := 0
+	for i := 0; i < runs; i++ {
+		rep, err := planardip.VerifyPlanarity(g, nil, planardip.WithSeed(int64(i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !rep.Accepted {
+			rejects++
+		}
+	}
+	fmt.Printf("  planarity DIP rejected %d/%d runs\n\n", rejects, runs)
+
+	// 2. A planted K4 inside a path-outerplanar graph.
+	gi := gen.PathOuterplanar(rng, 60, 0.4)
+	bad := gen.WithEmbeddedK4(rng, gi)
+	g2 := wrap(bad.N(), bad.Edges())
+	fmt.Printf("planted K4 in a path-outerplanar host (n=%d): outerplanar oracle says %v\n",
+		g2.N(), planardip.IsOuterplanar(g2))
+	rejects = 0
+	for i := 0; i < runs; i++ {
+		rep, err := planardip.VerifyOuterplanarity(g2, planardip.WithSeed(int64(i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !rep.Accepted {
+			rejects++
+		}
+	}
+	fmt.Printf("  outerplanarity DIP rejected %d/%d runs\n\n", rejects, runs)
+
+	// 3. A K4 subdivision against the treewidth-2 protocol: planar, even
+	//    sparse, but one biconnected block is not series-parallel.
+	k4 := gen.K4Subdivision(rng, 60)
+	g3 := wrap(k4.N(), k4.Edges())
+	fmt.Printf("K4 subdivision (n=%d): planar=%v, outerplanar=%v\n",
+		g3.N(), planardip.IsPlanar(g3), planardip.IsOuterplanar(g3))
+	rejects = 0
+	for i := 0; i < runs; i++ {
+		rep, err := planardip.VerifyTreewidth2(g3, planardip.WithSeed(int64(i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !rep.Accepted {
+			rejects++
+		}
+	}
+	fmt.Printf("  treewidth-2 DIP rejected %d/%d runs\n", rejects, runs)
+}
+
+func wrap(n int, edges []graph.Edge) *planardip.Graph {
+	g := planardip.NewGraph(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return g
+}

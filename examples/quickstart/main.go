@@ -1,0 +1,59 @@
+// Quickstart: build the exact graph of the paper's Figure 1 (a
+// path-outerplanar graph on nodes a..f with chords (b,f), (c,e), (c,f)),
+// inspect the structure the figure's caption describes, and run the
+// Theorem 1.2 distributed interactive proof on it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	planardip "repro"
+)
+
+func main() {
+	// Figure 1: path a-b-c-d-e-f (vertices 0..5) plus the nested chords.
+	g := planardip.NewGraph(6)
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, // the Hamiltonian path
+		{1, 5}, // (b, f)
+		{2, 4}, // (c, e)
+		{2, 5}, // (c, f)
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("Figure 1 of Gil & Parter (PODC 2025):")
+	fmt.Println("  path a-b-c-d-e-f with chords (b,f), (c,e), (c,f)")
+	fmt.Println()
+	fmt.Println("caption facts, recomputed:")
+	fmt.Printf("  longest c-right edge: (%s,%s)\n", names[2], names[5]) // (c,f)
+	fmt.Printf("  longest f-left edge:  (%s,%s)\n", names[1], names[5]) // (b,f)
+	fmt.Printf("  successor of (c,e):   (%s,%s)\n", names[2], names[5]) // (c,f)
+	fmt.Println()
+
+	// The witness path: positions are just 0..5.
+	pos := []int{0, 1, 2, 3, 4, 5}
+	rep, err := planardip.VerifyPathOuterplanarity(g, pos, planardip.WithSeed(2025))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("path-outerplanarity DIP (Theorem 1.2):")
+	fmt.Printf("  %s\n\n", rep)
+
+	// Add a crossing chord (b,d): 1 < 2 < 3 < 5 interleaves with (c,f),
+	// so the graph stops being path-outerplanar w.r.t. this path.
+	if err := g.AddEdge(1, 3); err != nil {
+		log.Fatal(err)
+	}
+	rep, err = planardip.VerifyPathOuterplanarity(g, pos, planardip.WithSeed(2025))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after adding the crossing chord (b,d):")
+	fmt.Printf("  %s\n", rep)
+}

@@ -1,0 +1,49 @@
+// Sizesweep: the headline separation. The paper's Theorem 1.2 proof size
+// is O(log log n) against the Θ(log n) lower bound for non-interactive
+// schemes. This example sweeps n over several orders of magnitude and
+// prints, for each size, the measured proof size of the 5-round DIP next
+// to the 1-round proof labeling scheme baseline — watch the DIP column
+// barely move while the baseline column climbs linearly in log n.
+//
+// (Honest framing: the DIP's constant factor is large — dozens of field
+// elements per label — so at laptop sizes its absolute labels are bigger
+// than the baseline's. The asymptotic claim lives in the growth rates,
+// which this sweep makes visible: bits gained per doubling of n.)
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	sizes := []int{64, 256, 1024, 4096, 16384, 65536, 262144}
+
+	fmt.Println("Theorem 1.2 DIP vs. 1-round PLS baseline (path-outerplanarity)")
+	fmt.Println()
+	fmt.Printf("%10s %14s %14s %18s %18s\n", "n", "DIP bits", "PLS bits", "DIP Δbits/×4", "PLS Δbits/×4")
+	var prev exp.SizeRow
+	for i, n := range sizes {
+		row, err := exp.E1PathOuterplanarity(rng, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !row.Accepted {
+			log.Fatalf("n=%d rejected", n)
+		}
+		dipDelta, plsDelta := "-", "-"
+		if i > 0 {
+			dipDelta = fmt.Sprint(row.Bits - prev.Bits)
+			plsDelta = fmt.Sprint(row.BaselineBits - prev.BaselineBits)
+		}
+		fmt.Printf("%10d %14d %14d %18s %18s\n", row.N, row.Bits, row.BaselineBits, dipDelta, plsDelta)
+		prev = row
+	}
+	fmt.Println()
+	fmt.Println("the PLS column grows by a fixed ~6 bits per 4x (linear in log n);")
+	fmt.Println("the DIP column's growth shrinks toward zero (O(log log n)).")
+}

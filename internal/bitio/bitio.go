@@ -1,0 +1,168 @@
+// Package bitio provides bit-granular encoding for distributed proof labels.
+//
+// Proof size in the DIP model is measured in bits, not bytes; the label
+// codecs in this package let protocols marshal structured labels into
+// bit strings whose exact length is the quantity the paper bounds.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrShortRead is returned when a reader runs out of bits.
+var ErrShortRead = errors.New("bitio: read past end of bit string")
+
+// Writer accumulates bits most-significant-first into a byte slice.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	nbit int
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.nbit }
+
+// Bytes returns the underlying storage. The final byte may be partially
+// filled; unused low-order bits are zero.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(b bool) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b {
+		w.buf[w.nbit/8] |= 1 << (7 - uint(w.nbit%8))
+	}
+	w.nbit++
+}
+
+// WriteUint appends the width low-order bits of v, most significant first.
+// It panics if v does not fit in width bits: labels must be tight, and a
+// value escaping its declared width is a protocol bug.
+func (w *Writer) WriteUint(v uint64, width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitio: invalid width %d", width))
+	}
+	if width < 64 && v >= 1<<uint(width) {
+		panic(fmt.Sprintf("bitio: value %d overflows %d bits", v, width))
+	}
+	for i := width - 1; i >= 0; i-- {
+		w.WriteBit(v>>(uint(i))&1 == 1)
+	}
+}
+
+// WriteBool appends a boolean as one bit.
+func (w *Writer) WriteBool(b bool) { w.WriteBit(b) }
+
+// String captures the written bits as an immutable bit string.
+func (w *Writer) String() String {
+	cp := make([]byte, len(w.buf))
+	copy(cp, w.buf)
+	return String{data: cp, nbit: w.nbit}
+}
+
+// String is an immutable sequence of bits. The zero value is the empty
+// string, which is a valid (0-bit) label.
+type String struct {
+	data []byte
+	nbit int
+}
+
+// FromUint packs v into a width-bit string.
+func FromUint(v uint64, width int) String {
+	var w Writer
+	w.WriteUint(v, width)
+	return w.String()
+}
+
+// Len returns the bit length of the string.
+func (s String) Len() int { return s.nbit }
+
+// Bit returns bit i (0-indexed from the most significant end).
+func (s String) Bit(i int) bool {
+	if i < 0 || i >= s.nbit {
+		panic(fmt.Sprintf("bitio: bit index %d out of range [0,%d)", i, s.nbit))
+	}
+	return s.data[i/8]>>(7-uint(i%8))&1 == 1
+}
+
+// Equal reports whether two bit strings are identical in length and content.
+func (s String) Equal(t String) bool {
+	if s.nbit != t.nbit {
+		return false
+	}
+	for i := range s.data {
+		if s.data[i] != t.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reader returns a cursor over the string's bits.
+func (s String) Reader() *Reader { return &Reader{s: s} }
+
+func (s String) String() string {
+	out := make([]byte, s.nbit)
+	for i := 0; i < s.nbit; i++ {
+		if s.Bit(i) {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}
+
+// Reader consumes a String most-significant-bit first.
+type Reader struct {
+	s   String
+	pos int
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.s.nbit - r.pos }
+
+// ReadBit consumes one bit.
+func (r *Reader) ReadBit() (bool, error) {
+	if r.pos >= r.s.nbit {
+		return false, ErrShortRead
+	}
+	b := r.s.Bit(r.pos)
+	r.pos++
+	return b, nil
+}
+
+// ReadUint consumes width bits as an unsigned integer.
+func (r *Reader) ReadUint(width int) (uint64, error) {
+	if width < 0 || width > 64 {
+		return 0, fmt.Errorf("bitio: invalid width %d", width)
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v <<= 1
+		if b {
+			v |= 1
+		}
+	}
+	return v, nil
+}
+
+// ReadBool consumes one bit as a boolean.
+func (r *Reader) ReadBool() (bool, error) { return r.ReadBit() }
+
+// BitsFor returns the number of bits needed to represent values in [0, n),
+// i.e. ceil(log2 n), with BitsFor(0) = BitsFor(1) = 0.
+func BitsFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

@@ -1,0 +1,142 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tests := []struct {
+		v     uint64
+		width int
+	}{
+		{0, 0}, {0, 1}, {1, 1}, {5, 3}, {255, 8}, {256, 9},
+		{1<<32 - 1, 32}, {1<<63 - 1, 63},
+	}
+	for _, tt := range tests {
+		var w Writer
+		w.WriteUint(tt.v, tt.width)
+		s := w.String()
+		if s.Len() != tt.width {
+			t.Fatalf("width %d: got len %d", tt.width, s.Len())
+		}
+		got, err := s.Reader().ReadUint(tt.width)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if got != tt.v {
+			t.Fatalf("round trip %d/%d: got %d", tt.v, tt.width, got)
+		}
+	}
+}
+
+func TestMixedFields(t *testing.T) {
+	var w Writer
+	w.WriteBool(true)
+	w.WriteUint(42, 7)
+	w.WriteBool(false)
+	w.WriteUint(9, 5)
+	s := w.String()
+	if s.Len() != 14 {
+		t.Fatalf("len = %d, want 14", s.Len())
+	}
+	r := s.Reader()
+	b, _ := r.ReadBool()
+	if !b {
+		t.Fatal("first bool")
+	}
+	v, _ := r.ReadUint(7)
+	if v != 42 {
+		t.Fatalf("got %d want 42", v)
+	}
+	b, _ = r.ReadBool()
+	if b {
+		t.Fatal("second bool")
+	}
+	v, _ = r.ReadUint(5)
+	if v != 9 {
+		t.Fatalf("got %d want 9", v)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining %d", r.Remaining())
+	}
+}
+
+func TestShortRead(t *testing.T) {
+	s := FromUint(3, 2)
+	r := s.Reader()
+	if _, err := r.ReadUint(3); err != ErrShortRead {
+		t.Fatalf("want ErrShortRead, got %v", err)
+	}
+}
+
+func TestOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overflow")
+		}
+	}()
+	var w Writer
+	w.WriteUint(8, 3)
+}
+
+func TestEqual(t *testing.T) {
+	a := FromUint(5, 3)
+	b := FromUint(5, 3)
+	c := FromUint(5, 4)
+	if !a.Equal(b) {
+		t.Fatal("equal strings differ")
+	}
+	if a.Equal(c) {
+		t.Fatal("different lengths compare equal")
+	}
+	var zero String
+	if !zero.Equal(String{}) {
+		t.Fatal("zero values differ")
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11},
+	}
+	for _, tt := range tests {
+		if got := BitsFor(tt.n); got != tt.want {
+			t.Errorf("BitsFor(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var w Writer
+		for _, v := range vals {
+			w.WriteUint(uint64(v), 16)
+		}
+		r := w.String().Reader()
+		for _, v := range vals {
+			got, err := r.ReadUint(16)
+			if err != nil || got != uint64(v) {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringBitAccess(t *testing.T) {
+	s := FromUint(0b1011, 4)
+	want := []bool{true, false, true, true}
+	for i, b := range want {
+		if s.Bit(i) != b {
+			t.Fatalf("bit %d: got %v want %v", i, s.Bit(i), b)
+		}
+	}
+	if s.String() != "1011" {
+		t.Fatalf("String() = %q", s.String())
+	}
+}

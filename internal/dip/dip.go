@@ -1,0 +1,295 @@
+// Package dip implements the distributed-interactive-proof runtime of
+// Kol–Oshman–Saxena (PODC 2018), the model of the paper.
+//
+// The verifier is distributed: one process per node of the communication
+// graph, executed here as one goroutine per node. The prover is a single
+// centralized entity. Rounds alternate prover->verifier (the prover assigns
+// every node, and optionally every edge, a label) and verifier->prover
+// (every node publishes a public-coin random string). After the last prover
+// round each node decides locally from (1) its own coins, (2) its own
+// labels, and (3) its neighbors' labels — nothing else. The instance is
+// accepted iff every node accepts.
+//
+// Proof size is the maximum number of label bits the prover sends to a
+// single node in a single round; edge labels are charged to the endpoint
+// accountable for the edge under a bounded-outdegree orientation, following
+// the simulation of Lemma 2.4.
+package dip
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/bitio"
+	"repro/internal/graph"
+)
+
+// Instance is a DIP input: the communication graph plus the local inputs
+// of nodes and edges (e.g. path incidence, edge orientation, rotation
+// values). Labels are NOT part of the instance; they come from the prover.
+type Instance struct {
+	G *graph.Graph
+	// NodeInput[v] is the private local input of node v (may be nil).
+	NodeInput []interface{}
+	// EdgeInput[e] is input visible to both endpoints of e (may be nil).
+	EdgeInput map[graph.Edge]interface{}
+}
+
+// NewInstance wraps g with empty inputs.
+func NewInstance(g *graph.Graph) *Instance {
+	return &Instance{
+		G:         g,
+		NodeInput: make([]interface{}, g.N()),
+		EdgeInput: make(map[graph.Edge]interface{}),
+	}
+}
+
+// Assignment is the label assignment of one prover round.
+type Assignment struct {
+	// Node[v] is the label given to node v (zero value = empty label).
+	Node []bitio.String
+	// Edge[e] is the label written on edge e, visible to both endpoints.
+	Edge map[graph.Edge]bitio.String
+}
+
+// NewAssignment returns an empty assignment for g.
+func NewAssignment(g *graph.Graph) *Assignment {
+	return &Assignment{
+		Node: make([]bitio.String, g.N()),
+		Edge: make(map[graph.Edge]bitio.String),
+	}
+}
+
+// Prover produces label assignments. A Prover may be honest or adversarial;
+// the engine treats both identically.
+type Prover interface {
+	// Round is called once per prover round (0-based). coins[r][v] holds
+	// the public coins node v published in verifier round r, for all
+	// verifier rounds that already happened. The prover sees everything.
+	Round(round int, coins [][]bitio.String) (*Assignment, error)
+}
+
+// View is everything node v may legally consult.
+type View struct {
+	// V is the engine-internal vertex id. Protocol code may use it to look
+	// up local input but must not treat it as information the node knows.
+	V     int
+	Deg   int
+	Input interface{}
+	// Coins[r] is v's own public coin string of verifier round r.
+	Coins []bitio.String
+	// Own[r] is v's node label of prover round r.
+	Own []bitio.String
+	// Nbr[p][r] is the node label of the neighbor at port p in round r.
+	Nbr [][]bitio.String
+	// EdgeLab[p][r] is the label of the edge at port p in round r.
+	EdgeLab [][]bitio.String
+	// EdgeIn[p] is the shared input of the edge at port p.
+	EdgeIn []interface{}
+	// NbrID[p] is the engine vertex id behind port p. Protocol code may
+	// use it only to interpret canonical edge-input encodings (e.g. which
+	// endpoint a directed EdgeInput points from), never as knowledge the
+	// anonymous node holds about its neighbor.
+	NbrID []int
+}
+
+// Verifier defines the distributed verifier: coin sampling and the final
+// local decision.
+type Verifier interface {
+	// Coins returns the public coin string node v publishes in verifier
+	// round r. The view contains labels of prover rounds before r. The rng
+	// is private to the node.
+	Coins(round int, view *View, rng *rand.Rand) bitio.String
+	// Decide is the local accept/reject of node v given its full view.
+	Decide(view *View) bool
+}
+
+// Stats reports measured communication.
+type Stats struct {
+	// MaxLabelBits is the proof size: the largest per-node per-round label,
+	// where edge labels count toward their accountable endpoint.
+	MaxLabelBits int
+	// TotalLabelBits sums all label bits over all rounds and nodes.
+	TotalLabelBits int
+	// MaxCoinBits is the largest per-node per-round coin string.
+	MaxCoinBits int
+	// Rounds is the number of interaction rounds executed.
+	Rounds int
+	// LabelBits[r][v] is the label size charged to node v in prover round
+	// r (node label plus accountable edge labels). Composite protocols use
+	// it to merge sub-executions under ownership accounting.
+	LabelBits [][]int
+}
+
+// Result of a protocol execution.
+type Result struct {
+	Accepted bool
+	// NodeOutputs[v] is the local output of node v.
+	NodeOutputs []bool
+	Stats       Stats
+	// Transcript records the full interaction so composite protocols can
+	// layer additional local checks over the same labels.
+	Transcript Transcript
+}
+
+// Transcript is the recorded interaction of one execution.
+type Transcript struct {
+	// Assignments[r] is the prover's assignment in prover round r.
+	Assignments []*Assignment
+	// Coins[r][v] is node v's public coin string in verifier round r.
+	Coins [][]bitio.String
+}
+
+// Runner executes a protocol on an instance.
+type Runner struct {
+	inst *Instance
+	// accountable[v] lists edge ids charged to v (bounded-outdegree
+	// orientation; <= degeneracy many per node, <= 5 on planar graphs).
+	accountable [][]int
+}
+
+// NewRunner prepares an execution environment for inst.
+func NewRunner(inst *Instance) *Runner {
+	g := inst.G
+	out, _ := graph.OrientByDegeneracy(g)
+	acc := make([][]int, g.N())
+	for v := range out {
+		for _, u := range out[v] {
+			acc[v] = append(acc[v], g.EdgeID(v, u))
+		}
+	}
+	return &Runner{inst: inst, accountable: acc}
+}
+
+// Run executes proverRounds prover rounds interleaved with verifierRounds
+// verifier rounds, starting with the prover:
+// P V P V P ... The total interaction round count is
+// proverRounds + verifierRounds. It returns the per-node outputs and
+// communication statistics.
+func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng *rand.Rand) (*Result, error) {
+	if proverRounds < 1 || verifierRounds < 0 || proverRounds < verifierRounds {
+		return nil, fmt.Errorf("dip: invalid schedule P=%d V=%d", proverRounds, verifierRounds)
+	}
+	g := r.inst.G
+	n := g.N()
+
+	assignments := make([]*Assignment, 0, proverRounds)
+	coins := make([][]bitio.String, 0, verifierRounds)
+
+	// Per-node private rngs, seeded deterministically from the master rng.
+	nodeRngs := make([]*rand.Rand, n)
+	for i := range nodeRngs {
+		nodeRngs[i] = rand.New(rand.NewSource(rng.Int63()))
+	}
+
+	var st Stats
+	st.Rounds = proverRounds + verifierRounds
+
+	for pr := 0; pr < proverRounds; pr++ {
+		a, err := p.Round(pr, coins)
+		if err != nil {
+			return nil, fmt.Errorf("dip: prover round %d: %w", pr, err)
+		}
+		if a == nil {
+			a = NewAssignment(g)
+		}
+		if len(a.Node) != n {
+			return nil, fmt.Errorf("dip: prover round %d assigned %d node labels, want %d", pr, len(a.Node), n)
+		}
+		assignments = append(assignments, a)
+		r.accumulate(a, &st)
+
+		if pr < verifierRounds {
+			round := make([]bitio.String, n)
+			r.parallelNodes(func(x int) {
+				view := r.viewFor(x, assignments, coins)
+				round[x] = v.Coins(pr, view, nodeRngs[x])
+			})
+			for _, c := range round {
+				if c.Len() > st.MaxCoinBits {
+					st.MaxCoinBits = c.Len()
+				}
+			}
+			coins = append(coins, round)
+		}
+	}
+
+	outputs := make([]bool, n)
+	r.parallelNodes(func(x int) {
+		view := r.viewFor(x, assignments, coins)
+		outputs[x] = v.Decide(view)
+	})
+	accepted := true
+	for _, o := range outputs {
+		if !o {
+			accepted = false
+			break
+		}
+	}
+	return &Result{
+		Accepted:    accepted,
+		NodeOutputs: outputs,
+		Stats:       st,
+		Transcript:  Transcript{Assignments: assignments, Coins: coins},
+	}, nil
+}
+
+func (r *Runner) accumulate(a *Assignment, st *Stats) {
+	accumulateStats(r.inst, r.accountable, a, st)
+}
+
+func (r *Runner) viewFor(v int, assignments []*Assignment, coins [][]bitio.String) *View {
+	g := r.inst.G
+	nbrs := g.Neighbors(v)
+	view := &View{
+		V:       v,
+		Deg:     len(nbrs),
+		Input:   r.inst.NodeInput[v],
+		Coins:   make([]bitio.String, len(coins)),
+		Own:     make([]bitio.String, len(assignments)),
+		Nbr:     make([][]bitio.String, len(nbrs)),
+		EdgeLab: make([][]bitio.String, len(nbrs)),
+		EdgeIn:  make([]interface{}, len(nbrs)),
+		NbrID:   append([]int(nil), nbrs...),
+	}
+	for ri, round := range coins {
+		view.Coins[ri] = round[v]
+	}
+	for ri, a := range assignments {
+		view.Own[ri] = a.Node[v]
+	}
+	for p, u := range nbrs {
+		e := graph.Canon(v, u)
+		view.Nbr[p] = make([]bitio.String, len(assignments))
+		view.EdgeLab[p] = make([]bitio.String, len(assignments))
+		for ri, a := range assignments {
+			view.Nbr[p][ri] = a.Node[u]
+			view.EdgeLab[p][ri] = a.Edge[e]
+		}
+		view.EdgeIn[p] = r.inst.EdgeInput[e]
+	}
+	return view
+}
+
+// parallelNodes runs fn(v) for every vertex, one goroutine per vertex in
+// bounded batches, and waits for completion.
+func (r *Runner) parallelNodes(fn func(v int)) {
+	n := r.inst.G.N()
+	const batch = 4096
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		var wg sync.WaitGroup
+		for v := lo; v < hi; v++ {
+			wg.Add(1)
+			go func(v int) {
+				defer wg.Done()
+				fn(v)
+			}(v)
+		}
+		wg.Wait()
+	}
+}

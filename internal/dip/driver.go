@@ -1,0 +1,78 @@
+package dip
+
+import (
+	"math/rand"
+)
+
+// Protocol bundles a prover factory and a verifier so experiments can run
+// many independent executions of the same protocol on the same instance.
+type Protocol struct {
+	Name string
+	// ProverRounds and VerifierRounds define the interaction schedule
+	// P V P V P ... with ProverRounds prover rounds in total.
+	ProverRounds   int
+	VerifierRounds int
+	// NewProver builds a fresh prover for one execution (provers are
+	// allowed to carry per-execution state between their rounds).
+	NewProver func() Prover
+	Verifier  Verifier
+}
+
+// Rounds returns the total number of interaction rounds.
+func (p *Protocol) Rounds() int { return p.ProverRounds + p.VerifierRounds }
+
+// RunOnce executes the protocol once on inst.
+func (p *Protocol) RunOnce(inst *Instance, rng *rand.Rand) (*Result, error) {
+	r := NewRunner(inst)
+	return r.Run(p.NewProver(), p.Verifier, p.ProverRounds, p.VerifierRounds, rng)
+}
+
+// Trial summarizes repeated executions.
+type Trial struct {
+	Runs         int
+	Accepts      int
+	MaxLabelBits int
+	MaxCoinBits  int
+	Rounds       int
+}
+
+// AcceptRate returns the fraction of accepting runs.
+func (t Trial) AcceptRate() float64 {
+	if t.Runs == 0 {
+		return 0
+	}
+	return float64(t.Accepts) / float64(t.Runs)
+}
+
+// Repeat executes the protocol runs times with independent randomness and
+// aggregates outcomes; protocols use it for completeness (expect rate 1 on
+// yes-instances with the honest prover) and soundness (expect low rate on
+// no-instances against adversarial provers).
+func (p *Protocol) Repeat(inst *Instance, runs int, rng *rand.Rand) (Trial, error) {
+	t := Trial{Runs: runs, Rounds: p.Rounds()}
+	runner := NewRunner(inst)
+	for i := 0; i < runs; i++ {
+		res, err := runner.Run(p.NewProver(), p.Verifier, p.ProverRounds, p.VerifierRounds, rng)
+		if err != nil {
+			return t, err
+		}
+		if res.Accepted {
+			t.Accepts++
+		}
+		if res.Stats.MaxLabelBits > t.MaxLabelBits {
+			t.MaxLabelBits = res.Stats.MaxLabelBits
+		}
+		if res.Stats.MaxCoinBits > t.MaxCoinBits {
+			t.MaxCoinBits = res.Stats.MaxCoinBits
+		}
+	}
+	return t, nil
+}
+
+// RunOnceChannels executes the protocol once on inst using the
+// channel-based message-passing engine; results are identical to RunOnce
+// given the same rng stream.
+func (p *Protocol) RunOnceChannels(inst *Instance, rng *rand.Rand) (*Result, error) {
+	r := NewChannelRunner(inst)
+	return r.Run(p.NewProver(), p.Verifier, p.ProverRounds, p.VerifierRounds, rng)
+}

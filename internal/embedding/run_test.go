@@ -1,0 +1,86 @@
+package embedding
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestRunCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		inst := gen.Triangulation(rng, 6+rng.Intn(60))
+		for rep := 0; rep < 3; rep++ {
+			res, err := Run(inst.G, inst.Rot, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Accepted {
+				t.Fatalf("trial %d rep %d: rejected (tree=%v nest=%v corner=%v)",
+					trial, rep, res.TreeRejected, res.NestingRejected, res.CornerRejected)
+			}
+			if res.Rounds != 5 {
+				t.Fatalf("rounds = %d", res.Rounds)
+			}
+		}
+	}
+}
+
+func TestRunCompletenessFanChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, delta := range []int{3, 6, 12} {
+		inst := gen.FanChain(rng, 60, delta)
+		res, err := Run(inst.G, inst.Rot, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("delta=%d: rejected (tree=%v nest=%v corner=%v)",
+				delta, res.TreeRejected, res.NestingRejected, res.CornerRejected)
+		}
+	}
+}
+
+func TestRunRejectsTwists(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rejected, total := 0, 0
+	for trial := 0; trial < 25; trial++ {
+		inst := gen.Triangulation(rng, 8+rng.Intn(40))
+		twisted, err := gen.TwistRotation(rng, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		res, err := Run(inst.G, twisted, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			rejected++
+		}
+	}
+	if rejected < total-1 {
+		t.Fatalf("twisted rotations accepted in %d/%d runs", total-rejected, total)
+	}
+}
+
+func TestRunProofSizeDoublyLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	var sizes []int
+	ns := []int{128, 4096, 32768}
+	for _, n := range ns {
+		inst := gen.Triangulation(rng, n)
+		res, err := Run(inst.G, inst.Rot, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("n=%d rejected", n)
+		}
+		sizes = append(sizes, res.MaxLabelBits)
+	}
+	if sizes[2] >= 2*sizes[0] {
+		t.Fatalf("proof size growth too fast: %v", sizes)
+	}
+}

@@ -1,0 +1,26 @@
+package field
+
+import "testing"
+
+func BenchmarkMultisetEval(b *testing.B) {
+	f, err := New(1 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	elems := make([]uint64, 256)
+	for i := range elems {
+		elems[i] = uint64(i * 37 % (1 << 16))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MultisetEval(elems, uint64(i)%f.P)
+	}
+}
+
+func BenchmarkNextPrime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NextPrime(1 << 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

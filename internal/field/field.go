@@ -1,0 +1,139 @@
+// Package field provides prime-field arithmetic and the polynomial
+// multiset-hashing primitives underlying the multiset-equality protocol
+// (Lemma 2.6 of the paper).
+//
+// All values are elements of F_p for a prime p that fits in 32 bits, so
+// products fit in uint64 without overflow.
+package field
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxPrime bounds the primes this package searches for; field elements must
+// fit in 32 bits so that multiplication stays within uint64.
+const MaxPrime = 1 << 31
+
+var errNoPrime = errors.New("field: no prime in range")
+
+// NextPrime returns the smallest prime strictly greater than n.
+func NextPrime(n uint64) (uint64, error) {
+	if n >= MaxPrime {
+		return 0, errNoPrime
+	}
+	c := n + 1
+	if c <= 2 {
+		return 2, nil
+	}
+	if c%2 == 0 {
+		c++
+	}
+	for ; c < MaxPrime; c += 2 {
+		if isPrime(c) {
+			return c, nil
+		}
+	}
+	return 0, errNoPrime
+}
+
+func isPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	// Deterministic Miller-Rabin for n < 3,215,031,751 with bases 2,3,5,7.
+	d := n - 1
+	r := 0
+	for d%2 == 0 {
+		d /= 2
+		r++
+	}
+	for _, a := range []uint64{2, 3, 5, 7} {
+		if !millerRabinWitness(n, a, d, r) {
+			return false
+		}
+	}
+	return true
+}
+
+func millerRabinWitness(n, a, d uint64, r int) bool {
+	x := powMod(a, d, n)
+	if x == 1 || x == n-1 {
+		return true
+	}
+	for i := 0; i < r-1; i++ {
+		x = mulMod(x, x, n)
+		if x == n-1 {
+			return true
+		}
+	}
+	return false
+}
+
+func powMod(a, e, m uint64) uint64 {
+	res := uint64(1)
+	a %= m
+	for e > 0 {
+		if e&1 == 1 {
+			res = mulMod(res, a, m)
+		}
+		a = mulMod(a, a, m)
+		e >>= 1
+	}
+	return res
+}
+
+func mulMod(a, b, m uint64) uint64 {
+	// m < 2^31, so a*b < 2^62 fits in uint64.
+	return a % m * (b % m) % m
+}
+
+// Fp is a prime field of order P.
+type Fp struct {
+	P uint64
+}
+
+// New returns the field F_p for the smallest prime p > lower.
+func New(lower uint64) (Fp, error) {
+	p, err := NextPrime(lower)
+	if err != nil {
+		return Fp{}, fmt.Errorf("field: prime above %d: %w", lower, err)
+	}
+	return Fp{P: p}, nil
+}
+
+// Add returns a+b mod p.
+func (f Fp) Add(a, b uint64) uint64 { return (a%f.P + b%f.P) % f.P }
+
+// Sub returns a-b mod p.
+func (f Fp) Sub(a, b uint64) uint64 { return (a%f.P + f.P - b%f.P) % f.P }
+
+// Mul returns a*b mod p.
+func (f Fp) Mul(a, b uint64) uint64 { return mulMod(a, b, f.P) }
+
+// Pow returns a^e mod p.
+func (f Fp) Pow(a, e uint64) uint64 { return powMod(a, e, f.P) }
+
+// MultisetEval evaluates the multiset polynomial
+//
+//	phi_S(z) = prod_{s in S} (s - z)  (mod p)
+//
+// which is the fingerprint used by the multiset-equality protocol: two
+// multisets of size <= k over a universe inside F_p agree iff their
+// polynomials are identical, and a random evaluation point exposes a
+// difference with probability >= 1 - k/p.
+func (f Fp) MultisetEval(elems []uint64, z uint64) uint64 {
+	prod := uint64(1)
+	for _, s := range elems {
+		prod = f.Mul(prod, f.Sub(s, z))
+	}
+	return prod
+}

@@ -1,0 +1,161 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNextPrime(t *testing.T) {
+	tests := []struct{ n, want uint64 }{
+		{0, 2}, {1, 2}, {2, 3}, {3, 5}, {10, 11}, {13, 17},
+		{100, 101}, {1000, 1009}, {1 << 20, 1048583},
+	}
+	for _, tt := range tests {
+		got, err := NextPrime(tt.n)
+		if err != nil {
+			t.Fatalf("NextPrime(%d): %v", tt.n, err)
+		}
+		if got != tt.want {
+			t.Errorf("NextPrime(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestNextPrimeOutOfRange(t *testing.T) {
+	if _, err := NextPrime(MaxPrime); err == nil {
+		t.Fatal("expected error above MaxPrime")
+	}
+}
+
+func TestIsPrimeAgainstSieve(t *testing.T) {
+	const limit = 5000
+	sieve := make([]bool, limit)
+	for i := 2; i < limit; i++ {
+		sieve[i] = true
+	}
+	for i := 2; i*i < limit; i++ {
+		if sieve[i] {
+			for j := i * i; j < limit; j += i {
+				sieve[j] = false
+			}
+		}
+	}
+	for i := uint64(0); i < limit; i++ {
+		if isPrime(i) != sieve[i] {
+			t.Fatalf("isPrime(%d) = %v, sieve says %v", i, isPrime(i), sieve[i])
+		}
+	}
+}
+
+func TestFieldArithmetic(t *testing.T) {
+	f, err := New(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.P != 1009 {
+		t.Fatalf("P = %d", f.P)
+	}
+	if got := f.Add(1000, 20); got != 11 {
+		t.Errorf("Add = %d", got)
+	}
+	if got := f.Sub(3, 10); got != 1002 {
+		t.Errorf("Sub = %d", got)
+	}
+	if got := f.Mul(1008, 1008); got != 1 {
+		t.Errorf("Mul = %d (p-1 squared should be 1)", got)
+	}
+	// Fermat: a^(p-1) = 1 for a != 0.
+	if got := f.Pow(7, f.P-1); got != 1 {
+		t.Errorf("Pow Fermat = %d", got)
+	}
+}
+
+func TestMultisetEvalEqualSets(t *testing.T) {
+	f, _ := New(1 << 20)
+	a := []uint64{3, 1, 4, 1, 5, 9, 2, 6}
+	b := []uint64{9, 6, 5, 4, 3, 2, 1, 1}
+	for z := uint64(0); z < 50; z++ {
+		if f.MultisetEval(a, z) != f.MultisetEval(b, z) {
+			t.Fatalf("permuted multisets disagree at z=%d", z)
+		}
+	}
+}
+
+func TestMultisetEvalDistinguishes(t *testing.T) {
+	f, _ := New(1 << 20)
+	a := []uint64{1, 2, 3}
+	b := []uint64{1, 2, 4}
+	diff := 0
+	for z := uint64(0); z < 1000; z++ {
+		if f.MultisetEval(a, z) != f.MultisetEval(b, z) {
+			diff++
+		}
+	}
+	// The polynomials differ, so at most deg = 3 agreement points exist.
+	if diff < 997 {
+		t.Fatalf("only %d/1000 evaluation points distinguish", diff)
+	}
+}
+
+func TestMultisetSoundnessBound(t *testing.T) {
+	// Random unequal multisets of size k over a universe of size k^2 must
+	// collide at a random point with probability <= k/p.
+	rng := rand.New(rand.NewSource(7))
+	const k = 16
+	f, _ := New(k * k * k) // p > k^3
+	collisions := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		a := make([]uint64, k)
+		b := make([]uint64, k)
+		for j := range a {
+			a[j] = uint64(rng.Intn(k * k))
+			b[j] = uint64(rng.Intn(k * k))
+		}
+		z := uint64(rng.Intn(int(f.P)))
+		if f.MultisetEval(a, z) == f.MultisetEval(b, z) {
+			// Could be genuinely equal multisets; ignore those.
+			if !sameMultiset(a, b) {
+				collisions++
+			}
+		}
+	}
+	// Expected collision rate <= k/p ~ 16/4099 < 0.4%; allow slack.
+	if float64(collisions)/trials > 0.02 {
+		t.Fatalf("collision rate %d/%d exceeds bound", collisions, trials)
+	}
+}
+
+func sameMultiset(a, b []uint64) bool {
+	m := map[uint64]int{}
+	for _, x := range a {
+		m[x]++
+	}
+	for _, x := range b {
+		m[x]--
+	}
+	for _, c := range m {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickMultisetPermutationInvariance(t *testing.T) {
+	f, _ := New(1 << 16)
+	fn := func(elems []uint16, z uint16, seed int64) bool {
+		a := make([]uint64, len(elems))
+		for i, e := range elems {
+			a[i] = uint64(e)
+		}
+		b := append([]uint64(nil), a...)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+		return f.MultisetEval(a, uint64(z)) == f.MultisetEval(b, uint64(z))
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

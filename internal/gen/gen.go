@@ -1,0 +1,356 @@
+// Package gen generates the graph families the paper's protocols decide —
+// path-outerplanar, outerplanar, embedded planar, bounded-degree planar,
+// series-parallel, and treewidth-2 yes-instances, plus the no-instances
+// the soundness experiments attack with (crossing chords, K4/K5/K3,3
+// subdivisions, twisted rotations).
+//
+// Every generator takes an explicit *rand.Rand so experiments are
+// reproducible, and returns the structural witness (path order, rotation
+// system, SP tree, ...) that the honest prover may use.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/planar"
+	"repro/internal/sp"
+)
+
+// PathOuterplanarInstance is a path-outerplanar graph together with its
+// witness Hamiltonian path.
+type PathOuterplanarInstance struct {
+	G *graph.Graph
+	// Pos[v] is the position of v on the witness Hamiltonian path.
+	Pos []int
+}
+
+// PathOuterplanar generates a path-outerplanar graph on n vertices: a
+// Hamiltonian path plus a random laminar (hence non-crossing) family of
+// chords, then a random relabeling of the vertices. chordProb in [0,1]
+// controls chord density.
+func PathOuterplanar(rng *rand.Rand, n int, chordProb float64) *PathOuterplanarInstance {
+	if n < 2 {
+		panic(fmt.Sprintf("gen: PathOuterplanar needs n >= 2, got %d", n))
+	}
+	perm := rng.Perm(n) // perm[p] = vertex at position p
+	g := graph.New(n)
+	pos := make([]int, n)
+	for p, v := range perm {
+		pos[v] = p
+	}
+	for p := 0; p+1 < n; p++ {
+		g.MustAddEdge(perm[p], perm[p+1])
+	}
+	addLaminarChords(rng, g, perm, 0, n-1, chordProb)
+	return &PathOuterplanarInstance{G: g, Pos: pos}
+}
+
+// addLaminarChords adds nested chords over positions [lo,hi] with
+// recursive random splitting; chords never cross by construction.
+func addLaminarChords(rng *rand.Rand, g *graph.Graph, perm []int, lo, hi int, p float64) {
+	if hi-lo < 2 {
+		return
+	}
+	if rng.Float64() < p && !g.HasEdge(perm[lo], perm[hi]) {
+		g.MustAddEdge(perm[lo], perm[hi])
+	}
+	mid := lo + 1 + rng.Intn(hi-lo-1)
+	addLaminarChords(rng, g, perm, lo, mid, p)
+	addLaminarChords(rng, g, perm, mid, hi, p)
+}
+
+// BiconnectedOuterplanarInstance is a biconnected outerplanar graph with
+// its Hamiltonian cycle witness.
+type BiconnectedOuterplanarInstance struct {
+	G *graph.Graph
+	// Cycle lists the vertices along the Hamiltonian (outer) cycle.
+	Cycle []int
+}
+
+// BiconnectedOuterplanar generates a Hamiltonian cycle on n >= 3 vertices
+// plus a laminar family of non-crossing chords.
+func BiconnectedOuterplanar(rng *rand.Rand, n int, chordProb float64) *BiconnectedOuterplanarInstance {
+	if n < 3 {
+		panic(fmt.Sprintf("gen: BiconnectedOuterplanar needs n >= 3, got %d", n))
+	}
+	perm := rng.Perm(n)
+	g := graph.New(n)
+	for p := 0; p < n; p++ {
+		g.MustAddEdge(perm[p], perm[(p+1)%n])
+	}
+	// Chords nested above the path perm[0..n-1]; the closing cycle edge
+	// (perm[n-1], perm[0]) sits above everything, so laminar-over-the-path
+	// chords stay inside the cycle.
+	addLaminarChords(rng, g, perm, 0, n-1, chordProb)
+	return &BiconnectedOuterplanarInstance{G: g, Cycle: perm}
+}
+
+// OuterplanarInstance is a connected outerplanar graph assembled from
+// biconnected blocks and bridges glued at cut vertices.
+type OuterplanarInstance struct {
+	G *graph.Graph
+}
+
+// Outerplanar generates a connected outerplanar graph on (approximately)
+// n vertices: a random block-cut structure whose blocks are biconnected
+// outerplanar graphs or single bridge edges.
+func Outerplanar(rng *rand.Rand, n int, chordProb float64) *OuterplanarInstance {
+	if n < 2 {
+		panic(fmt.Sprintf("gen: Outerplanar needs n >= 2, got %d", n))
+	}
+	g := graph.New(n)
+	attached := []int{0}
+	next := 1
+	for next < n {
+		anchor := attached[rng.Intn(len(attached))]
+		remaining := n - next
+		if remaining >= 3 && rng.Float64() < 0.7 {
+			// Biconnected outerplanar block of size k (anchor + k-1 new).
+			k := 3 + rng.Intn(min(remaining+1, 9)-2)
+			if k-1 > remaining {
+				k = remaining + 1
+			}
+			block := make([]int, k)
+			block[0] = anchor
+			for i := 1; i < k; i++ {
+				block[i] = next
+				next++
+			}
+			for i := 0; i < k; i++ {
+				g.MustAddEdge(block[i], block[(i+1)%k])
+			}
+			// Laminar chords over block path positions.
+			addLaminarChords(rng, g, block, 0, k-1, chordProb)
+			attached = append(attached, block[1:]...)
+		} else {
+			// Bridge edge.
+			g.MustAddEdge(anchor, next)
+			attached = append(attached, next)
+			next++
+		}
+	}
+	return &OuterplanarInstance{G: g}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// EmbeddedPlanarInstance is a planar graph with a valid combinatorial
+// embedding known by construction.
+type EmbeddedPlanarInstance struct {
+	G   *graph.Graph
+	Rot *planar.Rotation
+}
+
+// Triangulation generates a random planar triangulation on n >= 3
+// vertices with its rotation system, by repeatedly inserting a vertex
+// into a random face of the current embedding.
+func Triangulation(rng *rand.Rand, n int) *EmbeddedPlanarInstance {
+	if n < 3 {
+		panic(fmt.Sprintf("gen: Triangulation needs n >= 3, got %d", n))
+	}
+	g := graph.New(n)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	// rot[v] is maintained as the clockwise neighbor cycle.
+	rot := make([][]int, n)
+	rot[0] = []int{1, 2}
+	rot[1] = []int{2, 0}
+	rot[2] = []int{0, 1}
+	// Oriented triangular faces (a,b,c) meaning the face traversal
+	// convention arriving-at-x-from-prev leaves to Next(x, prev).
+	faces := [][3]int{{0, 1, 2}, {2, 1, 0}}
+	for w := 3; w < n; w++ {
+		fi := rng.Intn(len(faces))
+		f := faces[fi]
+		a, b, c := f[0], f[1], f[2]
+		g.MustAddEdge(w, a)
+		g.MustAddEdge(w, b)
+		g.MustAddEdge(w, c)
+		// New faces replacing (a,b,c): (a,b,w), (b,c,w), (c,a,w).
+		faces[fi] = [3]int{a, b, w}
+		faces = append(faces, [3]int{b, c, w}, [3]int{c, a, w})
+		// Face (a,b,c) contributed Next(b,a)=c etc. The subdivision sets
+		// Next(b,a)=w (face a,b,w), Next(c,b)=w, Next(a,c)=w, i.e. insert
+		// w right after the predecessor along each corner:
+		insertAfter(&rot[a], c, w) // Next(a,c) = w
+		insertAfter(&rot[b], a, w) // Next(b,a) = w
+		insertAfter(&rot[c], b, w) // Next(c,b) = w
+		rot[w] = []int{a, c, b}    // Next(w,a)=c? fixed below by face defs
+		// Faces at w: (a,b,w): Next(w,b)=a; (b,c,w): Next(w,c)=b;
+		// (c,a,w): Next(w,a)=c. Successor map: b->a, c->b, a->c,
+		// i.e. the cycle [a, c, b].
+	}
+	r, err := planar.NewRotation(g, rot)
+	if err != nil {
+		panic(fmt.Sprintf("gen: triangulation rotation invalid: %v", err))
+	}
+	return &EmbeddedPlanarInstance{G: g, Rot: r}
+}
+
+// insertAfter inserts x immediately after the occurrence of after in cyc.
+func insertAfter(cyc *[]int, after, x int) {
+	c := *cyc
+	for i, v := range c {
+		if v == after {
+			c = append(c, 0)
+			copy(c[i+2:], c[i+1:])
+			c[i+1] = x
+			*cyc = c
+			return
+		}
+	}
+	panic(fmt.Sprintf("gen: %d not found in rotation", after))
+}
+
+// FanChain generates a connected planar graph on ~n vertices whose
+// maximum degree is exactly delta (delta >= 3), with a known rotation
+// system: a backbone path of hubs, each carrying a fan of delta-2 leaves
+// chained into a path. Used for the Theorem 1.5 log(Delta) sweep.
+func FanChain(rng *rand.Rand, n, delta int) *EmbeddedPlanarInstance {
+	if delta < 3 {
+		panic("gen: FanChain needs delta >= 3")
+	}
+	fan := delta - 2
+	hubs := (n + fan) / (fan + 1)
+	if hubs < 2 {
+		hubs = 2
+	}
+	total := hubs + hubs*fan
+	g := graph.New(total)
+	rot := make([][]int, total)
+	leaf := func(h, j int) int { return hubs + h*fan + j }
+	for h := 0; h < hubs; h++ {
+		if h+1 < hubs {
+			g.MustAddEdge(h, h+1)
+		}
+		for j := 0; j < fan; j++ {
+			g.MustAddEdge(h, leaf(h, j))
+			if j+1 < fan {
+				g.MustAddEdge(leaf(h, j), leaf(h, j+1))
+			}
+		}
+		// Hub rotation, clockwise: previous hub, leaves left-to-right,
+		// next hub.
+		if h > 0 {
+			rot[h] = append(rot[h], h-1)
+		}
+		for j := 0; j < fan; j++ {
+			rot[h] = append(rot[h], leaf(h, j))
+		}
+		if h+1 < hubs {
+			rot[h] = append(rot[h], h+1)
+		}
+		// Leaf rotations, clockwise: left arc neighbor, right arc
+		// neighbor, hub below.
+		for j := 0; j < fan; j++ {
+			l := leaf(h, j)
+			if j > 0 {
+				rot[l] = append(rot[l], leaf(h, j-1))
+			}
+			if j+1 < fan {
+				rot[l] = append(rot[l], leaf(h, j+1))
+			}
+			rot[l] = append(rot[l], h)
+		}
+	}
+	r, err := planar.NewRotation(g, rot)
+	if err != nil {
+		panic(fmt.Sprintf("gen: fan chain rotation invalid: %v", err))
+	}
+	return &EmbeddedPlanarInstance{G: g, Rot: r}
+}
+
+// SeriesParallelInstance carries a series-parallel graph and its SP tree.
+type SeriesParallelInstance struct {
+	G     *graph.Graph
+	Build *sp.Build
+}
+
+// SeriesParallel generates a random two-terminal series-parallel graph
+// with roughly n vertices.
+func SeriesParallel(rng *rand.Rand, n int) *SeriesParallelInstance {
+	root := randomSPTree(rng, n)
+	g, b, err := sp.Materialize(root)
+	if err != nil {
+		panic(fmt.Sprintf("gen: SP materialization: %v", err))
+	}
+	return &SeriesParallelInstance{G: g, Build: b}
+}
+
+func randomSPTree(rng *rand.Rand, budget int) *sp.Node {
+	if budget <= 2 {
+		return sp.Edge()
+	}
+	k := 2 + rng.Intn(2)
+	kids := make([]*sp.Node, k)
+	if rng.Intn(2) == 0 {
+		for i := range kids {
+			kids[i] = randomSPTree(rng, budget/k)
+		}
+		return sp.Series(kids...)
+	}
+	sawTerminalEdge := false
+	for i := range kids {
+		sub := randomSPTree(rng, budget/k)
+		if sub.HasTerminalEdge() {
+			if sawTerminalEdge {
+				sub = sp.Series(sub, sp.Edge())
+			}
+			sawTerminalEdge = true
+		}
+		kids[i] = sub
+	}
+	return sp.Parallel(kids...)
+}
+
+// Treewidth2Instance is a connected graph of treewidth <= 2: series-
+// parallel biconnected blocks glued at cut vertices (Lemma 8.2).
+type Treewidth2Instance struct {
+	G *graph.Graph
+}
+
+// Treewidth2 generates a treewidth-<=2 graph on approximately n vertices.
+func Treewidth2(rng *rand.Rand, n int) *Treewidth2Instance {
+	g := graph.New(n)
+	attached := []int{0}
+	next := 1
+	for next < n {
+		anchor := attached[rng.Intn(len(attached))]
+		remaining := n - next
+		if remaining >= 3 && rng.Float64() < 0.7 {
+			spi := SeriesParallel(rng, min(remaining+1, 12))
+			// Glue the block: its vertex 0 (terminal S) maps to anchor.
+			k := spi.G.N()
+			if k-1 > remaining {
+				// Too big; fall back to a bridge.
+				g.MustAddEdge(anchor, next)
+				attached = append(attached, next)
+				next++
+				continue
+			}
+			mapping := make([]int, k)
+			mapping[0] = anchor
+			for i := 1; i < k; i++ {
+				mapping[i] = next
+				next++
+				attached = append(attached, mapping[i])
+			}
+			for _, e := range spi.G.Edges() {
+				g.MustAddEdge(mapping[e.U], mapping[e.V])
+			}
+		} else {
+			g.MustAddEdge(anchor, next)
+			attached = append(attached, next)
+			next++
+		}
+	}
+	return &Treewidth2Instance{G: g}
+}

@@ -1,0 +1,177 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/planar"
+	"repro/internal/sp"
+)
+
+func TestPathOuterplanarValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(60)
+		inst := PathOuterplanar(rng, n, 0.5)
+		if inst.G.N() != n || !inst.G.IsConnected() {
+			t.Fatalf("trial %d: bad graph", trial)
+		}
+		if !planar.ProperlyNested(inst.G, inst.Pos) {
+			t.Fatalf("trial %d: witness path not properly nested", trial)
+		}
+	}
+}
+
+func TestBiconnectedOuterplanarValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(40)
+		inst := BiconnectedOuterplanar(rng, n, 0.4)
+		if !planar.IsOuterplanar(inst.G) {
+			t.Fatalf("trial %d: not outerplanar (n=%d m=%d)", trial, inst.G.N(), inst.G.M())
+		}
+		for i := range inst.Cycle {
+			if !inst.G.HasEdge(inst.Cycle[i], inst.Cycle[(i+1)%n]) {
+				t.Fatalf("trial %d: witness cycle broken", trial)
+			}
+		}
+	}
+}
+
+func TestOuterplanarValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(50)
+		inst := Outerplanar(rng, n, 0.4)
+		if inst.G.N() != n || !inst.G.IsConnected() {
+			t.Fatalf("trial %d: bad graph", trial)
+		}
+		if !planar.IsOuterplanar(inst.G) {
+			t.Fatalf("trial %d: not outerplanar", trial)
+		}
+	}
+}
+
+func TestTriangulationValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(60)
+		inst := Triangulation(rng, n)
+		if inst.G.M() != 3*n-6 {
+			t.Fatalf("trial %d: m=%d, want %d", trial, inst.G.M(), 3*n-6)
+		}
+		if !inst.Rot.IsPlanarEmbedding(inst.G) {
+			t.Fatalf("trial %d: rotation is not a planar embedding", trial)
+		}
+	}
+}
+
+func TestFanChainValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, delta := range []int{3, 4, 8, 16} {
+		inst := FanChain(rng, 60, delta)
+		if !inst.G.IsConnected() {
+			t.Fatalf("delta %d: disconnected", delta)
+		}
+		if got := inst.G.MaxDegree(); got != delta {
+			t.Fatalf("delta %d: max degree %d", delta, got)
+		}
+		if !inst.Rot.IsPlanarEmbedding(inst.G) {
+			t.Fatalf("delta %d: rotation is not a planar embedding", delta)
+		}
+	}
+}
+
+func TestSeriesParallelValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		inst := SeriesParallel(rng, 4+rng.Intn(50))
+		if !sp.IsSeriesParallel(inst.G) {
+			t.Fatalf("trial %d: not SP", trial)
+		}
+		if err := inst.Build.NestedEars().Validate(inst.G); err != nil {
+			t.Fatalf("trial %d: ears: %v", trial, err)
+		}
+	}
+}
+
+func TestTreewidth2Valid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(60)
+		inst := Treewidth2(rng, n)
+		if inst.G.N() != n || !inst.G.IsConnected() {
+			t.Fatalf("trial %d: bad graph n=%d", trial, inst.G.N())
+		}
+		// Treewidth <= 2 iff planar and no K4 minor; verify via the
+		// Lemma 8.2 oracle: every biconnected component is SP.
+		if !biconnectedAllSP(t, inst) {
+			t.Fatalf("trial %d: a biconnected component is not SP", trial)
+		}
+	}
+}
+
+func biconnectedAllSP(t *testing.T, inst *Treewidth2Instance) bool {
+	t.Helper()
+	dec := graph.Biconnected(inst.G)
+	for ci, verts := range dec.Vertices {
+		if len(verts) < 3 {
+			continue
+		}
+		idx := make(map[int]int, len(verts))
+		for i, v := range verts {
+			idx[v] = i
+		}
+		sub := graph.New(len(verts))
+		for _, e := range dec.Components[ci] {
+			sub.MustAddEdge(idx[e.U], idx[e.V])
+		}
+		if !sp.IsSeriesParallel(sub) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNoInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	k5 := K5Subdivision(rng, 60)
+	if planar.IsPlanar(k5) {
+		t.Fatal("K5 subdivision planar")
+	}
+	k33 := K33Subdivision(rng, 60)
+	if planar.IsPlanar(k33) {
+		t.Fatal("K3,3 subdivision planar")
+	}
+	k4 := K4Subdivision(rng, 60)
+	if !planar.IsPlanar(k4) {
+		t.Fatal("K4 subdivision should be planar")
+	}
+	if sp.IsSeriesParallel(k4) {
+		t.Fatal("K4 subdivision should not be SP")
+	}
+	if planar.IsOuterplanar(k4) {
+		t.Fatal("K4 subdivision should not be outerplanar")
+	}
+
+	inst := PathOuterplanar(rng, 40, 0.5)
+	bad := WithEmbeddedK4(rng, inst)
+	if planar.IsOuterplanar(bad) {
+		t.Fatal("embedded K4 instance is still outerplanar")
+	}
+
+	crossed, ok := WithCrossingChord(rng, inst)
+	if ok && planar.ProperlyNested(crossed, inst.Pos) {
+		t.Fatal("crossing chord still properly nested")
+	}
+
+	tri := Triangulation(rng, 30)
+	twisted, err := TwistRotation(rng, tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twisted.IsPlanarEmbedding(tri.G) {
+		t.Fatal("twisted rotation still valid")
+	}
+}

@@ -1,0 +1,188 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/planar"
+)
+
+// WithEmbeddedK4 plants a K4 on four consecutive path positions of a
+// path-outerplanar instance, making the graph non-outerplanar (hence not
+// path-outerplanar under ANY Hamiltonian path) while keeping it sparse
+// and hard to spot locally.
+func WithEmbeddedK4(rng *rand.Rand, inst *PathOuterplanarInstance) *graph.Graph {
+	n := inst.G.N()
+	if n < 4 {
+		panic("gen: WithEmbeddedK4 needs n >= 4")
+	}
+	g := inst.G.Clone()
+	at := make([]int, n)
+	for v, p := range inst.Pos {
+		at[p] = v
+	}
+	p := rng.Intn(n - 3)
+	quad := []int{at[p], at[p+1], at[p+2], at[p+3]}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if !g.HasEdge(quad[i], quad[j]) {
+				g.MustAddEdge(quad[i], quad[j])
+			}
+		}
+	}
+	return g
+}
+
+// WithCrossingChord adds a single chord that crosses an existing chord of
+// the witness path. The result is not path-outerplanar w.r.t. the witness
+// path; it may or may not be path-outerplanar under another path, so this
+// is the "near-miss" workload for adversarial-prover experiments rather
+// than a certified no-instance.
+func WithCrossingChord(rng *rand.Rand, inst *PathOuterplanarInstance) (*graph.Graph, bool) {
+	n := inst.G.N()
+	at := make([]int, n)
+	for v, p := range inst.Pos {
+		at[p] = v
+	}
+	g := inst.G.Clone()
+	// Find a chord (l, r) with r-l >= 3 and add (l+1, r+1) style crossing.
+	for attempt := 0; attempt < 4*n; attempt++ {
+		e := g.Edges()[rng.Intn(g.M())]
+		l, r := inst.Pos[e.U], inst.Pos[e.V]
+		if l > r {
+			l, r = r, l
+		}
+		if r-l < 2 {
+			continue
+		}
+		// Crossing partner: positions (x, y) with l < x < r < y.
+		if r+1 >= n {
+			continue
+		}
+		x := l + 1 + rng.Intn(r-l-1)
+		y := r + 1 + rng.Intn(n-r-1)
+		if g.HasEdge(at[x], at[y]) {
+			continue
+		}
+		g.MustAddEdge(at[x], at[y])
+		return g, true
+	}
+	return g, false
+}
+
+// K5Subdivision builds the §3 clustering-attack instance: a K5 whose ten
+// edges are each subdivided into paths of about n/10 vertices, so the
+// non-planar structure is spread across the whole graph and no small
+// cluster witnesses it.
+func K5Subdivision(rng *rand.Rand, n int) *graph.Graph {
+	if n < 15 {
+		n = 15
+	}
+	per := (n - 5) / 10
+	if per < 1 {
+		per = 1
+	}
+	total := 5 + 10*per
+	g := graph.New(total)
+	next := 5
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			prev := u
+			for i := 0; i < per; i++ {
+				g.MustAddEdge(prev, next)
+				prev = next
+				next++
+			}
+			g.MustAddEdge(prev, v)
+		}
+	}
+	return g
+}
+
+// K33Subdivision builds a subdivided K3,3 of about n vertices.
+func K33Subdivision(rng *rand.Rand, n int) *graph.Graph {
+	if n < 15 {
+		n = 15
+	}
+	per := (n - 6) / 9
+	if per < 1 {
+		per = 1
+	}
+	total := 6 + 9*per
+	g := graph.New(total)
+	next := 6
+	for u := 0; u < 3; u++ {
+		for v := 3; v < 6; v++ {
+			prev := u
+			for i := 0; i < per; i++ {
+				g.MustAddEdge(prev, next)
+				prev = next
+				next++
+			}
+			g.MustAddEdge(prev, v)
+		}
+	}
+	return g
+}
+
+// K4Subdivision builds a subdivided K4 of about n vertices: planar but of
+// treewidth 3, the canonical no-instance for series-parallel and
+// treewidth-2 verification.
+func K4Subdivision(rng *rand.Rand, n int) *graph.Graph {
+	if n < 10 {
+		n = 10
+	}
+	per := (n - 4) / 6
+	if per < 1 {
+		per = 1
+	}
+	total := 4 + 6*per
+	g := graph.New(total)
+	next := 4
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			prev := u
+			for i := 0; i < per; i++ {
+				g.MustAddEdge(prev, next)
+				prev = next
+				next++
+			}
+			g.MustAddEdge(prev, v)
+		}
+	}
+	return g
+}
+
+// TwistRotation returns a copy of the instance whose rotation system has
+// been perturbed (two neighbors swapped at random vertices) until it is no
+// longer a planar embedding. The graph itself stays planar: only the
+// embedding is invalid, which is exactly the no-instance of the planar
+// embedding task (Theorem 1.4).
+func TwistRotation(rng *rand.Rand, inst *EmbeddedPlanarInstance) (*planar.Rotation, error) {
+	g := inst.G
+	for attempt := 0; attempt < 64; attempt++ {
+		rot := make([][]int, g.N())
+		for v := range rot {
+			rot[v] = append([]int(nil), inst.Rot.Rot[v]...)
+		}
+		swaps := 1 + rng.Intn(3)
+		for s := 0; s < swaps; s++ {
+			v := rng.Intn(g.N())
+			if len(rot[v]) < 2 {
+				continue
+			}
+			i := rng.Intn(len(rot[v]))
+			j := rng.Intn(len(rot[v]))
+			rot[v][i], rot[v][j] = rot[v][j], rot[v][i]
+		}
+		r, err := planar.NewRotation(g, rot)
+		if err != nil {
+			return nil, err
+		}
+		if !r.IsPlanarEmbedding(g) {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("gen: could not break the embedding by twisting")
+}

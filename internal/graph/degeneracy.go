@@ -1,0 +1,112 @@
+package graph
+
+import "container/heap"
+
+// DegeneracyOrder returns an elimination ordering v_1..v_n such that each
+// vertex has at most d neighbors later in the ordering, where d is the
+// graph's degeneracy, together with d itself. Planar graphs are
+// 5-degenerate, which is what the Lemma 2.3/2.4 constructions rely on.
+func DegeneracyOrder(g *Graph) (order []int, degeneracy int) {
+	n := g.N()
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	h := &vertexHeap{}
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	for v := 0; v < n; v++ {
+		heap.Push(h, heapItem{v: v, key: deg[v]})
+	}
+	order = make([]int, 0, n)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(heapItem)
+		v := it.v
+		if removed[v] {
+			continue
+		}
+		removed[v] = true
+		if deg[v] > degeneracy {
+			degeneracy = deg[v]
+		}
+		order = append(order, v)
+		for _, u := range g.Neighbors(v) {
+			if !removed[u] {
+				deg[u]--
+				heap.Push(h, heapItem{v: u, key: deg[u]})
+			}
+		}
+	}
+	return order, degeneracy
+}
+
+type heapItem struct {
+	v, key int
+}
+
+type vertexHeap []heapItem
+
+func (h vertexHeap) Len() int            { return len(h) }
+func (h vertexHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h vertexHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *vertexHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *vertexHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// OrientByDegeneracy orients every edge from the vertex that appears
+// *earlier* in the degeneracy order toward the later one. A vertex has at
+// most `degeneracy` neighbors later in the order, so every out-degree is
+// bounded by the degeneracy (<= 5 on planar graphs). It returns out[v] =
+// list of out-neighbors. Each out-slot class {v -> out[v][i]} forms a
+// forest: every vertex has at most one class-i out-neighbor ("class-i
+// parent"), and pointers strictly increase in order rank, so no cycles.
+func OrientByDegeneracy(g *Graph) (out [][]int, degeneracy int) {
+	order, d := DegeneracyOrder(g)
+	rank := make([]int, g.N())
+	for i, v := range order {
+		rank[v] = i
+	}
+	out = make([][]int, g.N())
+	for _, e := range g.Edges() {
+		if rank[e.U] < rank[e.V] {
+			out[e.U] = append(out[e.U], e.V)
+		} else {
+			out[e.V] = append(out[e.V], e.U)
+		}
+	}
+	return out, d
+}
+
+// GreedyColoring colors g greedily along the reverse of a degeneracy
+// ordering, using at most degeneracy+1 colors (<= 6 on planar graphs).
+// The result is a proper coloring: adjacent vertices get distinct colors.
+func GreedyColoring(g *Graph) (colors []int, numColors int) {
+	order, _ := DegeneracyOrder(g)
+	n := g.N()
+	colors = make([]int, n)
+	for v := range colors {
+		colors[v] = -1
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		used := map[int]bool{}
+		for _, u := range g.Neighbors(v) {
+			if colors[u] >= 0 {
+				used[colors[u]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+		if c+1 > numColors {
+			numColors = c + 1
+		}
+	}
+	return colors, numColors
+}

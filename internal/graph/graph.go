@@ -1,0 +1,223 @@
+// Package graph provides the undirected-graph substrate shared by every
+// protocol in the repository: adjacency structure, connectivity, biconnected
+// decomposition, spanning trees, Euler tours, degeneracy orderings, greedy
+// colorings, and contractions.
+//
+// Graphs are simple (no self-loops, no parallel edges) and vertices are
+// integers 0..n-1, matching the paper's anonymous-network convention: node
+// identity never enters a protocol, only local port structure does.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge with U < V.
+type Edge struct {
+	U, V int
+}
+
+// Canon returns the edge with endpoints in canonical (U < V) order.
+func Canon(u, v int) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// Other returns the endpoint of e that is not x.
+func (e Edge) Other(x int) int {
+	if x == e.U {
+		return e.V
+	}
+	return e.U
+}
+
+// Graph is a simple undirected graph.
+type Graph struct {
+	n     int
+	adj   [][]int
+	edges []Edge
+	eid   map[Edge]int
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Graph{
+		n:   n,
+		adj: make([][]int, n),
+		eid: make(map[Edge]int),
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	h := New(g.n)
+	for _, e := range g.edges {
+		h.mustAddEdge(e.U, e.V)
+	}
+	return h
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddEdge inserts the undirected edge {u,v}. Self-loops and duplicates are
+// rejected.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	e := Canon(u, v)
+	if _, ok := g.eid[e]; ok {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	g.eid[e] = len(g.edges)
+	g.edges = append(g.edges, e)
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	return nil
+}
+
+func (g *Graph) mustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// MustAddEdge is AddEdge for construction code where failure is a bug.
+func (g *Graph) MustAddEdge(u, v int) { g.mustAddEdge(u, v) }
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.eid[Canon(u, v)]
+	return ok
+}
+
+// EdgeID returns the index of edge {u,v} in Edges(), or -1.
+func (g *Graph) EdgeID(u, v int) int {
+	id, ok := g.eid[Canon(u, v)]
+	if !ok {
+		return -1
+	}
+	return id
+}
+
+// Edges returns the edge list in insertion order. The caller must not
+// modify the returned slice.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Neighbors returns the adjacency list of v. The caller must not modify
+// the returned slice.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// IsConnected reports whether the graph is connected (the empty graph and
+// the single vertex count as connected).
+func (g *Graph) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	return len(g.Component(0)) == g.n
+}
+
+// Component returns the vertices reachable from src, in BFS order.
+func (g *Graph) Component(src int) []int {
+	seen := make([]bool, g.n)
+	queue := []int{src}
+	seen[src] = true
+	for i := 0; i < len(queue); i++ {
+		v := queue[i]
+		for _, u := range g.adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return queue
+}
+
+// Components returns all connected components, each a sorted vertex list.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for v := 0; v < g.n; v++ {
+		if seen[v] {
+			continue
+		}
+		comp := g.Component(v)
+		for _, u := range comp {
+			seen[u] = true
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// InducedSubgraph returns the subgraph induced by verts and the mapping
+// from new vertex indices to original ones.
+func (g *Graph) InducedSubgraph(verts []int) (*Graph, []int) {
+	idx := make(map[int]int, len(verts))
+	orig := make([]int, len(verts))
+	for i, v := range verts {
+		idx[v] = i
+		orig[i] = v
+	}
+	h := New(len(verts))
+	for _, e := range g.edges {
+		iu, okU := idx[e.U]
+		iv, okV := idx[e.V]
+		if okU && okV {
+			h.mustAddEdge(iu, iv)
+		}
+	}
+	return h, orig
+}
+
+// Contract returns the graph obtained by merging vertices according to
+// part (part[v] = supervertex of v, supervertices must be 0..k-1 for some
+// k), discarding self-loops and parallel edges. It also returns k.
+func (g *Graph) Contract(part []int) (*Graph, int) {
+	if len(part) != g.n {
+		panic(fmt.Sprintf("graph: partition size %d != n %d", len(part), g.n))
+	}
+	k := 0
+	for _, p := range part {
+		if p+1 > k {
+			k = p + 1
+		}
+	}
+	h := New(k)
+	for _, e := range g.edges {
+		pu, pv := part[e.U], part[e.V]
+		if pu != pv && !h.HasEdge(pu, pv) {
+			h.mustAddEdge(pu, pv)
+		}
+	}
+	return h, k
+}

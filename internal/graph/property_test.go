@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomConnected builds a random connected graph from a seed: a random
+// spanning tree plus extra edges.
+func randomConnected(rng *rand.Rand, n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v, rng.Intn(v))
+	}
+	extra := rng.Intn(2 * n)
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestQuickBFSTreeIsSpanning(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 2 + int(sz)%60
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(rng, n)
+		tr, err := BFSTree(g, rng.Intn(n))
+		if err != nil {
+			return false
+		}
+		return tr.IsSpanningTreeOf(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDegeneracyOrderInvariant(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 2 + int(sz)%60
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(rng, n)
+		order, d := DegeneracyOrder(g)
+		rank := make([]int, n)
+		for i, v := range order {
+			rank[v] = i
+		}
+		// Every vertex has at most d neighbors later in the order.
+		for v := 0; v < n; v++ {
+			later := 0
+			for _, u := range g.Neighbors(v) {
+				if rank[u] > rank[v] {
+					later++
+				}
+			}
+			if later > d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEulerTourShape(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 2 + int(sz)%50
+		rng := rand.New(rand.NewSource(seed))
+		parent := make([]int, n)
+		parent[0] = -1
+		for v := 1; v < n; v++ {
+			parent[v] = rng.Intn(v)
+		}
+		tr, err := NewTreeFromParents(parent, 0)
+		if err != nil {
+			return false
+		}
+		tour := tr.EulerTour()
+		if len(tour) != 2*n-1 {
+			return false
+		}
+		if tour[0] != 0 || tour[len(tour)-1] != 0 {
+			return false
+		}
+		// Consecutive tour entries are parent-child pairs.
+		for i := 0; i+1 < len(tour); i++ {
+			a, b := tour[i], tour[i+1]
+			if parent[a] != b && parent[b] != a {
+				return false
+			}
+		}
+		// Every vertex appears.
+		seen := make([]bool, n)
+		for _, v := range tour {
+			seen[v] = true
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBiconnectedEdgePartition(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 2 + int(sz)%40
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(rng, n)
+		d := Biconnected(g)
+		count := make([]int, g.M())
+		for _, comp := range d.Components {
+			for _, e := range comp {
+				count[g.EdgeID(e.U, e.V)]++
+			}
+		}
+		for _, c := range count {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

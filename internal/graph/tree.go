@@ -1,0 +1,183 @@
+package graph
+
+import "fmt"
+
+// Tree is a rooted tree (or rooted forest when several Parent entries are
+// -1) over the vertices of a host graph. Parent[v] = -1 marks a root.
+type Tree struct {
+	Root     int
+	Parent   []int
+	Children [][]int
+	Depth    []int
+}
+
+// NewTreeFromParents assembles a Tree from a parent-pointer array. It
+// validates acyclicity and depth consistency.
+func NewTreeFromParents(parent []int, root int) (*Tree, error) {
+	n := len(parent)
+	t := &Tree{
+		Root:     root,
+		Parent:   append([]int(nil), parent...),
+		Children: make([][]int, n),
+		Depth:    make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		t.Depth[v] = -1
+	}
+	for v := 0; v < n; v++ {
+		p := parent[v]
+		if p == -1 {
+			continue
+		}
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("graph: parent[%d]=%d out of range", v, p)
+		}
+		t.Children[p] = append(t.Children[p], v)
+	}
+	// Depth by walking up with cycle detection.
+	for v := 0; v < n; v++ {
+		if t.Depth[v] >= 0 {
+			continue
+		}
+		var path []int
+		u := v
+		for t.Depth[u] < 0 && parent[u] != -1 {
+			path = append(path, u)
+			u = parent[u]
+			if len(path) > n {
+				return nil, fmt.Errorf("graph: cycle in parent pointers near %d", v)
+			}
+		}
+		base := 0
+		if parent[u] == -1 {
+			t.Depth[u] = 0
+		}
+		base = t.Depth[u]
+		for i := len(path) - 1; i >= 0; i-- {
+			base++
+			t.Depth[path[i]] = base
+		}
+	}
+	return t, nil
+}
+
+// BFSTree returns a spanning tree of g's component containing root,
+// built by breadth-first search. Vertices outside the component have
+// Parent -1 and Depth -1... it returns an error if g is disconnected,
+// because every protocol in this repository assumes a connected host graph.
+func BFSTree(g *Graph, root int) (*Tree, error) {
+	n := g.N()
+	parent := make([]int, n)
+	depth := make([]int, n)
+	for v := range parent {
+		parent[v] = -2
+		depth[v] = -1
+	}
+	parent[root] = -1
+	depth[root] = 0
+	queue := []int{root}
+	for i := 0; i < len(queue); i++ {
+		v := queue[i]
+		for _, u := range g.Neighbors(v) {
+			if parent[u] == -2 {
+				parent[u] = v
+				depth[u] = depth[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	if len(queue) != n {
+		return nil, fmt.Errorf("graph: BFSTree on disconnected graph (%d of %d reached)", len(queue), n)
+	}
+	t := &Tree{Root: root, Parent: parent, Children: make([][]int, n), Depth: depth}
+	for v := 0; v < n; v++ {
+		if p := parent[v]; p >= 0 {
+			t.Children[p] = append(t.Children[p], v)
+		}
+	}
+	return t, nil
+}
+
+// IsSpanningTreeOf verifies that the edge set {(v, Parent[v])} forms a
+// spanning tree of g rooted at t.Root: every non-root vertex has a parent
+// that is a g-neighbor, there is exactly one root, and there are no cycles.
+func (t *Tree) IsSpanningTreeOf(g *Graph) bool {
+	n := g.N()
+	if len(t.Parent) != n {
+		return false
+	}
+	roots := 0
+	for v := 0; v < n; v++ {
+		p := t.Parent[v]
+		if p == -1 {
+			roots++
+			if v != t.Root {
+				return false
+			}
+			continue
+		}
+		if p < 0 || p >= n || !g.HasEdge(v, p) {
+			return false
+		}
+	}
+	if roots != 1 {
+		return false
+	}
+	// Acyclic: depth strictly decreases toward root.
+	for v := 0; v < n; v++ {
+		if t.Parent[v] >= 0 && t.Depth[v] != t.Depth[t.Parent[v]]+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// PostOrder returns the vertices of the tree in post-order (children before
+// parents), restricted to vertices reachable from the root.
+func (t *Tree) PostOrder() []int {
+	var order []int
+	type frame struct {
+		v, ci int
+	}
+	stack := []frame{{t.Root, 0}}
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.ci < len(t.Children[top.v]) {
+			c := t.Children[top.v][top.ci]
+			top.ci++
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		order = append(order, top.v)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// EulerTour returns the closed Euler tour of the tree starting and ending
+// at the root, visiting children in the order given by t.Children. The
+// tour lists a vertex once per visit, so it has 2n-1 entries for an n-node
+// tree.
+func (t *Tree) EulerTour() []int {
+	var tour []int
+	type frame struct {
+		v, ci int
+	}
+	stack := []frame{{t.Root, 0}}
+	tour = append(tour, t.Root)
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.ci < len(t.Children[top.v]) {
+			c := t.Children[top.v][top.ci]
+			top.ci++
+			stack = append(stack, frame{c, 0})
+			tour = append(tour, c)
+			continue
+		}
+		stack = stack[:len(stack)-1]
+		if len(stack) > 0 {
+			tour = append(tour, stack[len(stack)-1].v)
+		}
+	}
+	return tour
+}

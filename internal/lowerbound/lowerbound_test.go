@@ -1,0 +1,115 @@
+package lowerbound
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/planar"
+)
+
+func TestYesInstanceIsPlanar(t *testing.T) {
+	inst, err := BuildK33MinusEdge(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !planar.IsPlanar(inst.G) {
+		t.Fatal("K3,3 minus an edge (subdivided) should be planar")
+	}
+	if len(inst.Paths) != 10 {
+		t.Fatalf("%d paths", len(inst.Paths))
+	}
+}
+
+func TestHonestLabelsAccepted(t *testing.T) {
+	inst, _ := BuildK33MinusEdge(10)
+	for _, k := range []int{3, 8, 20} {
+		labels := TruncatedLabels(inst, k)
+		if !LocalCheck(inst.G, labels, k) {
+			t.Fatalf("k=%d: honest labeling rejected", k)
+		}
+	}
+}
+
+func TestAttackSucceedsWithShortLabels(t *testing.T) {
+	inst, _ := BuildK33MinusEdge(40)
+	res, err := Attack(inst, 4) // 2^4 = 16 < 40: collisions guaranteed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded() {
+		t.Fatalf("attack failed: %+v", res)
+	}
+}
+
+func TestAttackFailsWithLongLabels(t *testing.T) {
+	inst, _ := BuildK33MinusEdge(40)
+	// Full-width labels: all ids distinct, no interface collision.
+	res, err := Attack(inst, 12) // 2^12 = 4096 > n
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CollisionFound {
+		t.Fatalf("collision found with full-width labels: %+v", res)
+	}
+}
+
+func TestThresholdTracksLogN(t *testing.T) {
+	for _, l := range []int{16, 64, 256, 1024} {
+		k, results, err := Threshold(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 6 + 8*l
+		logn := bits.Len(uint(n))
+		// The attack must win for every k below log2(L) and the
+		// threshold must sit within a few bits of log2(n).
+		if k < bits.Len(uint(l))-1 || k > logn+1 {
+			t.Fatalf("l=%d: threshold %d outside [log2 l - 1, log2 n + 1] = [%d, %d]",
+				l, k, bits.Len(uint(l))-1, logn+1)
+		}
+		for _, r := range results[:k-1] {
+			if !r.Succeeded() {
+				t.Fatalf("l=%d: attack failed below threshold at k=%d", l, r.K)
+			}
+		}
+	}
+}
+
+func TestRandomizedVerifierFooledIdentically(t *testing.T) {
+	// Theorem 1.8's strengthening: the bound holds even with a randomized
+	// verifier and unbounded shared randomness. The splice preserves
+	// every node's view exactly, so any shared-randomness verifier
+	// behaves identically on the planar yes-instance and the non-planar
+	// spliced instance.
+	inst, _ := BuildK33MinusEdge(40)
+	const k = 4
+	res, spliced, err := AttackWithSplice(inst, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded() || spliced == nil {
+		t.Fatalf("attack failed: %+v", res)
+	}
+	labels := TruncatedLabels(inst, k)
+	if !ViewEquivalence(inst.G, spliced, labels) {
+		t.Fatal("splice changed some node's view")
+	}
+	agree, accepts := 0, 0
+	const trials = 500
+	for shared := uint64(0); shared < trials; shared++ {
+		yes := RandomizedLocalCheck(inst.G, labels, k, shared)
+		no := RandomizedLocalCheck(spliced, labels, k, shared)
+		if yes == no {
+			agree++
+		}
+		if yes {
+			accepts++
+		}
+	}
+	if agree != trials {
+		t.Fatalf("randomized verdicts differed on %d/%d shared strings", trials-agree, trials)
+	}
+	if accepts == 0 {
+		t.Fatal("randomized verifier never accepted the honest instance")
+	}
+}

@@ -1,0 +1,84 @@
+package lrsort
+
+import (
+	"repro/internal/bitio"
+	"repro/internal/dip"
+	"repro/internal/graph"
+)
+
+// InnerBlockLiar is the canonical LR-sorting adversary: it follows the
+// honest strategy except that every backward outer-block edge is
+// relabeled as inner-block, betting on an r_b nonce collision between
+// the two blocks (probability 1/p0 per edge). It is the measured face of
+// the protocol's 1/polylog n soundness and the knob the soundness-
+// exponent ablation turns.
+type InnerBlockLiar struct {
+	p    Params
+	inst *Instance
+	h    *Honest
+}
+
+// NewInnerBlockLiar builds the adversary for a (no-)instance.
+func NewInnerBlockLiar(p Params, inst *Instance) *InnerBlockLiar {
+	return &InnerBlockLiar{p: p, inst: inst}
+}
+
+// Round implements dip.Prover.
+func (il *InnerBlockLiar) Round(round int, coins [][]bitio.String) (*dip.Assignment, error) {
+	if round == 0 {
+		h, err := NewHonest(il.p, il.inst)
+		if err != nil {
+			return nil, err
+		}
+		il.h = h
+		h.Round1()
+		// Reclassify backward outer edges as inner.
+		for _, de := range il.inst.Edges {
+			bu := il.p.BlockOf(il.inst.Pos[de.Tail])
+			bv := il.p.BlockOf(il.inst.Pos[de.Head])
+			if bu > bv {
+				e := graph.Canon(de.Tail, de.Head)
+				h.R1Edge[e] = Round1Edge{Inner: true}
+			}
+		}
+		a := dip.NewAssignment(il.inst.G)
+		for v := 0; v < il.inst.G.N(); v++ {
+			a.Node[v] = h.R1Node[v].Encode(il.p)
+		}
+		for e, l := range h.R1Edge {
+			a.Edge[e] = l.Encode(il.p)
+		}
+		return a, nil
+	}
+	// Later rounds ride on the honest machinery (the reclassified edges
+	// contribute nothing to the C multisets, matching the lie).
+	ep := &engineProver{p: il.p, inst: il.inst, h: il.h}
+	return ep.Round(round, coins)
+}
+
+// BackwardEdgeInstance crafts the no-instance the liar is strongest on:
+// a Hamiltonian path plus one backward edge whose in-block indices
+// increase (so the order check passes and only the nonce can catch it).
+// Returns nil if n is too small to host the pattern.
+func BackwardEdgeInstance(p Params, perm []int) *Instance {
+	n := len(perm)
+	if p.NumBlocks < 4 || 1*p.B+4 >= n || 3*p.B+2 >= n {
+		return nil
+	}
+	pos := make([]int, n)
+	for q, v := range perm {
+		pos[v] = q
+	}
+	g := graph.New(n)
+	for q := 0; q+1 < n; q++ {
+		g.MustAddEdge(perm[q], perm[q+1])
+	}
+	tailQ := 3*p.B + 2
+	headQ := 1*p.B + 4
+	g.MustAddEdge(perm[tailQ], perm[headQ])
+	return &Instance{
+		G:     g,
+		Pos:   pos,
+		Edges: []DirectedEdge{{Tail: perm[tailQ], Head: perm[headQ]}},
+	}
+}

@@ -1,0 +1,39 @@
+package lrsort
+
+import (
+	"testing"
+
+	"repro/internal/bitio"
+)
+
+func fuzzBits(data []byte) bitio.String {
+	var w bitio.Writer
+	for _, b := range data {
+		w.WriteUint(uint64(b), 8)
+	}
+	return w.String()
+}
+
+// FuzzDecoders: arbitrary bytes must decode to errors, never panics.
+func FuzzDecoders(f *testing.F) {
+	f.Add([]byte{}, uint16(2))
+	f.Add([]byte{0x42}, uint16(100))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, uint16(4096))
+	f.Fuzz(func(t *testing.T, data []byte, n uint16) {
+		if n < 2 {
+			n = 2
+		}
+		p, err := NewParams(int(n))
+		if err != nil {
+			t.Skip()
+		}
+		s := fuzzBits(data)
+		_, _ = DecodeRound1Node(s, p)
+		_, _ = DecodeRound1Edge(s, p)
+		_, _ = DecodeRound2Node(s, p)
+		_, _ = DecodeRound2Edge(s, p)
+		_, _ = DecodeRound3Node(s, p)
+		_, _ = DecodeCoinsV1(s, p)
+		_, _ = DecodeCoinsV2(s, p)
+	})
+}

@@ -1,0 +1,296 @@
+package lrsort
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/dip"
+	"repro/internal/graph"
+)
+
+// randomYes builds an LR-sorting yes-instance: a shuffled Hamiltonian
+// path plus `extra` forward-directed non-path edges.
+func randomYes(rng *rand.Rand, n, extra int) *Instance {
+	perm := rng.Perm(n)
+	pos := make([]int, n)
+	for q, v := range perm {
+		pos[v] = q
+	}
+	g := graph.New(n)
+	for q := 0; q+1 < n; q++ {
+		g.MustAddEdge(perm[q], perm[q+1])
+	}
+	inst := &Instance{G: g, Pos: pos}
+	for len(inst.Edges) < extra {
+		q1 := rng.Intn(n - 2)
+		q2 := q1 + 2 + rng.Intn(n-q1-2)
+		if g.HasEdge(perm[q1], perm[q2]) {
+			continue
+		}
+		g.MustAddEdge(perm[q1], perm[q2])
+		inst.Edges = append(inst.Edges, DirectedEdge{Tail: perm[q1], Head: perm[q2]})
+	}
+	return inst
+}
+
+func TestCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 12; trial++ {
+		n := 6 + rng.Intn(120)
+		inst := randomYes(rng, n, rng.Intn(n))
+		p, err := NewParams(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		di := NewDIPInstance(inst)
+		proto := Protocol(inst, p)
+		res, err := proto.Repeat(di, 10, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepts != res.Runs {
+			t.Fatalf("trial %d (n=%d): completeness %d/%d", trial, n, res.Accepts, res.Runs)
+		}
+		if res.Rounds != 5 {
+			t.Fatalf("rounds = %d, want 5", res.Rounds)
+		}
+	}
+}
+
+func TestCompletenessTinyN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 2; n <= 12; n++ {
+		extra := 0
+		if n >= 5 {
+			extra = 2
+		}
+		inst := randomYes(rng, n, extra)
+		p, err := NewParams(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		di := NewDIPInstance(inst)
+		res, err := Protocol(inst, p).Repeat(di, 10, rng)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Accepts != res.Runs {
+			t.Fatalf("n=%d: completeness %d/%d", n, res.Accepts, res.Runs)
+		}
+	}
+}
+
+// flipEdge returns a no-instance: one non-path edge reversed, so the
+// directed graph has a backward edge (equivalently, a cycle).
+func flipEdge(rng *rand.Rand, inst *Instance) *Instance {
+	out := &Instance{G: inst.G, Pos: inst.Pos}
+	out.Edges = append([]DirectedEdge(nil), inst.Edges...)
+	k := rng.Intn(len(out.Edges))
+	out.Edges[k] = DirectedEdge{Tail: out.Edges[k].Head, Head: out.Edges[k].Tail}
+	return out
+}
+
+func TestSoundnessFlippedEdgeHonestStrategy(t *testing.T) {
+	// The "honest" prover run on a no-instance is the natural adversary:
+	// it commits the true structure, and the C/D multiset equality fails
+	// at the offending block unless the random evaluation collides.
+	rng := rand.New(rand.NewSource(3))
+	rejected := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		n := 24 + rng.Intn(80)
+		yes := randomYes(rng, n, 6+rng.Intn(10))
+		no := flipEdge(rng, yes)
+		p, err := NewParams(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		di := NewDIPInstance(no)
+		res, err := Protocol(no, p).RunOnce(di, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			rejected++
+		}
+	}
+	if rejected < trials-2 {
+		t.Fatalf("only %d/%d no-instances rejected", rejected, trials)
+	}
+}
+
+func TestSoundnessInnerBlockLie(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 64
+	p, err := NewParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := BackwardEdgeInstance(p, rng.Perm(n))
+	if inst == nil {
+		t.Fatal("instance too small for the backward-edge pattern")
+	}
+	di := NewDIPInstance(inst)
+	proto := &dip.Protocol{
+		Name:           "lrsort-inner-liar",
+		ProverRounds:   3,
+		VerifierRounds: 2,
+		NewProver:      func() dip.Prover { return NewInnerBlockLiar(p, inst) },
+		Verifier:       Verifier{P: p},
+	}
+	res, err := proto.Repeat(di, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Acceptance requires an r_b collision: probability 1/p0.
+	bound := 1.0/float64(p.F0.P)*4 + 0.02
+	if rate := res.AcceptRate(); rate > bound {
+		t.Fatalf("inner-block lie accepted at %.4f (bound %.4f)", rate, bound)
+	}
+}
+
+func TestProofSizeGrowsDoublyLogarithmically(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var sizes []int
+	ns := []int{64, 4096, 65536}
+	for _, n := range ns {
+		inst := randomYes(rng, n, n/8)
+		p, err := NewParams(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		di := NewDIPInstance(inst)
+		res, err := Protocol(inst, p).RunOnce(di, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("n=%d rejected", n)
+		}
+		sizes = append(sizes, res.Stats.MaxLabelBits)
+	}
+	// log n grows 6x -> 16x across the sweep; O(log log n) proof size
+	// must grow by only a constant factor. Require far sublinear growth
+	// in log n: the 1024x jump in n must not even double the label size.
+	if sizes[2] >= 2*sizes[0] {
+		t.Fatalf("proof size growth too fast: %v for n=%v", sizes, ns)
+	}
+}
+
+func TestParamsSmall(t *testing.T) {
+	for n := 2; n < 40; n++ {
+		p, err := NewParams(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumBlocks > (1<<uint(p.B))-1 {
+			t.Fatalf("n=%d: %d blocks overflow %d-bit positions", n, p.NumBlocks, p.B)
+		}
+		// Every path position must land in a block with sane index.
+		for q := 0; q < n; q++ {
+			b := p.BlockOf(q)
+			j := p.IndexInBlock(q)
+			if b < 0 || b >= p.NumBlocks || j < 0 || j >= 2*p.B {
+				t.Fatalf("n=%d q=%d: block %d index %d", n, q, b, j)
+			}
+		}
+		// Non-final blocks have exactly B nodes; the final one has B..2B-1.
+		last := 0
+		for q := 0; q < n; q++ {
+			if p.BlockOf(q) == p.NumBlocks-1 {
+				last++
+			}
+		}
+		if last < p.B && p.NumBlocks > 1 {
+			t.Fatalf("n=%d: final block too small (%d < %d)", n, last, p.B)
+		}
+	}
+}
+
+func TestDistinguishingIndex(t *testing.T) {
+	p, _ := NewParams(1024) // B = 10
+	tests := []struct {
+		x, y uint64
+		want int
+	}{
+		{0, 1, 10},
+		{0, 512, 1},
+		{5, 6, 9}, // 0000000101 vs 0000000110 differ at bit 9
+		{3, 7, 8},
+	}
+	for _, tt := range tests {
+		if got := distinguishingIndex(p, tt.x, tt.y); got != tt.want {
+			t.Errorf("I(%d,%d) = %d, want %d", tt.x, tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestLabelRoundTrips(t *testing.T) {
+	p, _ := NewParams(5000)
+	r1 := Round1Node{J: 7, X1Bit: true, X2Bit: false, VB: VBAt, M0: 3, M1: 9}
+	got, err := DecodeRound1Node(r1.Encode(p), p)
+	if err != nil || got != r1 {
+		t.Fatalf("r1 node: %+v, %v", got, err)
+	}
+	r1e := Round1Edge{Inner: false, Index: 11}
+	gotE, err := DecodeRound1Edge(r1e.Encode(p), p)
+	if err != nil || gotE != r1e {
+		t.Fatalf("r1 edge: %+v, %v", gotE, err)
+	}
+	r2 := Round2Node{REcho: 1, RPEcho: 2, RBEcho: 3, ChainX1: 4, ChainX2: 5, BcastX1: 6, PrefPos: 7}
+	got2, err := DecodeRound2Node(r2.Encode(p), p)
+	if err != nil || got2 != r2 {
+		t.Fatalf("r2 node: %+v, %v", got2, err)
+	}
+	r3 := Round3Node{Z0Echo: 1, Z1Echo: 2, AggC0: 3, AggD0: 4, AggC1: 5, AggD1: 6}
+	got3, err := DecodeRound3Node(r3.Encode(p), p)
+	if err != nil || got3 != r3 {
+		t.Fatalf("r3 node: %+v, %v", got3, err)
+	}
+}
+
+// garbageProver feeds random bitstrings as labels; the verifier must
+// reject every node without panicking.
+type garbageProver struct {
+	g   *graph.Graph
+	rng *rand.Rand
+}
+
+func (gp *garbageProver) Round(round int, coins [][]bitio.String) (*dip.Assignment, error) {
+	a := dip.NewAssignment(gp.g)
+	for v := 0; v < gp.g.N(); v++ {
+		var w bitio.Writer
+		for i := 0; i < gp.rng.Intn(80); i++ {
+			w.WriteBool(gp.rng.Intn(2) == 1)
+		}
+		a.Node[v] = w.String()
+	}
+	return a, nil
+}
+
+func TestMalformedLabelsRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	inst := randomYes(rng, 32, 8)
+	p, err := NewParams(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di := NewDIPInstance(inst)
+	proto := &dip.Protocol{
+		Name:           "lrsort-garbage",
+		ProverRounds:   3,
+		VerifierRounds: 2,
+		NewProver: func() dip.Prover {
+			return &garbageProver{g: inst.G, rng: rand.New(rand.NewSource(rng.Int63()))}
+		},
+		Verifier: Verifier{P: p},
+	}
+	res, err := proto.Repeat(di, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepts != 0 {
+		t.Fatalf("garbage accepted %d times", res.Accepts)
+	}
+}

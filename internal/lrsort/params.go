@@ -1,0 +1,135 @@
+// Package lrsort implements the LR-sorting distributed interactive proof
+// of Section 4 (Lemma 4.1/4.2): a directed graph with a given directed
+// Hamiltonian path, where the verifier must accept iff every non-path
+// edge points from left to right. 5 interaction rounds, proof size
+// O(log log n), perfect completeness, soundness error 1/polylog n.
+//
+// The construction follows the paper:
+//
+//   - the path is cut into blocks of B = ceil(log2 n) consecutive nodes;
+//     the prover distributes each block's position pos(b) and pos(b)+1
+//     bitwise across the block's first B nodes, marks the least
+//     significant 0 bit of pos(b) to prove the two numbers are
+//     consecutive, and adjacent blocks compare x2(b) with x1(b') by a
+//     polynomial multiset-equality check at a shared random point r;
+//   - inner-block edges compare in-block indices and a per-block random
+//     nonce r_b;
+//   - outer-block edges commit to the distinguishing index I(pos(b_u),
+//     pos(b_v)) together with the prefix polynomial evaluation
+//     phi^b_{I-1}(r'), and every block verifies the committed pairs
+//     against its own bits via two more multiset-equality protocols
+//     (C0/C1 versus multiplicity-expanded D0/D1) at fresh points z0, z1.
+//
+// Labels are assigned to both nodes and edges (Lemma 4.1); on planar
+// hosts Lemma 2.4 turns edge labels into node labels at constant cost,
+// which the engine accounts for by charging each edge label to its
+// accountable endpoint.
+package lrsort
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/field"
+)
+
+// Params carries the instance-size-derived protocol parameters.
+type Params struct {
+	N         int // number of nodes
+	B         int // block size ceil(log2 n) (>= 2)
+	NumBlocks int
+	JBits     int // width of an in-block index (indices < 2B)
+	MBits     int // width of a multiplicity (multiplicities <= 2B)
+	// F0 is the field for position polynomials: p0 > B^SoundnessExp.
+	F0 field.Fp
+	// F1 is the field for the C/D multiset checks: p1 > 2 * B * p0.
+	F1 field.Fp
+}
+
+// SoundnessExp is the paper's constant c: fields have size log^c n, which
+// drives the 1/polylog n soundness error.
+const SoundnessExp = 3
+
+// NewParams derives the protocol parameters for an n-node instance with
+// the default soundness exponent.
+func NewParams(n int) (Params, error) {
+	return NewParamsWithExponent(n, SoundnessExp)
+}
+
+// NewParamsWithExponent derives parameters with an explicit soundness
+// exponent c (field sizes log^c n): the ablation knob behind the paper's
+// "c > 0 is a constant that can be made large enough" — smaller c means
+// smaller labels and weaker 1/polylog soundness.
+func NewParamsWithExponent(n, c int) (Params, error) {
+	if n < 2 {
+		return Params{}, fmt.Errorf("lrsort: need n >= 2, got %d", n)
+	}
+	if c < 1 {
+		return Params{}, fmt.Errorf("lrsort: need exponent >= 1, got %d", c)
+	}
+	b := bitio.BitsFor(n)
+	if b < 2 {
+		b = 2
+	}
+	numBlocks := n / b
+	if numBlocks < 1 {
+		numBlocks = 1
+	}
+	lower := uint64(1)
+	for i := 0; i < c; i++ {
+		lower *= uint64(b)
+	}
+	if lower < 64 {
+		lower = 64
+	}
+	f0, err := field.New(lower)
+	if err != nil {
+		return Params{}, fmt.Errorf("lrsort: %w", err)
+	}
+	f1, err := field.New(2 * uint64(b) * f0.P)
+	if err != nil {
+		return Params{}, fmt.Errorf("lrsort: %w", err)
+	}
+	return Params{
+		N:         n,
+		B:         b,
+		NumBlocks: numBlocks,
+		JBits:     bitio.BitsFor(2 * b),
+		MBits:     bitio.BitsFor(2*b + 1),
+		F0:        f0,
+		F1:        f1,
+	}, nil
+}
+
+// F0Bits is the encoded width of an F0 element.
+func (p Params) F0Bits() int { return bitio.BitsFor(int(p.F0.P)) }
+
+// F1Bits is the encoded width of an F1 element.
+func (p Params) F1Bits() int { return bitio.BitsFor(int(p.F1.P)) }
+
+// BlockOf returns the block index of path position pos.
+func (p Params) BlockOf(pos int) int {
+	b := pos / p.B
+	if b >= p.NumBlocks {
+		b = p.NumBlocks - 1 // the last block absorbs the remainder
+	}
+	return b
+}
+
+// IndexInBlock returns the 0-based in-block index of path position pos.
+func (p Params) IndexInBlock(pos int) int {
+	return pos - p.BlockOf(pos)*p.B
+}
+
+// PosBit returns bit i (1-based, 1 = most significant of B bits) of the
+// B-bit representation of x.
+func (p Params) PosBit(x uint64, i int) bool {
+	return x>>(uint(p.B-i))&1 == 1
+}
+
+// EncPair packs a committed pair (index i in [1..B], value j in F0) into
+// a single F1 element, the fixed bijection of the paper's verification
+// scheme.
+func (p Params) EncPair(i int, j uint64) uint64 {
+	return uint64(i-1)*p.F0.P + j
+}

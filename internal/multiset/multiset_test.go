@@ -1,0 +1,286 @@
+package multiset
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/dip"
+	"repro/internal/field"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func buildEqualInstance(t *testing.T, rng *rand.Rand, n, k int, p Params) (*dip.Instance, *graph.Tree) {
+	t.Helper()
+	gi := gen.Triangulation(rng, n)
+	tree, err := graph.BFSTree(gi.G, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scatter k random elements into S1 and a permutation of them into S2
+	// at random nodes.
+	elems := make([]uint64, k)
+	universe := 1
+	for i := 0; i < p.C; i++ {
+		universe *= p.K
+	}
+	for i := range elems {
+		elems[i] = uint64(rng.Intn(universe))
+	}
+	s1 := make([][]uint64, n)
+	s2 := make([][]uint64, n)
+	for _, e := range elems {
+		v1 := rng.Intn(n)
+		v2 := rng.Intn(n)
+		s1[v1] = append(s1[v1], e)
+		s2[v2] = append(s2[v2], e)
+	}
+	inst, err := NewInstance(gi.G, tree, s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, tree
+}
+
+func TestCompletenessEqualMultisets(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p, err := NewParams(32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		inst, _ := buildEqualInstance(t, rng, 20+rng.Intn(30), 16, p)
+		proto := Protocol(inst, p)
+		res, err := proto.Repeat(inst, 20, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepts != res.Runs {
+			t.Fatalf("trial %d: completeness %d/%d", trial, res.Accepts, res.Runs)
+		}
+	}
+}
+
+func TestSoundnessUnequalMultisets(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p, err := NewParams(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi := gen.Triangulation(rng, 24)
+	tree, _ := graph.BFSTree(gi.G, 0)
+	n := gi.G.N()
+	s1 := make([][]uint64, n)
+	s2 := make([][]uint64, n)
+	s1[3] = []uint64{7, 9}
+	s2[5] = []uint64{7, 11} // 9 vs 11: unequal multisets
+	inst, err := NewInstance(gi.G, tree, s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto := Protocol(inst, p)
+	res, err := proto.Repeat(inst, 400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Soundness error <= K/p.
+	bound := float64(p.K)/float64(p.F.P) + 0.02
+	if rate := res.AcceptRate(); rate > bound {
+		t.Fatalf("accept rate %.4f above bound %.4f", rate, bound)
+	}
+}
+
+func TestSoundnessErrorScalesWithField(t *testing.T) {
+	// With a deliberately tiny field the collision rate is measurable and
+	// should be roughly deg/p; with a large field it vanishes. This is
+	// experiment E10's shape.
+	rng := rand.New(rand.NewSource(3))
+	gi := gen.Triangulation(rng, 12)
+	tree, _ := graph.BFSTree(gi.G, 0)
+	n := gi.G.N()
+	s1 := make([][]uint64, n)
+	s2 := make([][]uint64, n)
+	s1[0] = []uint64{1, 2, 3, 4}
+	s2[0] = []uint64{1, 2, 3, 5}
+	inst, err := NewInstance(gi.G, tree, s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := Params{K: 4, C: 1, F: fieldOf(t, 16)}
+	big := Params{K: 4, C: 1, F: fieldOf(t, 1<<20)}
+	rateSmall := acceptRate(t, inst, small, 3000, rng)
+	rateBig := acceptRate(t, inst, big, 3000, rng)
+	// phi1 - phi2 = (1-z)(2-z)(3-z): exactly 3 of 17 points collide.
+	if rateSmall < 0.10 || rateSmall > 0.26 {
+		t.Fatalf("small field rate %.4f, want about 3/17 = 0.176", rateSmall)
+	}
+	if rateBig > 0.001 {
+		t.Fatalf("big field rate %.4f should be ~0", rateBig)
+	}
+}
+
+func fieldOf(t *testing.T, lower uint64) field.Fp {
+	t.Helper()
+	ff, err := field.New(lower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ff
+}
+
+func acceptRate(t *testing.T, inst *dip.Instance, p Params, runs int, rng *rand.Rand) float64 {
+	t.Helper()
+	proto := Protocol(inst, p)
+	res, err := proto.Repeat(inst, runs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.AcceptRate()
+}
+
+func TestProofSizeLogK(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var prev int
+	for _, k := range []int{8, 64, 512} {
+		p, err := NewParams(k, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, _ := buildEqualInstance(t, rng, 30, 8, p)
+		res, err := Protocol(inst, p).RunOnce(inst, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("k=%d rejected", k)
+		}
+		if prev != 0 {
+			// 3 field elements of ~ (c+1) log k bits: growth per 8x k is
+			// 3*(c+1)*3 = 27 bits at most, certainly not multiplicative.
+			if res.Stats.MaxLabelBits > prev+40 {
+				t.Fatalf("label growth too fast: %d -> %d", prev, res.Stats.MaxLabelBits)
+			}
+		}
+		prev = res.Stats.MaxLabelBits
+	}
+}
+
+// lyingRootProver runs the honest aggregation but flips the root's Phi2 to
+// match Phi1, then must fix up a child constraint; the point is that any
+// single-label lie is caught deterministically by a neighbor.
+type lyingRootProver struct {
+	inner dip.Prover
+	p     Params
+	root  int
+}
+
+func (lp *lyingRootProver) Round(round int, coins [][]bitio.String) (*dip.Assignment, error) {
+	a, err := lp.inner.Round(round, coins)
+	if err != nil || round == 0 {
+		return a, err
+	}
+	l, err := DecodeLabel(a.Node[lp.root], lp.p)
+	if err != nil {
+		return nil, err
+	}
+	l.Phi2 = l.Phi1
+	a.Node[lp.root] = l.Encode(lp.p)
+	return a, nil
+}
+
+func TestRootLieCaughtByLocalCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p, err := NewParams(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi := gen.Triangulation(rng, 16)
+	tree, _ := graph.BFSTree(gi.G, 0)
+	n := gi.G.N()
+	s1 := make([][]uint64, n)
+	s2 := make([][]uint64, n)
+	s1[2] = []uint64{3}
+	s2[4] = []uint64{8}
+	inst, err := NewInstance(gi.G, tree, s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto := &dip.Protocol{
+		Name:           "multiset-lying-root",
+		ProverRounds:   2,
+		VerifierRounds: 1,
+		NewProver: func() dip.Prover {
+			return &lyingRootProver{inner: &honestProver{inst: inst, p: p}, p: p, root: 0}
+		},
+		Verifier: verifier{p: p},
+	}
+	res, err := proto.Repeat(inst, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The root's own aggregation check fails deterministically unless the
+	// fake Phi2 happens to equal the true one.
+	if res.AcceptRate() > 0.05 {
+		t.Fatalf("lying root accepted at rate %.3f", res.AcceptRate())
+	}
+}
+
+// interiorLiarProver corrupts one interior node's Phi1 aggregation; a
+// deterministic local check at that node or its parent must catch it.
+type interiorLiarProver struct {
+	inner  dip.Prover
+	p      Params
+	victim int
+}
+
+func (ip *interiorLiarProver) Round(round int, coins [][]bitio.String) (*dip.Assignment, error) {
+	a, err := ip.inner.Round(round, coins)
+	if err != nil || round == 0 {
+		return a, err
+	}
+	l, err := DecodeLabel(a.Node[ip.victim], ip.p)
+	if err != nil {
+		return nil, err
+	}
+	l.Phi1 = ip.p.F.Add(l.Phi1, 1)
+	a.Node[ip.victim] = l.Encode(ip.p)
+	return a, nil
+}
+
+func TestInteriorLieCaughtDeterministically(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p, err := NewParams(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi := gen.Triangulation(rng, 20)
+	tree, _ := graph.BFSTree(gi.G, 0)
+	n := gi.G.N()
+	s1 := make([][]uint64, n)
+	s2 := make([][]uint64, n)
+	s1[4] = []uint64{9}
+	s2[6] = []uint64{9}
+	inst, err := NewInstance(gi.G, tree, s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a non-root victim.
+	victim := 1
+	proto := &dip.Protocol{
+		Name:           "multiset-interior-liar",
+		ProverRounds:   2,
+		VerifierRounds: 1,
+		NewProver: func() dip.Prover {
+			return &interiorLiarProver{inner: &honestProver{inst: inst, p: p}, p: p, victim: victim}
+		},
+		Verifier: verifier{p: p},
+	}
+	res, err := proto.Repeat(inst, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepts != 0 {
+		t.Fatalf("interior lie accepted %d/100 (should be deterministic)", res.Accepts)
+	}
+}

@@ -1,0 +1,128 @@
+package outerplanar
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dip"
+	"repro/internal/graph"
+	"repro/internal/pathouter"
+)
+
+// Result summarizes a composite outerplanarity execution.
+type Result struct {
+	Accepted bool
+	// Rounds is the interaction-round count of the composed protocol: the
+	// 3-round structural stage runs inside the 5 rounds of the component
+	// stages.
+	Rounds int
+	// MaxLabelBits is the proof size after merging the structural labels,
+	// each node's home-component labels, and the deferred copies of
+	// separating-node labels held by their component neighbors.
+	MaxLabelBits int
+	// ProverFailed records that no prover strategy was supplied and the
+	// honest prover could not construct a witness (the verifier rejects
+	// malformed or missing labels, so this counts as rejection).
+	ProverFailed bool
+	// ComponentRejections counts component sub-runs that rejected.
+	ComponentRejections int
+	// StructuralRejected reports the stage-1/2 outcome.
+	StructuralRejected bool
+}
+
+// Run executes the composed outerplanarity DIP on g. If plan is nil the
+// honest prover derives it with the centralized oracles; a cheating
+// prover passes its own plan (soundness experiments do this with crafted
+// decompositions).
+func Run(g *graph.Graph, plan *Plan, rng *rand.Rand) (*Result, error) {
+	res := &Result{Rounds: 5}
+	if plan == nil {
+		var err error
+		plan, err = HonestPlan(g)
+		if err != nil {
+			res.ProverFailed = true
+			return res, nil
+		}
+	}
+	p := NewParams(g.N())
+
+	// Stage 1+2: structural protocol on the real graph.
+	di := dip.NewInstance(g)
+	structRes, err := StructuralProtocol(di, p, plan).RunOnce(di, rng)
+	if err != nil {
+		return nil, fmt.Errorf("outerplanar: structural stage: %w", err)
+	}
+	res.StructuralRejected = !structRes.Accepted
+
+	// Per-node per-round label bits, merged across stages. The composed
+	// protocol has 3 prover rounds; structural labels ride in the first
+	// two.
+	merged := make([][]int, 3)
+	for r := range merged {
+		merged[r] = make([]int, g.N())
+	}
+	for r, row := range structRes.Stats.LabelBits {
+		for v, bits := range row {
+			merged[r][v] += bits
+		}
+	}
+
+	// Stage 3: path-outerplanarity in every component.
+	accepted := structRes.Accepted
+	for ci, sub := range plan.Components(g) {
+		if sub.G.N() < 2 {
+			return nil, fmt.Errorf("outerplanar: degenerate component %d", ci)
+		}
+		pp, err := pathouter.NewParams(sub.G.N())
+		if err != nil {
+			return nil, err
+		}
+		inst := &pathouter.Instance{G: sub.G, Pos: sub.Pos}
+		sdi := dip.NewInstance(sub.G)
+		sres, err := pathouter.Protocol(inst, pp).RunOnce(sdi, rng)
+		if err != nil {
+			// A prover that cannot label a component loses that
+			// component: the verifier there rejects.
+			res.ComponentRejections++
+			accepted = false
+			continue
+		}
+		if !sres.Accepted {
+			res.ComponentRejections++
+			accepted = false
+		}
+		mergeComponentBits(merged, sres.Stats.LabelBits, sub, g)
+	}
+	res.Accepted = accepted
+	for _, row := range merged {
+		for _, bits := range row {
+			if bits > res.MaxLabelBits {
+				res.MaxLabelBits = bits
+			}
+		}
+	}
+	return res, nil
+}
+
+// mergeComponentBits charges a component execution's label bits to real
+// nodes: ordinary members carry their own labels; the separating node's
+// labels are deferred to each of its component neighbors (paper §6), so
+// cut vertices stay small no matter how many components meet there.
+func mergeComponentBits(merged [][]int, sub [][]int, si SubInstance, g *graph.Graph) {
+	for r, row := range sub {
+		if r >= len(merged) {
+			break
+		}
+		for sv, bits := range row {
+			if sv == 0 {
+				// Defer the separating node's bits to its neighbors
+				// within the component.
+				for _, u := range si.G.Neighbors(0) {
+					merged[r][si.Orig[u]] += bits
+				}
+				continue
+			}
+			merged[r][si.Orig[sv]] += bits
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package pathouter
+
+import (
+	"testing"
+
+	"repro/internal/bitio"
+)
+
+// bytesToBits converts fuzz input into a bit string.
+func bytesToBits(data []byte) bitio.String {
+	var w bitio.Writer
+	for _, b := range data {
+		w.WriteUint(uint64(b), 8)
+	}
+	return w.String()
+}
+
+// FuzzDecoders checks that no label decoder panics on arbitrary input:
+// malformed labels must surface as errors the verifier turns into
+// rejection.
+func FuzzDecoders(f *testing.F) {
+	f.Add([]byte{0x00}, uint16(64))
+	f.Add([]byte{0xff, 0x13, 0x77}, uint16(1000))
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c}, uint16(65535))
+	f.Fuzz(func(t *testing.T, data []byte, n uint16) {
+		if n < 2 {
+			n = 2
+		}
+		p, err := NewParams(int(n))
+		if err != nil {
+			t.Skip()
+		}
+		s := bytesToBits(data)
+		_, _ = DecodeRound1Node(s, p)
+		_, _ = DecodeRound1Edge(s, p)
+		_, _ = DecodeRound2Node(s, p)
+		_, _ = DecodeRound2Edge(s, p)
+		_, _ = DecodeCoinsV1(s, p)
+	})
+}

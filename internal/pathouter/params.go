@@ -1,0 +1,60 @@
+// Package pathouter implements the path-outerplanarity DIP of Theorem 1.2
+// (via Lemma 5.1): 5 interaction rounds, proof size O(log log n), perfect
+// completeness, soundness error 1/polylog n.
+//
+// The protocol composes three stages that run in parallel:
+//
+//   - committing to a Hamiltonian path: the prover encodes the path as a
+//     rooted spanning tree via the constant-size forest code (Lemma 2.3)
+//     and proves it is a spanning tree with the amplified spanning-tree
+//     verification (Lemma 2.5); each node additionally checks it has at
+//     most one child;
+//   - LR-sorting: the prover orients every non-path edge and proves all
+//     orientations point rightward along the committed path (Lemma 4.1);
+//   - nesting verification: the prover marks each non-path edge as the
+//     longest right edge of its tail or the longest left edge of its head
+//     (Observation 2.1), each node samples a random name s_v, and the
+//     prover threads the successor structure (succ, above) through the
+//     names; the chain conditions (1)-(5) of Section 5 then certify that
+//     no two edges cross.
+package pathouter
+
+import (
+	"repro/internal/bitio"
+	"repro/internal/lrsort"
+	"repro/internal/spantree"
+)
+
+// Params bundles the sub-protocol parameters for an n-node instance.
+type Params struct {
+	N  int
+	LR lrsort.Params
+	// L is the amplification/name length: Theta(log log n) bits, giving
+	// 2^-L failure terms matching the lemma's epsilon_s + 2^-l bound.
+	L  int
+	ST spantree.Params
+}
+
+// NewParams derives all parameters from n.
+func NewParams(n int) (Params, error) {
+	lr, err := lrsort.NewParams(n)
+	if err != nil {
+		return Params{}, err
+	}
+	l := lrsort.SoundnessExp * bitio.BitsFor(lr.B+1)
+	if l < 8 {
+		l = 8
+	}
+	if l > 63 {
+		l = 63
+	}
+	return Params{
+		N:  n,
+		LR: lr,
+		L:  l,
+		ST: spantree.Params{Reps: l, IDBits: l},
+	}, nil
+}
+
+// NameBits is the width of one sampled node name s_v.
+func (p Params) NameBits() int { return p.L }

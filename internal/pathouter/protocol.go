@@ -1,0 +1,44 @@
+package pathouter
+
+import (
+	"repro/internal/bitio"
+	"repro/internal/dip"
+)
+
+// Protocol wires the 5-round path-outerplanarity DIP with the honest
+// prover for inst. The DIP instance carries no local inputs: the task
+// input is the bare graph.
+func Protocol(inst *Instance, p Params) *dip.Protocol {
+	return &dip.Protocol{
+		Name:           "path-outerplanarity",
+		ProverRounds:   3,
+		VerifierRounds: 2,
+		NewProver: func() dip.Prover {
+			h, err := NewHonest(p, inst)
+			if err != nil {
+				return errorProver{err}
+			}
+			return h
+		},
+		Verifier: Verifier{P: p},
+	}
+}
+
+// AdversarialProtocol wires the verifier against an arbitrary prover
+// factory, for soundness experiments.
+func AdversarialProtocol(p Params, newProver func() dip.Prover) *dip.Protocol {
+	return &dip.Protocol{
+		Name:           "path-outerplanarity-adversarial",
+		ProverRounds:   3,
+		VerifierRounds: 2,
+		NewProver:      newProver,
+		Verifier:       Verifier{P: p},
+	}
+}
+
+// errorProver surfaces witness-validation failures as prover errors.
+type errorProver struct{ err error }
+
+func (e errorProver) Round(int, [][]bitio.String) (*dip.Assignment, error) {
+	return nil, e.err
+}

@@ -1,0 +1,51 @@
+package planar
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func benchTriangulation(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	faces := [][3]int{{0, 1, 2}, {0, 1, 2}}
+	for v := 3; v < n; v++ {
+		fi := rng.Intn(len(faces))
+		f := faces[fi]
+		g.MustAddEdge(v, f[0])
+		g.MustAddEdge(v, f[1])
+		g.MustAddEdge(v, f[2])
+		faces[fi] = [3]int{v, f[0], f[1]}
+		faces = append(faces, [3]int{v, f[1], f[2]}, [3]int{v, f[0], f[2]})
+	}
+	return g
+}
+
+func BenchmarkDMPEmbed(b *testing.B) {
+	g := benchTriangulation(200, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Embed(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFaceTraversal(b *testing.B) {
+	g := benchTriangulation(500, 2)
+	rot, err := Embed(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(rot.Faces(g)) == 0 {
+			b.Fatal("no faces")
+		}
+	}
+}

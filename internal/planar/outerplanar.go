@@ -1,0 +1,192 @@
+package planar
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// IsOuterplanar reports whether g is outerplanar, via the classical apex
+// characterization: g is outerplanar iff g plus a universal vertex is
+// planar.
+func IsOuterplanar(g *graph.Graph) bool {
+	if !g.IsConnected() {
+		return false
+	}
+	return IsPlanar(withApex(g))
+}
+
+// withApex returns g plus a new vertex n adjacent to every vertex.
+func withApex(g *graph.Graph) *graph.Graph {
+	n := g.N()
+	h := graph.New(n + 1)
+	for _, e := range g.Edges() {
+		h.MustAddEdge(e.U, e.V)
+	}
+	for v := 0; v < n; v++ {
+		h.MustAddEdge(v, n)
+	}
+	return h
+}
+
+// HamiltonianCycleOuterplanar returns the (unique) Hamiltonian cycle of a
+// biconnected outerplanar graph as a cyclic vertex order: in a planar
+// embedding of g + apex, the rotation at the apex walks the outer face,
+// which is exactly the Hamiltonian cycle.
+func HamiltonianCycleOuterplanar(g *graph.Graph) ([]int, error) {
+	n := g.N()
+	if n < 3 {
+		return nil, errors.New("planar: Hamiltonian cycle needs >= 3 vertices")
+	}
+	h := withApex(g)
+	rot, err := Embed(h)
+	if err != nil {
+		return nil, fmt.Errorf("planar: not outerplanar: %w", err)
+	}
+	cyc := append([]int(nil), rot.Rot[n]...)
+	// Sanity: consecutive apex neighbors must be g-adjacent.
+	for i := range cyc {
+		u, v := cyc[i], cyc[(i+1)%len(cyc)]
+		if !g.HasEdge(u, v) {
+			return nil, errors.New("planar: graph is not biconnected outerplanar (outer walk broken)")
+		}
+	}
+	if len(cyc) != n {
+		return nil, errors.New("planar: outer walk does not span all vertices")
+	}
+	return cyc, nil
+}
+
+// ProperlyNested reports whether the non-path edges of g are properly
+// nested above the Hamiltonian path given by pos (pos[v] = position of v
+// on the path, a permutation of 0..n-1 with consecutive positions
+// adjacent). Two edges cross iff their position intervals strictly
+// interleave: u < u' < v < v'. Runs a left-to-right sweep with a stack.
+func ProperlyNested(g *graph.Graph, pos []int) bool {
+	n := g.N()
+	if len(pos) != n {
+		return false
+	}
+	at := make([]int, n) // at[p] = vertex at position p
+	seen := make([]bool, n)
+	for v, p := range pos {
+		if p < 0 || p >= n || seen[p] {
+			return false
+		}
+		seen[p] = true
+		at[p] = v
+	}
+	for p := 0; p+1 < n; p++ {
+		if !g.HasEdge(at[p], at[p+1]) {
+			return false // pos is not a Hamiltonian path of g
+		}
+	}
+	// Collect non-path intervals [l, r], l+1 < r.
+	type interval struct{ l, r int }
+	var ivs []interval
+	for _, e := range g.Edges() {
+		l, r := pos[e.U], pos[e.V]
+		if l > r {
+			l, r = r, l
+		}
+		if r-l >= 2 {
+			ivs = append(ivs, interval{l, r})
+		}
+	}
+	// Sweep: open intervals at their left endpoint (larger r first), close
+	// at their right endpoint. A newly opened interval must fit under the
+	// current top of stack.
+	opensAt := make([][]interval, n)
+	for _, iv := range ivs {
+		opensAt[iv.l] = append(opensAt[iv.l], iv)
+	}
+	for p := 0; p < n; p++ {
+		sort.Slice(opensAt[p], func(i, j int) bool { return opensAt[p][i].r > opensAt[p][j].r })
+	}
+	var stack []interval
+	for p := 0; p < n; p++ {
+		for len(stack) > 0 && stack[len(stack)-1].r == p {
+			stack = stack[:len(stack)-1]
+		}
+		for _, iv := range opensAt[p] {
+			if len(stack) > 0 && iv.r > stack[len(stack)-1].r {
+				return false // strict interleave: crossing
+			}
+			stack = append(stack, iv)
+		}
+	}
+	return true
+}
+
+// IsPathOuterplanarWith reports whether g is path-outerplanar with respect
+// to the given Hamiltonian path positions.
+func IsPathOuterplanarWith(g *graph.Graph, pos []int) bool {
+	return ProperlyNested(g, pos)
+}
+
+// PathOuterplanarOrder attempts to produce a witness Hamiltonian path
+// order for a path-outerplanar graph. It succeeds on biconnected
+// outerplanar graphs (Hamiltonian cycle minus an edge) and on graphs that
+// are paths; it returns an error otherwise. The DIPs never need this in
+// general (the prover receives instances with known structure); it exists
+// for the oracle-based tests.
+func PathOuterplanarOrder(g *graph.Graph) ([]int, error) {
+	n := g.N()
+	pos := make([]int, n)
+	if n <= 2 {
+		for v := 0; v < n; v++ {
+			pos[v] = v
+		}
+		return pos, nil
+	}
+	if cyc, err := HamiltonianCycleOuterplanar(g); err == nil {
+		// Break the cycle at any edge; the chords nest above the path.
+		for i, v := range cyc {
+			pos[v] = i
+		}
+		if ProperlyNested(g, pos) {
+			return pos, nil
+		}
+		// Try all rotations of the break point.
+		for s := 1; s < n; s++ {
+			for i, v := range cyc {
+				pos[v] = (i - s + n) % n
+			}
+			if ProperlyNested(g, pos) {
+				return pos, nil
+			}
+		}
+	}
+	// Plain path?
+	ends := []int{}
+	for v := 0; v < n; v++ {
+		if g.Degree(v) == 1 {
+			ends = append(ends, v)
+		}
+	}
+	if len(ends) == 2 && g.M() == n-1 {
+		p := 0
+		prev, cur := -1, ends[0]
+		for {
+			pos[cur] = p
+			p++
+			nxt := -1
+			for _, u := range g.Neighbors(cur) {
+				if u != prev {
+					nxt = u
+					break
+				}
+			}
+			if nxt == -1 {
+				break
+			}
+			prev, cur = cur, nxt
+		}
+		if p == n {
+			return pos, nil
+		}
+	}
+	return nil, errors.New("planar: no path-outerplanar order found")
+}

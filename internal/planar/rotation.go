@@ -1,0 +1,113 @@
+// Package planar implements centralized planarity machinery: the
+// Demoucron–Malgrange–Pertuiset (DMP) planarity test and embedder,
+// combinatorial rotation systems, the Euler-formula embedding validator,
+// and outerplanarity / path-outerplanarity oracles.
+//
+// These are the tools the honest prover uses (the prover is centralized
+// and sees the whole instance) and the ground-truth oracles the tests and
+// experiments check protocols against.
+package planar
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Rotation is a combinatorial embedding: Rot[v] lists the neighbors of v
+// in clockwise order. A rotation system on a connected graph is a planar
+// embedding iff Euler's formula n - m + f = 2 holds for its face count.
+type Rotation struct {
+	Rot [][]int
+	// idx[v][u] = position of u in Rot[v].
+	idx []map[int]int
+}
+
+// NewRotation wraps neighbor orderings into a Rotation. Each rot[v] must
+// be a permutation of g's adjacency list of v.
+func NewRotation(g *graph.Graph, rot [][]int) (*Rotation, error) {
+	if len(rot) != g.N() {
+		return nil, fmt.Errorf("planar: rotation has %d rows, graph has %d vertices", len(rot), g.N())
+	}
+	r := &Rotation{Rot: rot, idx: make([]map[int]int, g.N())}
+	for v := 0; v < g.N(); v++ {
+		if len(rot[v]) != g.Degree(v) {
+			return nil, fmt.Errorf("planar: rotation at %d lists %d neighbors, degree is %d", v, len(rot[v]), g.Degree(v))
+		}
+		r.idx[v] = make(map[int]int, len(rot[v]))
+		for i, u := range rot[v] {
+			if !g.HasEdge(v, u) {
+				return nil, fmt.Errorf("planar: rotation at %d lists non-neighbor %d", v, u)
+			}
+			if _, dup := r.idx[v][u]; dup {
+				return nil, fmt.Errorf("planar: rotation at %d repeats neighbor %d", v, u)
+			}
+			r.idx[v][u] = i
+		}
+	}
+	return r, nil
+}
+
+// Index returns the position of neighbor u in the rotation at v
+// (the rho_v(e) value of the paper's §7), or -1.
+func (r *Rotation) Index(v, u int) int {
+	i, ok := r.idx[v][u]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Next returns the neighbor following u in the clockwise rotation at v.
+func (r *Rotation) Next(v, u int) int {
+	i := r.idx[v][u]
+	return r.Rot[v][(i+1)%len(r.Rot[v])]
+}
+
+// Prev returns the neighbor preceding u in the clockwise rotation at v
+// (i.e. the next one counterclockwise).
+func (r *Rotation) Prev(v, u int) int {
+	i := r.idx[v][u]
+	n := len(r.Rot[v])
+	return r.Rot[v][(i-1+n)%n]
+}
+
+// Faces traverses all faces of the embedding. Each face is returned as a
+// closed walk of directed edges [v0 v1 ... vk] meaning v0->v1->...->vk->v0.
+// The traversal rule: after arriving at v along (u,v), leave along
+// (v, Next(v, u)).
+func (r *Rotation) Faces(g *graph.Graph) [][]int {
+	type dart struct{ u, v int }
+	seen := make(map[dart]bool, 2*g.M())
+	var faces [][]int
+	for _, e := range g.Edges() {
+		for _, d := range []dart{{e.U, e.V}, {e.V, e.U}} {
+			if seen[d] {
+				continue
+			}
+			var walk []int
+			cur := d
+			for !seen[cur] {
+				seen[cur] = true
+				walk = append(walk, cur.u)
+				nxt := r.Next(cur.v, cur.u)
+				cur = dart{cur.v, nxt}
+			}
+			faces = append(faces, walk)
+		}
+	}
+	return faces
+}
+
+// IsPlanarEmbedding reports whether the rotation system is a planar
+// embedding of the connected graph g, by Euler's formula.
+func (r *Rotation) IsPlanarEmbedding(g *graph.Graph) bool {
+	if !g.IsConnected() {
+		return false
+	}
+	if g.M() == 0 {
+		return true
+	}
+	f := len(r.Faces(g))
+	return g.N()-g.M()+f == 2
+}

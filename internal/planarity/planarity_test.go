@@ -1,0 +1,105 @@
+package planarity
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/planar"
+)
+
+func TestCompletenessWithHint(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 6; trial++ {
+		inst := gen.Triangulation(rng, 8+rng.Intn(50))
+		res, err := Run(inst.G, inst.Rot, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("trial %d rejected", trial)
+		}
+		if res.Rounds != 5 {
+			t.Fatalf("rounds %d", res.Rounds)
+		}
+	}
+}
+
+func TestCompletenessViaDMP(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		inst := gen.Triangulation(rng, 8+rng.Intn(40))
+		res, err := Run(inst.G, nil, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("trial %d rejected with DMP prover", trial)
+		}
+	}
+}
+
+func TestSoundnessNonPlanar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		k5 := gen.K5Subdivision(rng, 20+10*trial)
+		// The DMP prover fails (no embedding exists).
+		res, err := Run(k5, nil, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted {
+			t.Fatal("K5 subdivision accepted")
+		}
+		// A cheating prover supplying a random rotation must also lose.
+		rot := randomRotation(rng, k5)
+		res, err = Run(k5, rot, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted {
+			t.Fatal("K5 subdivision accepted with forged rotation")
+		}
+	}
+	k33 := gen.K33Subdivision(rng, 40)
+	res, err := Run(k33, randomRotation(rng, k33), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("K3,3 subdivision accepted with forged rotation")
+	}
+}
+
+func randomRotation(rng *rand.Rand, g *graph.Graph) *planar.Rotation {
+	rot := make([][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		rot[v] = append([]int(nil), g.Neighbors(v)...)
+		rng.Shuffle(len(rot[v]), func(i, j int) { rot[v][i], rot[v][j] = rot[v][j], rot[v][i] })
+	}
+	r, err := planar.NewRotation(g, rot)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func TestDeltaSweepAdditiveTerm(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	prevRot := 0
+	for _, delta := range []int{4, 16, 64, 256} {
+		inst := gen.FanChain(rng, 1200, delta)
+		res, err := Run(inst.G, inst.Rot, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("delta=%d rejected", delta)
+		}
+		if res.RotationBits <= prevRot {
+			t.Fatalf("rotation bits did not grow with delta: %d -> %d", prevRot, res.RotationBits)
+		}
+		prevRot = res.RotationBits
+	}
+}

@@ -1,0 +1,90 @@
+package pls
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dip"
+	"repro/internal/gen"
+)
+
+func TestCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(120)
+		gi := gen.PathOuterplanar(rng, n, 0.6)
+		p := NewParams(n)
+		di := dip.NewInstance(gi.G)
+		res, err := Protocol(gi.G, gi.Pos, p).RunOnce(di, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("trial %d (n=%d): honest labels rejected", trial, n)
+		}
+		if res.Stats.Rounds != 1 {
+			t.Fatalf("rounds = %d, want 1", res.Stats.Rounds)
+		}
+	}
+}
+
+func TestSoundnessCrossingChord(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rejected, total := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		n := 16 + rng.Intn(60)
+		gi := gen.PathOuterplanar(rng, n, 0.5)
+		crossed, ok := gen.WithCrossingChord(rng, gi)
+		if !ok {
+			continue
+		}
+		total++
+		p := NewParams(n)
+		di := dip.NewInstance(crossed)
+		// The honest-strategy prover labels the crossed instance anyway.
+		res, err := Protocol(crossed, gi.Pos, p).RunOnce(di, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			rejected++
+		}
+	}
+	if total == 0 {
+		t.Skip("no crossing instances")
+	}
+	if rejected != total {
+		t.Fatalf("crossing chords accepted in %d/%d runs (deterministic scheme!)", total-rejected, total)
+	}
+}
+
+func TestProofSizeIsLogN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var sizes []int
+	for _, n := range []int{256, 65536} {
+		gi := gen.PathOuterplanar(rng, n, 0.5)
+		p := NewParams(n)
+		di := dip.NewInstance(gi.G)
+		res, err := Protocol(gi.G, gi.Pos, p).RunOnce(di, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("n=%d rejected", n)
+		}
+		sizes = append(sizes, res.Stats.MaxLabelBits)
+	}
+	// 3*log n + 1: doubling log n (8 -> 16) roughly doubles the label.
+	if sizes[1] < sizes[0]*3/2 {
+		t.Fatalf("PLS label did not grow like log n: %v", sizes)
+	}
+}
+
+func TestLabelRoundTrip(t *testing.T) {
+	p := Params{PosBits: 10}
+	l := Label{Pos: 513, HasAbove: true, AboveL: 12, AboveR: 900}
+	got, err := DecodeLabel(l.Encode(p), p)
+	if err != nil || got != l {
+		t.Fatalf("round trip: %+v %v", got, err)
+	}
+}

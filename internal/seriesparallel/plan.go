@@ -1,0 +1,165 @@
+package seriesparallel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sp"
+)
+
+// EdgeClass is the committed classification of one edge.
+type EdgeClass struct {
+	Kind int
+	// ConnectsCanonU: for connecting edges, Canon(u,v).U is the sub-ear
+	// interior endpoint.
+	ConnectsCanonU bool
+}
+
+// Plan is the prover's nested-ear-decomposition witness in protocol form.
+type Plan struct {
+	// Ears[i] is the full vertex walk of ear i (endpoints included).
+	Ears [][]int
+	// Host[i] is the ear carrying ear i's endpoints (-1 for the first).
+	Host []int
+	// EarOf[v] is the ear whose sub-path P'_i contains v.
+	EarOf []int
+	// ParentF[v] chains each sub-ear from its first interior node.
+	ParentF []int
+	// SubEarFirst[i] is the first node of P'_i (-1 for single-edge ears).
+	SubEarFirst []int
+	// EdgeKind classifies every edge of the graph.
+	EdgeKind map[graph.Edge]EdgeClass
+}
+
+// HonestPlan derives the decomposition of a series-parallel graph via the
+// reduction-based SP tree (package sp). Fails on non-SP inputs, where a
+// cheating prover must supply its own plan.
+func HonestPlan(g *graph.Graph) (*Plan, error) {
+	b, err := sp.Decompose(g)
+	if err != nil {
+		return nil, err
+	}
+	return PlanFromEars(g, b.NestedEars())
+}
+
+// PlanFromEars converts a nested ear decomposition into the protocol's
+// committed form, validating the structural assumptions as it goes.
+func PlanFromEars(g *graph.Graph, d *sp.EarDecomposition) (*Plan, error) {
+	n := g.N()
+	p := &Plan{
+		Ears:        d.Ears,
+		Host:        d.Host,
+		EarOf:       make([]int, n),
+		ParentF:     make([]int, n),
+		SubEarFirst: make([]int, len(d.Ears)),
+		EdgeKind:    make(map[graph.Edge]EdgeClass, g.M()),
+	}
+	for v := range p.EarOf {
+		p.EarOf[v] = -1
+		p.ParentF[v] = -2
+	}
+	for i, ear := range d.Ears {
+		if len(ear) < 2 {
+			return nil, fmt.Errorf("seriesparallel: ear %d too short", i)
+		}
+		var interior []int
+		if i == 0 {
+			interior = ear
+		} else {
+			interior = ear[1 : len(ear)-1]
+		}
+		if len(interior) == 0 {
+			// Single-edge ear.
+			p.SubEarFirst[i] = -1
+			e := graph.Canon(ear[0], ear[1])
+			p.EdgeKind[e] = EdgeClass{Kind: edgeSingleEar}
+			continue
+		}
+		p.SubEarFirst[i] = interior[0]
+		prev := -1
+		for _, v := range interior {
+			if p.EarOf[v] != -1 {
+				return nil, fmt.Errorf("seriesparallel: vertex %d interior to two ears", v)
+			}
+			p.EarOf[v] = i
+			p.ParentF[v] = prev
+			prev = v
+		}
+		for j := 0; j+1 < len(interior); j++ {
+			p.EdgeKind[graph.Canon(interior[j], interior[j+1])] = EdgeClass{Kind: edgeSubEar}
+		}
+		if i > 0 {
+			first := graph.Canon(ear[0], interior[0])
+			p.EdgeKind[first] = EdgeClass{Kind: edgeConnecting, ConnectsCanonU: first.U == interior[0]}
+			last := graph.Canon(interior[len(interior)-1], ear[len(ear)-1])
+			p.EdgeKind[last] = EdgeClass{Kind: edgeConnecting, ConnectsCanonU: last.U == interior[len(interior)-1]}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if p.EarOf[v] == -1 {
+			return nil, fmt.Errorf("seriesparallel: vertex %d not interior to any ear", v)
+		}
+	}
+	if len(p.EdgeKind) != g.M() {
+		return nil, errors.New("seriesparallel: edge classification does not cover all edges")
+	}
+	return p, nil
+}
+
+// NestingInstance is the derived path-outerplanarity instance of one ear:
+// its path plus a chord for every hosted ear (deduplicated; chords
+// between path-adjacent nodes are dropped — they cannot cross anything).
+type NestingInstance struct {
+	G    *graph.Graph
+	Pos  []int
+	Orig []int // Orig[i] = real vertex of sub vertex i
+	Ear  int
+}
+
+// NestingInstances builds the condition-(3) sub-instances.
+func (p *Plan) NestingInstances() []NestingInstance {
+	var out []NestingInstance
+	for i, ear := range p.Ears {
+		if len(ear) < 2 {
+			continue
+		}
+		idx := make(map[int]int, len(ear))
+		for j, v := range ear {
+			idx[v] = j
+		}
+		sub := graph.New(len(ear))
+		for j := 0; j+1 < len(ear); j++ {
+			sub.MustAddEdge(j, j+1)
+		}
+		for j, h := range p.Host {
+			if h != i {
+				continue
+			}
+			hostEar := p.Ears[j]
+			a, okA := idx[hostEar[0]]
+			b, okB := idx[hostEar[len(hostEar)-1]]
+			if !okA || !okB {
+				continue // malformed plan; the structural stage rejects
+			}
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			if b-a <= 1 {
+				continue // parallel to a path edge: cannot cross
+			}
+			if !sub.HasEdge(a, b) {
+				sub.MustAddEdge(a, b)
+			}
+		}
+		pos := make([]int, len(ear))
+		for j := range ear {
+			pos[j] = j
+		}
+		out = append(out, NestingInstance{G: sub, Pos: pos, Orig: ear, Ear: i})
+	}
+	return out
+}

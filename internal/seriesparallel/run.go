@@ -1,0 +1,116 @@
+package seriesparallel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dip"
+	"repro/internal/graph"
+	"repro/internal/pathouter"
+)
+
+// Result summarizes a composite series-parallel execution.
+type Result struct {
+	Accepted           bool
+	Rounds             int
+	MaxLabelBits       int
+	ProverFailed       bool
+	StructuralRejected bool
+	NestingRejections  int
+	// NodeBits[r][v] is the per-node per-prover-round label size after
+	// merging, for composite protocols layering on top (Theorem 1.7).
+	NodeBits [][]int
+}
+
+// Run executes the composed series-parallel DIP on g. A nil plan invokes
+// the honest prover (SP decomposition via graph reduction); cheating
+// provers supply their own plans.
+func Run(g *graph.Graph, plan *Plan, rng *rand.Rand) (*Result, error) {
+	res := &Result{Rounds: 5}
+	if plan == nil {
+		var err error
+		plan, err = HonestPlan(g)
+		if err != nil {
+			res.ProverFailed = true
+			return res, nil
+		}
+	}
+	p := NewParams(g.N())
+
+	di := dip.NewInstance(g)
+	structRes, err := StructuralProtocol(g, p, plan).RunOnce(di, rng)
+	if err != nil {
+		return nil, fmt.Errorf("seriesparallel: structural stage: %w", err)
+	}
+	res.StructuralRejected = !structRes.Accepted
+
+	merged := make([][]int, 3)
+	for r := range merged {
+		merged[r] = make([]int, g.N())
+	}
+	for r, row := range structRes.Stats.LabelBits {
+		for v, bits := range row {
+			merged[r][v] += bits
+		}
+	}
+
+	accepted := structRes.Accepted
+	for _, ni := range plan.NestingInstances() {
+		pp, err := pathouter.NewParams(ni.G.N())
+		if err != nil {
+			return nil, err
+		}
+		inst := &pathouter.Instance{G: ni.G, Pos: ni.Pos}
+		sdi := dip.NewInstance(ni.G)
+		sres, err := pathouter.Protocol(inst, pp).RunOnce(sdi, rng)
+		if err != nil {
+			res.NestingRejections++
+			accepted = false
+			continue
+		}
+		if !sres.Accepted {
+			res.NestingRejections++
+			accepted = false
+		}
+		mergeEarBits(merged, sres.Stats.LabelBits, ni, plan)
+	}
+	res.Accepted = accepted
+	res.NodeBits = merged
+	for _, row := range merged {
+		for _, bits := range row {
+			if bits > res.MaxLabelBits {
+				res.MaxLabelBits = bits
+			}
+		}
+	}
+	return res, nil
+}
+
+// mergeEarBits charges an ear execution's label bits: interior nodes
+// carry their own labels; the ear's two endpoints (which live on the host
+// ear) have their labels deferred to their adjacent interior nodes, as in
+// the paper's ears-as-edges simulation.
+func mergeEarBits(merged [][]int, sub [][]int, ni NestingInstance, plan *Plan) {
+	k := len(ni.Orig)
+	for r, row := range sub {
+		if r >= len(merged) {
+			break
+		}
+		for sv, bits := range row {
+			v := ni.Orig[sv]
+			interiorHere := plan.EarOf[v] == ni.Ear
+			if interiorHere {
+				merged[r][v] += bits
+				continue
+			}
+			// Deferred endpoint: charge the adjacent path node(s).
+			if sv == 0 && k > 1 {
+				merged[r][ni.Orig[1]] += bits
+			} else if sv == k-1 && k > 1 {
+				merged[r][ni.Orig[k-2]] += bits
+			} else {
+				merged[r][v] += bits
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package sp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Decompose computes an SP decomposition tree of the connected graph g by
+// running the series/parallel reduction while recording history: every
+// multigraph edge carries the subtree it stands for. It returns a Build
+// whose terminals are the endpoints of the final reduced edge, or an error
+// if g is not series-parallel. This is what the honest prover uses on
+// arbitrary SP inputs (generated instances also carry their generating
+// tree, but the protocol must not depend on that).
+func Decompose(g *graph.Graph) (*Build, error) {
+	n := g.N()
+	if n < 2 {
+		return nil, errors.New("sp: decomposition needs >= 2 vertices")
+	}
+	if !g.IsConnected() {
+		return nil, errors.New("sp: decomposition needs a connected graph")
+	}
+
+	b := &Build{G: g, term: map[*Node][2]int{}}
+
+	// nbr[u][v] = list of parallel super-edges between u and v.
+	nbr := make([]map[int][]*Node, n)
+	alive := make([]bool, n)
+	for v := 0; v < n; v++ {
+		nbr[v] = make(map[int][]*Node)
+		alive[v] = true
+	}
+	for _, e := range g.Edges() {
+		leaf := Edge()
+		b.term[leaf] = [2]int{e.U, e.V}
+		nbr[e.U][e.V] = append(nbr[e.U][e.V], leaf)
+		nbr[e.V][e.U] = append(nbr[e.V][e.U], leaf)
+	}
+	vertices := n
+
+	degree := func(v int) int {
+		d := 0
+		for _, ns := range nbr[v] {
+			d += len(ns)
+		}
+		return d
+	}
+
+	queue := make([]int, 0, n)
+	inQueue := make([]bool, n)
+	push := func(v int) {
+		if alive[v] && !inQueue[v] {
+			inQueue[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		push(v)
+	}
+
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		inQueue[v] = false
+		if !alive[v] {
+			continue
+		}
+		// Parallel reductions at v.
+		for u, ns := range nbr[v] {
+			if len(ns) > 1 {
+				p := &Node{Op: OpParallel, Kids: append([]*Node(nil), ns...)}
+				b.term[p] = [2]int{v, u}
+				nbr[v][u] = []*Node{p}
+				nbr[u][v] = []*Node{p}
+				push(u)
+			}
+		}
+		// Series reduction at v.
+		if vertices > 2 && len(nbr[v]) == 2 && degree(v) == 2 {
+			var ends []int
+			for u := range nbr[v] {
+				ends = append(ends, u)
+			}
+			a, c := ends[0], ends[1]
+			s := &Node{Op: OpSeries, Kids: []*Node{nbr[v][a][0], nbr[v][c][0]}}
+			// Records a -> v -> c; orientation is normalized at the end.
+			b.term[s] = [2]int{a, c}
+			delete(nbr[a], v)
+			delete(nbr[c], v)
+			nbr[v] = map[int][]*Node{}
+			alive[v] = false
+			vertices--
+			nbr[a][c] = append(nbr[a][c], s)
+			nbr[c][a] = append(nbr[c][a], s)
+			push(a)
+			push(c)
+		}
+	}
+
+	if vertices != 2 {
+		return nil, fmt.Errorf("sp: not series-parallel (%d vertices remain)", vertices)
+	}
+	var s, t int
+	var root *Node
+	found := false
+	for v := 0; v < n && !found; v++ {
+		if !alive[v] {
+			continue
+		}
+		for u, ns := range nbr[v] {
+			if len(ns) != 1 {
+				return nil, errors.New("sp: not series-parallel (parallel edges remain)")
+			}
+			s, t, root, found = v, u, ns[0], true
+			break
+		}
+	}
+	if !found {
+		return nil, errors.New("sp: not series-parallel (no final edge)")
+	}
+	b.orient(root, s, t)
+	b.Root = root
+	b.S, b.T = s, t
+	return b, nil
+}
+
+// orient normalizes the recorded terminal pair of n to (s,t), reversing
+// child order of series nodes when needed, and recursively orients the
+// children so that series children chain from s to t and parallel
+// children share (s,t).
+func (b *Build) orient(n *Node, s, t int) {
+	p := b.term[n]
+	switch {
+	case p[0] == s && p[1] == t:
+	case p[0] == t && p[1] == s:
+		b.term[n] = [2]int{s, t}
+		if n.Op == OpSeries {
+			for i, j := 0, len(n.Kids)-1; i < j; i, j = i+1, j-1 {
+				n.Kids[i], n.Kids[j] = n.Kids[j], n.Kids[i]
+			}
+		}
+	default:
+		panic(fmt.Sprintf("sp: orient (%d,%d) on node with terminals %v", s, t, p))
+	}
+	switch n.Op {
+	case OpSeries:
+		cur := s
+		for i, k := range n.Kids {
+			kp := b.term[k]
+			var next int
+			switch cur {
+			case kp[0]:
+				next = kp[1]
+			case kp[1]:
+				next = kp[0]
+			default:
+				panic("sp: series chain broken")
+			}
+			if i == len(n.Kids)-1 && next != t {
+				panic("sp: series chain does not reach terminal")
+			}
+			b.orient(k, cur, next)
+			cur = next
+		}
+	case OpParallel:
+		for _, k := range n.Kids {
+			b.orient(k, s, t)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package sp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// EarDecomposition is a partition of a graph's edges into simple paths
+// ("ears") P_1..P_k satisfying Eppstein's nesting conditions (§8 of the
+// paper):
+//
+//  1. both endpoints of each ear P_j (j > 1) lie on a single earlier ear;
+//  2. interior vertices of P_j appear in no earlier ear;
+//  3. the ears attached to each P_i are properly nested within it.
+type EarDecomposition struct {
+	// Ears[i] is the vertex walk of ear i (length >= 2).
+	Ears [][]int
+	// Host[i] is the index of the ear containing ear i's endpoints
+	// (-1 for the first ear).
+	Host []int
+}
+
+// NestedEars derives a nested ear decomposition from a materialized SP
+// tree: the first ear is the leftmost terminal-to-terminal path, and each
+// additional parallel branch contributes its own first path as an ear
+// (trivially nested, since sibling ears share endpoints). Ears are emitted
+// top-down so every ear appears after its host.
+func (b *Build) NestedEars() *EarDecomposition {
+	d := &EarDecomposition{}
+
+	// firstPath returns the leftmost terminal-to-terminal path of a
+	// subtree without emitting anything.
+	var firstPath func(n *Node) []int
+	firstPath = func(n *Node) []int {
+		s, t := b.Terminals(n)
+		switch n.Op {
+		case OpEdge:
+			return []int{s, t}
+		case OpSeries:
+			var path []int
+			for i, k := range n.Kids {
+				sub := firstPath(k)
+				if i == 0 {
+					path = append(path, sub...)
+				} else {
+					path = append(path, sub[1:]...)
+				}
+			}
+			return path
+		case OpParallel:
+			return firstPath(n.Kids[0])
+		}
+		panic(fmt.Sprintf("sp: unknown op %d", n.Op))
+	}
+
+	// emit walks the tree top-down: each extra parallel branch's first
+	// path becomes an ear before the branch's own interior is visited, so
+	// hosts always precede the ears they host.
+	var emit func(n *Node)
+	emit = func(n *Node) {
+		switch n.Op {
+		case OpEdge:
+		case OpSeries:
+			for _, k := range n.Kids {
+				emit(k)
+			}
+		case OpParallel:
+			emit(n.Kids[0])
+			for _, k := range n.Kids[1:] {
+				d.Ears = append(d.Ears, firstPath(k))
+				d.Host = append(d.Host, -2) // patched by hostFixup
+				emit(k)
+			}
+		}
+	}
+
+	d.Ears = append(d.Ears, firstPath(b.Root))
+	d.Host = append(d.Host, -1)
+	emit(b.Root)
+	d.hostFixup()
+	return d
+}
+
+// hostFixup resolves Host indices: each ear with a placeholder host is
+// attached to the earliest ear containing both of its endpoints.
+func (d *EarDecomposition) hostFixup() {
+	for j := 1; j < len(d.Ears); j++ {
+		if d.Host[j] != -2 {
+			continue
+		}
+		s := d.Ears[j][0]
+		t := d.Ears[j][len(d.Ears[j])-1]
+		d.Host[j] = -1
+		for i := 0; i < j; i++ {
+			if contains(d.Ears[i], s) && contains(d.Ears[i], t) {
+				d.Host[j] = i
+				break
+			}
+		}
+	}
+}
+
+func contains(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks that d is a nested ear decomposition of g. It is the
+// independent oracle the protocol tests use.
+func (d *EarDecomposition) Validate(g *graph.Graph) error {
+	if len(d.Ears) == 0 {
+		return errors.New("sp: empty decomposition")
+	}
+	seenEdge := make([]bool, g.M())
+	inEarlier := make([]bool, g.N())
+	for j, ear := range d.Ears {
+		if len(ear) < 2 {
+			return fmt.Errorf("sp: ear %d too short", j)
+		}
+		// Simple path over g edges.
+		seenV := map[int]bool{}
+		for i, v := range ear {
+			if seenV[v] {
+				return fmt.Errorf("sp: ear %d repeats vertex %d", j, v)
+			}
+			seenV[v] = true
+			if i+1 < len(ear) {
+				id := g.EdgeID(v, ear[i+1])
+				if id < 0 {
+					return fmt.Errorf("sp: ear %d uses non-edge (%d,%d)", j, v, ear[i+1])
+				}
+				if seenEdge[id] {
+					return fmt.Errorf("sp: edge (%d,%d) in two ears", v, ear[i+1])
+				}
+				seenEdge[id] = true
+			}
+		}
+		s, t := ear[0], ear[len(ear)-1]
+		if j == 0 {
+			if d.Host[0] != -1 {
+				return errors.New("sp: first ear must have no host")
+			}
+		} else {
+			h := d.Host[j]
+			if h < 0 || h >= j {
+				return fmt.Errorf("sp: ear %d has invalid host %d", j, h)
+			}
+			if !contains(d.Ears[h], s) || !contains(d.Ears[h], t) {
+				return fmt.Errorf("sp: ear %d endpoints not on host ear %d", j, h)
+			}
+			// Condition 2: interior vertices are fresh.
+			for _, v := range ear[1 : len(ear)-1] {
+				if inEarlier[v] {
+					return fmt.Errorf("sp: ear %d interior vertex %d already used", j, v)
+				}
+			}
+		}
+		for _, v := range ear {
+			inEarlier[v] = true
+		}
+	}
+	for id, ok := range seenEdge {
+		if !ok {
+			e := g.Edges()[id]
+			return fmt.Errorf("sp: edge (%d,%d) not covered by any ear", e.U, e.V)
+		}
+	}
+	// Condition 3: ears attached to each host are properly nested.
+	for i := range d.Ears {
+		pos := map[int]int{}
+		for p, v := range d.Ears[i] {
+			pos[v] = p
+		}
+		type iv struct{ l, r int }
+		var ivs []iv
+		for j := 1; j < len(d.Ears); j++ {
+			if d.Host[j] != i {
+				continue
+			}
+			l := pos[d.Ears[j][0]]
+			r := pos[d.Ears[j][len(d.Ears[j])-1]]
+			if l > r {
+				l, r = r, l
+			}
+			ivs = append(ivs, iv{l, r})
+		}
+		for a := 0; a < len(ivs); a++ {
+			for b := a + 1; b < len(ivs); b++ {
+				x, y := ivs[a], ivs[b]
+				if x.l > y.l {
+					x, y = y, x
+				}
+				if x.l < y.l && y.l < x.r && x.r < y.r {
+					return fmt.Errorf("sp: ears on host %d cross: [%d,%d] vs [%d,%d]", i, x.l, x.r, y.l, y.r)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package sp
+
+import (
+	"repro/internal/graph"
+)
+
+// IsSeriesParallel reports whether the connected graph g is a (two-
+// terminal) series-parallel graph, by exhaustive series/parallel
+// reduction on a multigraph copy: repeatedly merge parallel edges and
+// contract degree-2 vertices; g is series-parallel iff the reduction
+// terminates with a single edge.
+func IsSeriesParallel(g *graph.Graph) bool {
+	n := g.N()
+	if n == 0 {
+		return false
+	}
+	if n == 1 {
+		return g.M() == 0
+	}
+	if !g.IsConnected() {
+		return false
+	}
+	// Multigraph as adjacency multiset: mult[u][v] = edge multiplicity.
+	mult := make([]map[int]int, n)
+	deg := make([]int, n) // degree counting multiplicities
+	alive := make([]bool, n)
+	for v := 0; v < n; v++ {
+		mult[v] = make(map[int]int)
+		alive[v] = true
+	}
+	edges := 0
+	for _, e := range g.Edges() {
+		mult[e.U][e.V]++
+		mult[e.V][e.U]++
+		deg[e.U]++
+		deg[e.V]++
+		edges++
+	}
+	vertices := n
+
+	// Worklist of candidate vertices for reduction.
+	queue := make([]int, 0, n)
+	inQueue := make([]bool, n)
+	push := func(v int) {
+		if alive[v] && !inQueue[v] {
+			inQueue[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		push(v)
+	}
+
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		inQueue[v] = false
+		if !alive[v] {
+			continue
+		}
+		// Parallel reduction at v: merge multi-edges.
+		for u, m := range mult[v] {
+			if m > 1 {
+				removed := m - 1
+				mult[v][u] = 1
+				mult[u][v] = 1
+				deg[v] -= removed
+				deg[u] -= removed
+				edges -= removed
+				push(u)
+			}
+		}
+		// Series reduction: v has exactly two distinct neighbors, each
+		// with multiplicity 1.
+		if deg[v] == 2 && len(mult[v]) == 2 && vertices > 2 {
+			var nbrs []int
+			for u := range mult[v] {
+				nbrs = append(nbrs, u)
+			}
+			a, c := nbrs[0], nbrs[1]
+			delete(mult[a], v)
+			delete(mult[c], v)
+			alive[v] = false
+			vertices--
+			mult[v] = map[int]int{}
+			deg[v] = 0
+			mult[a][c]++
+			mult[c][a]++
+			edges-- // two edges removed, one added
+			push(a)
+			push(c)
+		}
+	}
+	return vertices == 2 && edges == 1
+}

@@ -1,0 +1,184 @@
+// Package sp implements two-terminal series-parallel machinery: SP
+// decomposition trees, materialization into simple graphs, recognition by
+// series/parallel reduction, and Eppstein's nested ear decompositions
+// (the characterization Theorem 1.6 of the paper builds on: a graph is
+// series-parallel iff it admits a nested ear decomposition).
+package sp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Op is a node kind of an SP decomposition tree.
+type Op int
+
+const (
+	// OpEdge is a leaf: a single edge between the terminals.
+	OpEdge Op = iota + 1
+	// OpSeries composes children end to end.
+	OpSeries
+	// OpParallel composes children between the same terminal pair.
+	OpParallel
+)
+
+// Node is a node of an SP decomposition tree.
+type Node struct {
+	Op   Op
+	Kids []*Node
+}
+
+// Edge returns a leaf node.
+func Edge() *Node { return &Node{Op: OpEdge} }
+
+// Series composes kids in series. It requires >= 2 children.
+func Series(kids ...*Node) *Node { return &Node{Op: OpSeries, Kids: kids} }
+
+// Parallel composes kids in parallel. It requires >= 2 children, at most
+// one of which may be a bare edge (otherwise the materialized graph would
+// have parallel edges).
+func Parallel(kids ...*Node) *Node { return &Node{Op: OpParallel, Kids: kids} }
+
+// validate checks structural constraints for simple-graph materialization.
+func (n *Node) validate() error {
+	switch n.Op {
+	case OpEdge:
+		if len(n.Kids) != 0 {
+			return errors.New("sp: edge leaf with children")
+		}
+		return nil
+	case OpSeries, OpParallel:
+		if len(n.Kids) < 2 {
+			return fmt.Errorf("sp: composition with %d children", len(n.Kids))
+		}
+		if n.Op == OpParallel {
+			edges := 0
+			for _, k := range n.Kids {
+				if k.HasTerminalEdge() {
+					edges++
+				}
+			}
+			if edges > 1 {
+				return errors.New("sp: parallel composition with >1 terminal-to-terminal edge would create a multi-edge")
+			}
+		}
+		for _, k := range n.Kids {
+			if err := k.validate(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("sp: unknown op %d", n.Op)
+	}
+}
+
+// HasTerminalEdge reports whether the materialized subtree contains an
+// edge directly between its two terminals. Two such children under one
+// parallel composition would produce a multi-edge, which simple graphs
+// forbid.
+func (n *Node) HasTerminalEdge() bool {
+	switch n.Op {
+	case OpEdge:
+		return true
+	case OpParallel:
+		for _, k := range n.Kids {
+			if k.HasTerminalEdge() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CountVertices returns the number of vertices the materialized graph of n
+// will have.
+func (n *Node) CountVertices() int {
+	return 2 + n.interiorCount()
+}
+
+func (n *Node) interiorCount() int {
+	switch n.Op {
+	case OpEdge:
+		return 0
+	case OpSeries:
+		c := len(n.Kids) - 1 // junction vertices
+		for _, k := range n.Kids {
+			c += k.interiorCount()
+		}
+		return c
+	case OpParallel:
+		c := 0
+		for _, k := range n.Kids {
+			c += k.interiorCount()
+		}
+		return c
+	}
+	return 0
+}
+
+// Materialize builds the simple graph of the SP tree. It returns the
+// graph, the two terminals (always 0 and 1), and the tree annotated in a
+// Build for further queries (ear decomposition).
+func Materialize(root *Node) (*graph.Graph, *Build, error) {
+	if err := root.validate(); err != nil {
+		return nil, nil, err
+	}
+	n := root.CountVertices()
+	g := graph.New(n)
+	b := &Build{Root: root, S: 0, T: 1, term: map[*Node][2]int{}}
+	next := 2
+	var emit func(nd *Node, s, t int) error
+	emit = func(nd *Node, s, t int) error {
+		b.term[nd] = [2]int{s, t}
+		switch nd.Op {
+		case OpEdge:
+			return g.AddEdge(s, t)
+		case OpSeries:
+			prev := s
+			for i, k := range nd.Kids {
+				var cur int
+				if i == len(nd.Kids)-1 {
+					cur = t
+				} else {
+					cur = next
+					next++
+				}
+				if err := emit(k, prev, cur); err != nil {
+					return err
+				}
+				prev = cur
+			}
+			return nil
+		case OpParallel:
+			for _, k := range nd.Kids {
+				if err := emit(k, s, t); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return fmt.Errorf("sp: unknown op %d", nd.Op)
+	}
+	if err := emit(root, 0, 1); err != nil {
+		return nil, nil, err
+	}
+	b.G = g
+	return g, b, nil
+}
+
+// Build is a materialized SP tree with vertex assignments.
+type Build struct {
+	G    *graph.Graph
+	Root *Node
+	S, T int
+	term map[*Node][2]int
+}
+
+// Terminals returns the terminal pair assigned to a subtree node.
+func (b *Build) Terminals(n *Node) (s, t int) {
+	p := b.term[n]
+	return p[0], p[1]
+}

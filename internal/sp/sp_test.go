@@ -1,0 +1,253 @@
+package sp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestMaterializeSimple(t *testing.T) {
+	// parallel(edge, series(edge, edge)): a triangle.
+	root := Parallel(Edge(), Series(Edge(), Edge()))
+	g, b, err := Materialize(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d, want triangle", g.N(), g.M())
+	}
+	if b.S != 0 || b.T != 1 {
+		t.Fatal("terminals")
+	}
+	if !g.HasEdge(0, 1) {
+		t.Fatal("terminal edge missing")
+	}
+}
+
+func TestMaterializeRejectsDoubleEdge(t *testing.T) {
+	if _, _, err := Materialize(Parallel(Edge(), Edge())); err == nil {
+		t.Fatal("double edge accepted")
+	}
+}
+
+func TestMaterializeRejectsUnary(t *testing.T) {
+	if _, _, err := Materialize(Series(Edge())); err == nil {
+		t.Fatal("unary series accepted")
+	}
+}
+
+func TestIsSeriesParallelKnown(t *testing.T) {
+	triangle := graph.New(3)
+	triangle.MustAddEdge(0, 1)
+	triangle.MustAddEdge(1, 2)
+	triangle.MustAddEdge(0, 2)
+	if !IsSeriesParallel(triangle) {
+		t.Fatal("triangle should be SP")
+	}
+
+	k4 := graph.New(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			k4.MustAddEdge(u, v)
+		}
+	}
+	if IsSeriesParallel(k4) {
+		t.Fatal("K4 should not be SP")
+	}
+
+	// K2,3 is SP.
+	k23 := graph.New(5)
+	for _, c := range []int{2, 3, 4} {
+		k23.MustAddEdge(0, c)
+		k23.MustAddEdge(1, c)
+	}
+	if !IsSeriesParallel(k23) {
+		t.Fatal("K2,3 should be SP")
+	}
+
+	// A path is SP.
+	p := graph.New(5)
+	for i := 0; i < 4; i++ {
+		p.MustAddEdge(i, i+1)
+	}
+	if !IsSeriesParallel(p) {
+		t.Fatal("path should be SP")
+	}
+
+	// A star K1,3 is not (a branching vertex off the terminal path).
+	star := graph.New(4)
+	star.MustAddEdge(0, 1)
+	star.MustAddEdge(0, 2)
+	star.MustAddEdge(0, 3)
+	if IsSeriesParallel(star) {
+		t.Fatal("K1,3 should not be SP")
+	}
+
+	// K4 subdivision (subdivide each edge once): still not SP.
+	sub := graph.New(4 + 6)
+	next := 4
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			sub.MustAddEdge(u, next)
+			sub.MustAddEdge(next, v)
+			next++
+		}
+	}
+	if IsSeriesParallel(sub) {
+		t.Fatal("K4 subdivision should not be SP")
+	}
+}
+
+func randomSPTree(rng *rand.Rand, budget int) *Node {
+	if budget <= 1 {
+		return Edge()
+	}
+	k := 2 + rng.Intn(2)
+	kids := make([]*Node, k)
+	if rng.Intn(2) == 0 {
+		// series
+		for i := range kids {
+			kids[i] = randomSPTree(rng, budget/k)
+		}
+		return Series(kids...)
+	}
+	// parallel: at most one child may expose a terminal-to-terminal edge;
+	// extend the others by a series step.
+	sawTerminalEdge := false
+	for i := range kids {
+		sub := randomSPTree(rng, budget/k)
+		if sub.HasTerminalEdge() {
+			if sawTerminalEdge {
+				sub = Series(sub, Edge())
+			}
+			sawTerminalEdge = true
+		}
+		kids[i] = sub
+	}
+	return Parallel(kids...)
+}
+
+func TestRandomSPGraphsRecognized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		root := randomSPTree(rng, 2+rng.Intn(30))
+		g, _, err := Materialize(root)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !IsSeriesParallel(g) {
+			t.Fatalf("trial %d: materialized SP graph not recognized (n=%d m=%d)", trial, g.N(), g.M())
+		}
+	}
+}
+
+func TestNestedEarsValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		root := randomSPTree(rng, 2+rng.Intn(40))
+		g, b, err := Materialize(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := b.NestedEars()
+		if err := d.Validate(g); err != nil {
+			t.Fatalf("trial %d (n=%d m=%d): %v", trial, g.N(), g.M(), err)
+		}
+	}
+}
+
+func TestNestedEarsTriangle(t *testing.T) {
+	root := Parallel(Series(Edge(), Edge()), Edge())
+	g, b, err := Materialize(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := b.NestedEars()
+	if len(d.Ears) != 2 {
+		t.Fatalf("ears %v", d.Ears)
+	}
+	if err := d.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadDecomposition(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	// Missing edge coverage.
+	d := &EarDecomposition{Ears: [][]int{{0, 1, 2}}, Host: []int{-1}}
+	if err := d.Validate(g); err == nil {
+		t.Fatal("uncovered edge accepted")
+	}
+	// Ear endpoint not on host.
+	d2 := &EarDecomposition{
+		Ears: [][]int{{0, 1}, {1, 2}, {0, 2}},
+		Host: []int{-1, 0, 1},
+	}
+	if err := d2.Validate(g); err == nil {
+		t.Fatal("endpoint off host accepted")
+	}
+}
+
+func TestCountVertices(t *testing.T) {
+	root := Parallel(Edge(), Series(Edge(), Edge(), Edge()))
+	g, _, err := Materialize(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.CountVertices() != g.N() {
+		t.Fatalf("CountVertices %d != n %d", root.CountVertices(), g.N())
+	}
+}
+
+func TestDecomposeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		root := randomSPTree(rng, 2+rng.Intn(40))
+		g, _, err := Materialize(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Decompose(g)
+		if err != nil {
+			t.Fatalf("trial %d: decompose: %v", trial, err)
+		}
+		d := b.NestedEars()
+		if err := d.Validate(g); err != nil {
+			t.Fatalf("trial %d: ears from decomposition: %v", trial, err)
+		}
+	}
+}
+
+func TestDecomposeRejectsK4(t *testing.T) {
+	k4 := graph.New(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			k4.MustAddEdge(u, v)
+		}
+	}
+	if _, err := Decompose(k4); err == nil {
+		t.Fatal("K4 decomposed")
+	}
+}
+
+func TestDecomposeTriangle(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	b, err := Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := b.NestedEars()
+	if err := d.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Ears) != 2 {
+		t.Fatalf("triangle ears: %v", d.Ears)
+	}
+}

@@ -1,0 +1,165 @@
+package planardip
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestVerifyPathOuterplanarityFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gi := gen.PathOuterplanar(rng, 40, 0.5)
+	g := NewGraph(gi.G.N())
+	for _, e := range gi.G.Edges() {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := VerifyPathOuterplanarity(g, gi.Pos, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted || rep.Rounds != 5 {
+		t.Fatalf("report: %s", rep)
+	}
+	if rep.ProofSizeBits <= 0 {
+		t.Fatal("no proof size measured")
+	}
+}
+
+func TestVerifyOuterplanarityFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	gi := gen.Outerplanar(rng, 40, 0.4)
+	g := NewGraph(gi.G.N())
+	for _, e := range gi.G.Edges() {
+		g.AddEdge(e.U, e.V)
+	}
+	rep, err := VerifyOuterplanarity(g, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted {
+		t.Fatalf("report: %s", rep)
+	}
+	// A K4 subdivision must be rejected.
+	k4 := gen.K4Subdivision(rng, 20)
+	g2 := NewGraph(k4.N())
+	for _, e := range k4.Edges() {
+		g2.AddEdge(e.U, e.V)
+	}
+	rep, err = VerifyOuterplanarity(g2, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted {
+		t.Fatal("K4 subdivision accepted")
+	}
+}
+
+func TestVerifyEmbeddingAndPlanarityFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	gi := gen.Triangulation(rng, 30)
+	g := NewGraph(gi.G.N())
+	for _, e := range gi.G.Edges() {
+		g.AddEdge(e.U, e.V)
+	}
+	rot, err := NewRotation(g, gi.Rot.Rot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifyEmbedding(g, rot, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted {
+		t.Fatalf("embedding: %s", rep)
+	}
+	rep, err = VerifyPlanarity(g, nil, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted {
+		t.Fatalf("planarity: %s", rep)
+	}
+	if !IsPlanar(g) {
+		t.Fatal("oracle disagrees")
+	}
+	if _, err := Embed(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifySPAndTreewidthFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	spi := gen.SeriesParallel(rng, 30)
+	g := NewGraph(spi.G.N())
+	for _, e := range spi.G.Edges() {
+		g.AddEdge(e.U, e.V)
+	}
+	rep, err := VerifySeriesParallel(g, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted {
+		t.Fatalf("sp: %s", rep)
+	}
+	tw := gen.Treewidth2(rng, 30)
+	g2 := NewGraph(tw.G.N())
+	for _, e := range tw.G.Edges() {
+		g2.AddEdge(e.U, e.V)
+	}
+	rep, err = VerifyTreewidth2(g2, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted {
+		t.Fatalf("tw2: %s", rep)
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if g.N() != 3 || g.M() != 1 {
+		t.Fatal("counts")
+	}
+	nbrs := g.Neighbors(0)
+	nbrs[0] = 99 // must not alias internal state
+	if g.Neighbors(0)[0] != 1 {
+		t.Fatal("Neighbors aliases internal storage")
+	}
+}
+
+func TestVerifyLRSortingFacade(t *testing.T) {
+	pos := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	rep, err := VerifyLRSorting(pos, []DirectedEdge{{0, 3}, {2, 7}}, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted || rep.Rounds != 5 {
+		t.Fatalf("yes-instance: %s", rep)
+	}
+	// A backward edge makes a cycle.
+	rejected := 0
+	for i := 0; i < 20; i++ {
+		rep, err = VerifyLRSorting(pos, []DirectedEdge{{0, 3}, {7, 2}}, WithSeed(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Accepted {
+			rejected++
+		}
+	}
+	if rejected < 19 {
+		t.Fatalf("backward edge rejected only %d/20", rejected)
+	}
+	if _, err := VerifyLRSorting([]int{0, 0, 1}, nil); err == nil {
+		t.Fatal("bad permutation accepted")
+	}
+}
