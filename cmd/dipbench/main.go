@@ -1,29 +1,185 @@
 // Command dipbench runs the full experiment suite (E1–E11 of
 // EXPERIMENTS.md) and prints the result tables. Use -quick for a reduced
 // sweep and -seed for reproducibility.
+//
+// Observability flags (schema in OBSERVABILITY.md):
+//
+//	-json            emit one NDJSON object per sweep point on stdout
+//	                 (per-round label/coin bit histograms + wall clock)
+//	                 instead of the hand-formatted tables
+//	-trace FILE      stream the full typed event trace as NDJSON to FILE
+//	-cpuprofile FILE write a pprof CPU profile of the whole suite
+//	-memprofile FILE write a pprof heap profile at exit
+//
+// Every sweep point runs on its own child seed derived from (-seed,
+// sweep name, n), so a single row is reproducible in isolation and a
+// failure in one sweep cannot shift the randomness of later ones.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
+	"repro/internal/dip"
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps")
 	seed := flag.Int64("seed", 42, "verifier randomness seed")
+	jsonOut := flag.Bool("json", false, "emit NDJSON rows instead of tables")
+	traceFile := flag.String("trace", "", "write NDJSON event trace to file")
+	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memProfile := flag.String("memprofile", "", "write heap profile to file")
 	flag.Parse()
-	if err := run(*quick, *seed); err != nil {
+	if err := run(*quick, *seed, *jsonOut, *traceFile, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "dipbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, seed int64) error {
-	rng := rand.New(rand.NewSource(seed))
+// childSeed derives the per-(sweep, n) seed: rows are individually
+// reproducible and independent of execution order.
+func childSeed(seed int64, sweep string, n int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", seed, sweep, n)
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// bench carries the per-invocation output and tracing state.
+type bench struct {
+	jsonOut bool
+	enc     *json.Encoder // NDJSON rows (nil in table mode)
+	events  *obs.NDJSONTracer
+	reg     *obs.Registry
+	seed    int64
+}
+
+// row emits one NDJSON object in JSON mode.
+func (b *bench) row(obj map[string]any) error {
+	if !b.jsonOut {
+		return nil
+	}
+	return b.enc.Encode(obj)
+}
+
+// runMetricsJSON flattens a CollectTracer snapshot tree into the wire
+// shape: one entry per execution span with its per-round histograms.
+func runMetricsJSON(runs []*obs.Metrics) []map[string]any {
+	var out []map[string]any
+	var walk func(m *obs.Metrics)
+	walk = func(m *obs.Metrics) {
+		rounds := make([]map[string]any, 0, len(m.RoundMetrics))
+		for _, r := range m.RoundMetrics {
+			rm := map[string]any{"phase": r.Phase, "round": r.Round, "wall_ns": r.WallNS}
+			if r.Phase == "prover" {
+				rm["label_bits"] = histMap(r.LabelBits)
+			} else {
+				rm["coin_bits"] = histMap(r.CoinBits)
+			}
+			if r.Workers > 0 {
+				rm["workers"] = r.Workers
+			}
+			rounds = append(rounds, rm)
+		}
+		entry := map[string]any{
+			"protocol": m.Protocol,
+			"span":     m.Span,
+			"engine":   m.Engine,
+			"nodes":    m.Nodes,
+			"accepted": m.Accepted,
+			"wall_ns":  m.WallNS,
+		}
+		if m.MaxLabelBits > 0 {
+			entry["max_label_bits"] = m.MaxLabelBits
+		}
+		if m.TotalLabelBits > 0 {
+			entry["total_label_bits"] = m.TotalLabelBits
+		}
+		if len(rounds) > 0 {
+			entry["rounds"] = rounds
+		}
+		out = append(out, entry)
+		for _, s := range m.Subs {
+			walk(s)
+		}
+	}
+	for _, m := range runs {
+		walk(m)
+	}
+	return out
+}
+
+func histMap(h obs.Hist) map[string]int {
+	return map[string]int{"min": h.Min, "p50": h.P50, "max": h.Max, "sum": h.Sum}
+}
+
+// tracedOpts builds the per-point tracer chain: a fresh collector (for
+// the JSON row) plus the shared event stream, when either is active.
+func (b *bench) tracedOpts() (*obs.CollectTracer, []dip.RunOption) {
+	collect := obs.NewCollectWithRegistry(b.reg)
+	var tr obs.Tracer = collect
+	if b.events != nil {
+		tr = obs.Multi(collect, b.events)
+	}
+	return collect, []dip.RunOption{dip.WithTracer(tr)}
+}
+
+func run(quick bool, seed int64, jsonOut bool, traceFile, cpuProfile, memProfile string) error {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memProfile != "" {
+		defer func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dipbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dipbench: memprofile:", err)
+			}
+		}()
+	}
+
+	b := &bench{jsonOut: jsonOut, reg: obs.NewRegistry(), seed: seed}
+	if jsonOut {
+		b.enc = json.NewEncoder(os.Stdout)
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := io.Writer(f)
+		b.events = obs.NewNDJSON(bw)
+		defer func() {
+			if err := b.events.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "dipbench: trace:", err)
+			}
+		}()
+	}
+
 	sizes := []int{256, 1024, 4096, 16384, 65536}
 	deltas := []int{4, 8, 16, 32, 64, 128, 256}
 	lens := []int{16, 64, 256, 1024, 4096}
@@ -34,24 +190,53 @@ func run(quick bool, seed int64) error {
 	}
 
 	type sweep struct {
+		id   string
 		name string
-		f    func(*rand.Rand, int) (exp.SizeRow, error)
+		f    func(*rand.Rand, int, ...dip.RunOption) (exp.SizeRow, error)
 	}
 	sweeps := []sweep{
-		{"E1 path-outerplanarity (Thm 1.2)", exp.E1PathOuterplanarity},
-		{"E2 outerplanarity (Thm 1.3)", exp.E2Outerplanarity},
-		{"E3 planar embedding (Thm 1.4)", exp.E3Embedding},
-		{"E5 series-parallel (Thm 1.6)", exp.E5SeriesParallel},
-		{"E6 treewidth <= 2 (Thm 1.7)", exp.E6Treewidth2},
-		{"E8 LR-sorting (Lemma 4.1)", exp.E8LRSort},
+		{"E1", "E1 path-outerplanarity (Thm 1.2)", exp.E1PathOuterplanarity},
+		{"E2", "E2 outerplanarity (Thm 1.3)", exp.E2Outerplanarity},
+		{"E3", "E3 planar embedding (Thm 1.4)", exp.E3Embedding},
+		{"E5", "E5 series-parallel (Thm 1.6)", exp.E5SeriesParallel},
+		{"E6", "E6 treewidth <= 2 (Thm 1.7)", exp.E6Treewidth2},
+		{"E8", "E8 LR-sorting (Lemma 4.1)", exp.E8LRSort},
 	}
 	for _, sw := range sweeps {
-		fmt.Printf("\n== %s ==\n", sw.name)
-		fmt.Printf("%10s %8s %12s %14s %10s\n", "n", "rounds", "proof bits", "baseline bits", "verdict")
+		if !jsonOut {
+			fmt.Printf("\n== %s ==\n", sw.name)
+			fmt.Printf("%10s %8s %12s %14s %10s %12s\n", "n", "rounds", "proof bits", "baseline bits", "verdict", "wall")
+		}
 		for _, n := range sizes {
-			row, err := sw.f(rng, n)
+			cs := childSeed(seed, sw.id, n)
+			rng := rand.New(rand.NewSource(cs))
+			collect, opts := b.tracedOpts()
+			start := time.Now()
+			row, err := sw.f(rng, n, opts...)
+			wall := time.Since(start)
 			if err != nil {
 				return fmt.Errorf("%s n=%d: %w", sw.name, n, err)
+			}
+			if jsonOut {
+				obj := map[string]any{
+					"type":       "sweep_point",
+					"suite":      sw.id,
+					"name":       sw.name,
+					"n":          row.N,
+					"seed":       cs,
+					"rounds":     row.Rounds,
+					"proof_bits": row.Bits,
+					"accepted":   row.Accepted,
+					"wall_ns":    wall.Nanoseconds(),
+					"runs":       runMetricsJSON(collect.Runs()),
+				}
+				if row.BaselineBits > 0 {
+					obj["baseline_bits"] = row.BaselineBits
+				}
+				if err := b.row(obj); err != nil {
+					return err
+				}
+				continue
 			}
 			verdict := "accept"
 			if !row.Accepted {
@@ -61,16 +246,35 @@ func run(quick bool, seed int64) error {
 			if row.BaselineBits > 0 {
 				base = fmt.Sprint(row.BaselineBits)
 			}
-			fmt.Printf("%10d %8d %12d %14s %10s\n", row.N, row.Rounds, row.Bits, base, verdict)
+			fmt.Printf("%10d %8d %12d %14s %10s %12s\n", row.N, row.Rounds, row.Bits, base, verdict, wall.Round(time.Millisecond))
 		}
 	}
 
-	fmt.Printf("\n== E4 planarity, Δ sweep at n ≈ 2048 (Thm 1.5) ==\n")
-	fmt.Printf("%8s %10s %12s %16s %10s\n", "Δ", "n", "proof bits", "rotation bits", "verdict")
+	if !jsonOut {
+		fmt.Printf("\n== E4 planarity, Δ sweep at n ≈ 2048 (Thm 1.5) ==\n")
+		fmt.Printf("%8s %10s %12s %16s %10s\n", "Δ", "n", "proof bits", "rotation bits", "verdict")
+	}
 	for _, d := range deltas {
-		row, err := exp.E4Planarity(rng, 2048, d)
+		cs := childSeed(seed, "E4", d)
+		rng := rand.New(rand.NewSource(cs))
+		collect, opts := b.tracedOpts()
+		start := time.Now()
+		row, err := exp.E4Planarity(rng, 2048, d, opts...)
+		wall := time.Since(start)
 		if err != nil {
 			return fmt.Errorf("E4 delta=%d: %w", d, err)
+		}
+		if jsonOut {
+			if err := b.row(map[string]any{
+				"type": "sweep_point", "suite": "E4", "name": "E4 planarity Δ-sweep (Thm 1.5)",
+				"n": row.N, "delta": row.Delta, "seed": cs,
+				"proof_bits": row.Bits, "rotation_bits": row.RotationBits,
+				"accepted": row.Accepted, "wall_ns": wall.Nanoseconds(),
+				"runs": runMetricsJSON(collect.Runs()),
+			}); err != nil {
+				return err
+			}
+			continue
 		}
 		verdict := "accept"
 		if !row.Accepted {
@@ -79,46 +283,98 @@ func run(quick bool, seed int64) error {
 		fmt.Printf("%8d %10d %12d %16d %10s\n", row.Delta, row.N, row.Bits, row.RotationBits, verdict)
 	}
 
-	fmt.Printf("\n== E7 one-round lower bound (Thm 1.8): cut-and-paste threshold ==\n")
-	fmt.Printf("%10s %10s %16s %8s\n", "path len", "n", "threshold bits", "log2 n")
+	if !jsonOut {
+		fmt.Printf("\n== E7 one-round lower bound (Thm 1.8): cut-and-paste threshold ==\n")
+		fmt.Printf("%10s %10s %16s %8s\n", "path len", "n", "threshold bits", "log2 n")
+	}
 	for _, l := range lens {
+		start := time.Now()
 		row, err := exp.E7LowerBound(l)
 		if err != nil {
 			return fmt.Errorf("E7 l=%d: %w", l, err)
 		}
+		if jsonOut {
+			// Analytic row: no protocol executes, so runs is empty — kept
+			// present so `.runs[]` iterates uniformly over sweep points.
+			if err := b.row(map[string]any{
+				"type": "sweep_point", "suite": "E7", "name": "E7 one-round lower bound (Thm 1.8)",
+				"path_len": row.PathLen, "n": row.N, "threshold_bits": row.Threshold, "log2_n": row.Log2N,
+				"wall_ns": time.Since(start).Nanoseconds(), "runs": []any{},
+			}); err != nil {
+				return err
+			}
+			continue
+		}
 		fmt.Printf("%10d %10d %16d %8d\n", row.PathLen, row.N, row.Threshold, row.Log2N)
 	}
 
-	fmt.Printf("\n== E9 spanning-tree verification amplification (Lemma 2.5) ==\n")
-	fmt.Printf("%8s %8s %12s %12s\n", "reps", "runs", "accept rate", "2^-reps")
+	if !jsonOut {
+		fmt.Printf("\n== E9 spanning-tree verification amplification (Lemma 2.5) ==\n")
+		fmt.Printf("%8s %8s %12s %12s\n", "reps", "runs", "accept rate", "2^-reps")
+	}
 	for _, reps := range []int{1, 2, 4, 8} {
-		row, err := exp.E9SpanTree(rng, reps, 400)
+		cs := childSeed(seed, "E9", reps)
+		row, err := exp.E9SpanTree(rand.New(rand.NewSource(cs)), reps, 400)
 		if err != nil {
 			return err
+		}
+		if jsonOut {
+			if err := b.row(map[string]any{
+				"type": "soundness", "suite": "E9", "name": row.Name, "seed": cs,
+				"runs": row.Runs, "accepts": row.Accepts, "accept_rate": row.Rate, "bound": row.Bound,
+			}); err != nil {
+				return err
+			}
+			continue
 		}
 		fmt.Printf("%8d %8d %12.4f %12.4f\n", reps, row.Runs, row.Rate, row.Bound)
 	}
 
-	fmt.Printf("\n== E10 multiset equality soundness (Lemma 2.6) ==\n")
-	fmt.Printf("%8s %8s %12s %12s\n", "k", "runs", "accept rate", "k/p")
+	if !jsonOut {
+		fmt.Printf("\n== E10 multiset equality soundness (Lemma 2.6) ==\n")
+		fmt.Printf("%8s %8s %12s %12s\n", "k", "runs", "accept rate", "k/p")
+	}
 	for _, k := range []int{4, 16, 64} {
-		row, err := exp.E10Multiset(rng, k, 400)
+		cs := childSeed(seed, "E10", k)
+		row, err := exp.E10Multiset(rand.New(rand.NewSource(cs)), k, 400)
 		if err != nil {
 			return err
+		}
+		if jsonOut {
+			if err := b.row(map[string]any{
+				"type": "soundness", "suite": "E10", "name": row.Name, "seed": cs,
+				"runs": row.Runs, "accepts": row.Accepts, "accept_rate": row.Rate, "bound": row.Bound,
+			}); err != nil {
+				return err
+			}
+			continue
 		}
 		fmt.Printf("%8d %8d %12.4f %12.6f\n", k, row.Runs, row.Rate, row.Bound)
 	}
 
-	fmt.Printf("\n== Ablation: soundness exponent c (LR-sorting, n = 4096) ==\n")
-	fmt.Printf("%4s %10s %12s %8s %14s %12s\n", "c", "field p0", "proof bits", "runs", "liar accepts", "~1/p0")
+	if !jsonOut {
+		fmt.Printf("\n== Ablation: soundness exponent c (LR-sorting, n = 4096) ==\n")
+		fmt.Printf("%4s %10s %12s %8s %14s %12s\n", "c", "field p0", "proof bits", "runs", "liar accepts", "~1/p0")
+	}
 	ablRuns := 400
 	if quick {
 		ablRuns = 150
 	}
 	for _, c := range []int{1, 2, 3, 4} {
-		row, err := exp.AblationExponent(rng, 4096, c, ablRuns)
+		cs := childSeed(seed, "ablation", c)
+		row, err := exp.AblationExponent(rand.New(rand.NewSource(cs)), 4096, c, ablRuns)
 		if err != nil {
 			return err
+		}
+		if jsonOut {
+			if err := b.row(map[string]any{
+				"type": "ablation", "suite": "ablation", "c": row.C, "seed": cs,
+				"field_p0": row.FieldP0, "proof_bits": row.ProofBits,
+				"runs": row.Runs, "accepts": row.Accepts, "accept_rate": row.Rate, "bound": row.Bound,
+			}); err != nil {
+				return err
+			}
+			continue
 		}
 		fmt.Printf("%4d %10d %12d %8d %14.4f %12.6f\n", row.C, row.FieldP0, row.ProofBits, row.Runs, row.Rate, row.Bound)
 	}
@@ -127,14 +383,38 @@ func run(quick bool, seed int64) error {
 	if quick {
 		runs = 10
 	}
-	fmt.Printf("\n== Adversarial soundness suite (n = 64, %d runs each) ==\n", runs)
-	rows, err := exp.SoundnessSuite(rng, 64, runs)
+	advSeed := childSeed(seed, "soundness-suite", 64)
+	rows, err := exp.SoundnessSuite(rand.New(rand.NewSource(advSeed)), 64, runs)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-36s %8s %10s %12s\n", "attack", "runs", "accepts", "accept rate")
+	if !jsonOut {
+		fmt.Printf("\n== Adversarial soundness suite (n = 64, %d runs each) ==\n", runs)
+		fmt.Printf("%-36s %8s %10s %12s\n", "attack", "runs", "accepts", "accept rate")
+	}
 	for _, r := range rows {
+		if jsonOut {
+			if err := b.row(map[string]any{
+				"type": "soundness", "suite": "adversary", "name": r.Name, "seed": advSeed,
+				"runs": r.Runs, "accepts": r.Accepts, "accept_rate": r.Rate,
+			}); err != nil {
+				return err
+			}
+			continue
+		}
 		fmt.Printf("%-36s %8d %10d %12.4f\n", r.Name, r.Runs, r.Accepts, r.Rate)
+	}
+
+	// Terminal summary row: the metrics-registry counters accumulated by
+	// every traced execution of the suite.
+	if jsonOut {
+		counters := map[string]int64{}
+		for _, name := range b.reg.Names() {
+			counters[name] = b.reg.Get(name)
+		}
+		if err := b.row(map[string]any{"type": "summary", "seed": seed, "quick": quick, "counters": counters}); err != nil {
+			return err
+		}
 	}
 	return nil
 }

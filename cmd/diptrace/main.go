@@ -4,9 +4,14 @@
 // round. A microscope for the protocol's anatomy.
 //
 //	diptrace -n 12 -seed 3
+//
+// With -json the decoded transcript is emitted as NDJSON instead — one
+// object per node per round plus a meta header and a decision footer —
+// for machine consumption (jq, pandas, diffing two seeds).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -21,14 +26,15 @@ import (
 func main() {
 	n := flag.Int("n", 12, "instance size")
 	seed := flag.Int64("seed", 3, "seed for instance and coins")
+	jsonOut := flag.Bool("json", false, "emit the decoded transcript as NDJSON")
 	flag.Parse()
-	if err := run(*n, *seed); err != nil {
+	if err := run(*n, *seed, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "diptrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, seed int64) error {
+func run(n int, seed int64, jsonOut bool) error {
 	rng := rand.New(rand.NewSource(seed))
 	gi := gen.PathOuterplanar(rng, n, 0.5)
 	p, err := pathouter.NewParams(n)
@@ -41,7 +47,132 @@ func run(n int, seed int64) error {
 	if err != nil {
 		return err
 	}
+	if jsonOut {
+		return emitJSON(n, seed, gi, p, res)
+	}
+	return emitText(n, seed, gi, p, res)
+}
 
+// emitJSON streams the decoded transcript as NDJSON rows.
+func emitJSON(n int, seed int64, gi *gen.PathOuterplanarInstance, p pathouter.Params, res *dip.Result) error {
+	enc := json.NewEncoder(os.Stdout)
+	row := func(obj map[string]any) error { return enc.Encode(obj) }
+	tr := res.Transcript
+
+	if err := row(map[string]any{
+		"type": "meta", "protocol": "path-outerplanarity",
+		"n": gi.G.N(), "m": gi.G.M(), "seed": seed,
+		"pos": gi.Pos,
+		"params": map[string]any{
+			"B": p.LR.B, "blocks": p.LR.NumBlocks,
+			"p0": p.LR.F0.P, "p1": p.LR.F1.P, "L": p.L,
+		},
+	}); err != nil {
+		return err
+	}
+
+	for v := 0; v < gi.G.N(); v++ {
+		l, err := pathouter.DecodeRound1Node(tr.Assignments[0].Node[v], p)
+		if err != nil {
+			return err
+		}
+		if err := row(map[string]any{
+			"type": "label", "round": 1, "phase": "prover", "node": v, "pos": gi.Pos[v],
+			"bits": tr.Assignments[0].Node[v].Len(),
+			"fc":   map[string]any{"c1": l.FC.C1, "c2": l.FC.C2, "parity": l.FC.Parity},
+			"lr": map[string]any{
+				"j": l.LR.J, "x1": l.LR.X1Bit, "x2": l.LR.X2Bit,
+				"vb": l.LR.VB, "m0": l.LR.M0, "m1": l.LR.M1,
+			},
+		}); err != nil {
+			return err
+		}
+	}
+	if err := row(map[string]any{
+		"type": "edge_labels", "round": 1, "phase": "prover",
+		"count": len(tr.Assignments[0].Edge),
+	}); err != nil {
+		return err
+	}
+
+	for v := 0; v < gi.G.N(); v++ {
+		c, err := pathouter.DecodeCoinsV1(tr.Coins[0][v], p)
+		if err != nil {
+			return err
+		}
+		if err := row(map[string]any{
+			"type": "coins", "round": 2, "phase": "verifier", "node": v,
+			"bits": tr.Coins[0][v].Len(),
+			"st":   map[string]any{"a": c.ST.A, "id": c.ST.ID},
+			"lr":   map[string]any{"r": c.LR.R % p.LR.F0.P, "rp": c.LR.RP % p.LR.F0.P, "rb": c.LR.RB % p.LR.F0.P},
+			"name": c.Name,
+		}); err != nil {
+			return err
+		}
+	}
+
+	for v := 0; v < gi.G.N(); v++ {
+		l, err := pathouter.DecodeRound2Node(tr.Assignments[1].Node[v], p)
+		if err != nil {
+			return err
+		}
+		above := map[string]any{"virtual": l.Above.Virtual}
+		if !l.Above.Virtual {
+			above["a"] = l.Above.A
+			above["b"] = l.Above.B
+		}
+		if err := row(map[string]any{
+			"type": "label", "round": 3, "phase": "prover", "node": v,
+			"bits":   tr.Assignments[1].Node[v].Len(),
+			"st":     map[string]any{"s": l.ST.S, "id": l.ST.ID},
+			"chains": map[string]any{"x1": l.LR.ChainX1, "x2": l.LR.ChainX2, "pos": l.LR.PrefPos, "bcast": l.LR.BcastX1},
+			"above":  above,
+		}); err != nil {
+			return err
+		}
+	}
+
+	for v := 0; v < gi.G.N(); v++ {
+		c, err := lrsort.DecodeCoinsV2(tr.Coins[1][v], p.LR)
+		if err != nil {
+			return err
+		}
+		if err := row(map[string]any{
+			"type": "coins", "round": 4, "phase": "verifier", "node": v,
+			"bits": tr.Coins[1][v].Len(),
+			"z0":   c.Z0 % p.LR.F1.P, "z1": c.Z1 % p.LR.F1.P,
+		}); err != nil {
+			return err
+		}
+	}
+
+	for v := 0; v < gi.G.N(); v++ {
+		l, err := lrsort.DecodeRound3Node(tr.Assignments[2].Node[v], p.LR)
+		if err != nil {
+			return err
+		}
+		if err := row(map[string]any{
+			"type": "label", "round": 5, "phase": "prover", "node": v,
+			"bits": tr.Assignments[2].Node[v].Len(),
+			"c0":   l.AggC0, "d0": l.AggD0, "c1": l.AggC1, "d1": l.AggD1,
+		}); err != nil {
+			return err
+		}
+	}
+
+	verdicts := 0
+	for _, ok := range res.NodeOutputs {
+		if ok {
+			verdicts++
+		}
+	}
+	return row(map[string]any{
+		"type": "decision", "accepts": verdicts, "n": gi.G.N(),
+		"accepted": res.Accepted, "proof_bits": res.Stats.MaxLabelBits,
+	})
+}
+
+func emitText(n int, seed int64, gi *gen.PathOuterplanarInstance, p pathouter.Params, res *dip.Result) error {
 	fmt.Printf("path-outerplanarity DIP on n=%d (m=%d), seed %d\n", gi.G.N(), gi.G.M(), seed)
 	fmt.Printf("witness path positions: %v\n", gi.Pos)
 	fmt.Printf("parameters: B=%d blocks=%d p0=%d p1=%d L=%d\n\n",

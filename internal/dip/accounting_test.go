@@ -1,0 +1,118 @@
+package dip
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/graph"
+)
+
+func k4() *graph.Graph {
+	g := graph.New(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// TestEdgeLabelAccountingK4 pins down the Lemma 2.4 charging rule on a
+// graph where orientation matters: on K4 every vertex sees all three
+// other vertices, but each of the six edge labels must be charged to
+// exactly one endpoint — the one accountable for the edge under the
+// degeneracy orientation — and Stats.LabelBits must reflect that.
+func TestEdgeLabelAccountingK4(t *testing.T) {
+	cases := []struct {
+		name     string
+		nodeBits func(v int) int
+		edgeBits func(eid int) int
+	}{
+		{"edges-only", func(int) int { return 0 }, func(eid int) int { return eid + 1 }},
+		{"nodes-only", func(v int) int { return 3 * (v + 1) }, func(int) int { return 0 }},
+		{"mixed", func(v int) int { return v + 2 }, func(eid int) int { return 2 * (eid + 1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := k4()
+			out, degen := graph.OrientByDegeneracy(g)
+			if degen != 3 {
+				t.Fatalf("K4 degeneracy = %d, want 3", degen)
+			}
+
+			a := NewAssignment(g)
+			for v := 0; v < g.N(); v++ {
+				if w := tc.nodeBits(v); w > 0 {
+					a.Node[v] = bitio.FromUint(1, w)
+				}
+			}
+			for eid, e := range g.Edges() {
+				if w := tc.edgeBits(eid); w > 0 {
+					a.Edge[e] = bitio.FromUint(1, w)
+				}
+			}
+
+			inst := NewInstance(g)
+			res, err := NewRunner(inst).Run(&fixedProver{assigns: []*Assignment{a}},
+				echoVerifier{decide: func(*View) bool { return true }},
+				1, 0, rand.New(rand.NewSource(1)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			round := res.Stats.LabelBits[0]
+
+			// Per node: node label plus exactly the out-oriented edges.
+			total := 0
+			for v := 0; v < g.N(); v++ {
+				want := tc.nodeBits(v)
+				for _, u := range out[v] {
+					want += tc.edgeBits(g.EdgeID(v, u))
+				}
+				if round[v] != want {
+					t.Errorf("node %d charged %d bits, want %d (out=%v)", v, round[v], want, out[v])
+				}
+				total += round[v]
+			}
+
+			// Globally: every node and edge label counted exactly once —
+			// no edge dropped, none double-charged to both endpoints.
+			want := 0
+			for v := 0; v < g.N(); v++ {
+				want += tc.nodeBits(v)
+			}
+			for eid := range g.Edges() {
+				want += tc.edgeBits(eid)
+			}
+			if total != want || res.Stats.TotalLabelBits != want {
+				t.Fatalf("total charged %d (stats %d), want %d", total, res.Stats.TotalLabelBits, want)
+			}
+		})
+	}
+}
+
+// TestAccountableCoversEachEdgeOnce checks the orientation-derived
+// accountability lists directly: on K4 the six edge ids partition across
+// the four per-node lists with no repeats and none missing.
+func TestAccountableCoversEachEdgeOnce(t *testing.T) {
+	g := k4()
+	r := NewRunner(NewInstance(g))
+	seen := make(map[int]int)
+	for v, eids := range r.accountable {
+		for _, eid := range eids {
+			seen[eid]++
+			e := g.Edges()[eid]
+			if e.U != v && e.V != v {
+				t.Errorf("node %d accountable for non-incident edge %v", v, e)
+			}
+		}
+	}
+	if len(seen) != g.M() {
+		t.Fatalf("accountable lists cover %d of %d edges", len(seen), g.M())
+	}
+	for eid, cnt := range seen {
+		if cnt != 1 {
+			t.Errorf("edge %d charged %d times", eid, cnt)
+		}
+	}
+}

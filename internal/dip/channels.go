@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/bitio"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // ChannelRunner is a second execution engine for the same protocols: the
@@ -36,11 +38,16 @@ type nodeMsg struct {
 }
 
 // Run executes the interaction with one goroutine per node plus a prover
-// goroutine. Semantics and statistics match Runner.Run.
-func (cr *ChannelRunner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng *rand.Rand) (*Result, error) {
+// goroutine. Semantics and statistics match Runner.Run, and so does the
+// deterministic part of the trace-event sequence: both engines emit the
+// same kinds, rounds, histograms, and verdicts for the same seed, so a
+// CollectTracer fingerprint is engine-independent.
+func (cr *ChannelRunner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng *rand.Rand, opts ...RunOption) (*Result, error) {
 	if proverRounds < 1 || verifierRounds < 0 || proverRounds < verifierRounds {
 		return nil, fmt.Errorf("dip: invalid schedule P=%d V=%d", proverRounds, verifierRounds)
 	}
+	cfg := NewRunConfig(opts...)
+	traced := cfg.Tracer != nil
 	g := cr.inst.G
 	n := g.N()
 
@@ -75,7 +82,7 @@ func (cr *ChannelRunner) Run(p Prover, v Verifier, proverRounds, verifierRounds 
 				Input:   cr.inst.NodeInput[x],
 				Nbr:     make([][]bitio.String, len(nbrs)),
 				EdgeLab: make([][]bitio.String, len(nbrs)),
-				EdgeIn:  make([]interface{}, len(nbrs)),
+				EdgeIn:  make([]any, len(nbrs)),
 				NbrID:   append([]int(nil), nbrs...),
 			}
 			for pi, u := range nbrs {
@@ -104,8 +111,17 @@ func (cr *ChannelRunner) Run(p Prover, v Verifier, proverRounds, verifierRounds 
 	st.Rounds = proverRounds + verifierRounds
 	var assignments []*Assignment
 	var coins [][]bitio.String
+	var runStart, phaseStart time.Time
+	if traced {
+		runStart = time.Now()
+		cfg.emitRunStart(obs.EngineChannels, n, st.Rounds)
+	}
 	runErr := func() error {
 		for pr := 0; pr < proverRounds; pr++ {
+			if traced {
+				cfg.emitRoundStart(obs.ProverRoundStart, obs.EngineChannels, pr)
+				phaseStart = time.Now()
+			}
 			a, err := p.Round(pr, coins)
 			if err != nil {
 				return fmt.Errorf("dip: prover round %d: %w", pr, err)
@@ -131,7 +147,14 @@ func (cr *ChannelRunner) Run(p Prover, v Verifier, proverRounds, verifierRounds 
 				}
 				deliver[x] <- msg
 			}
+			if traced {
+				cfg.emitProverRoundEnd(obs.EngineChannels, pr, st.LabelBits[pr], phaseStart)
+			}
 			if pr < verifierRounds {
+				if traced {
+					cfg.emitRoundStart(obs.VerifierRoundStart, obs.EngineChannels, pr)
+					phaseStart = time.Now()
+				}
 				round := make([]bitio.String, n)
 				for x := 0; x < n; x++ {
 					round[x] = <-coinsUp[x]
@@ -140,6 +163,13 @@ func (cr *ChannelRunner) Run(p Prover, v Verifier, proverRounds, verifierRounds 
 					}
 				}
 				coins = append(coins, round)
+				if traced {
+					lens := make([]int, n)
+					for i, c := range round {
+						lens[i] = c.Len()
+					}
+					cfg.emitVerifierRoundEnd(obs.EngineChannels, pr, lens, phaseStart, n, nil)
+				}
 			}
 		}
 		return nil
@@ -169,6 +199,9 @@ func (cr *ChannelRunner) Run(p Prover, v Verifier, proverRounds, verifierRounds 
 			<-decide[x]
 		}
 		wg.Wait()
+		if traced {
+			cfg.emitRunEnd(obs.EngineChannels, &st, false, runErr.Error(), runStart, 0, nil)
+		}
 		return nil, runErr
 	}
 
@@ -181,6 +214,10 @@ func (cr *ChannelRunner) Run(p Prover, v Verifier, proverRounds, verifierRounds 
 		}
 	}
 	wg.Wait()
+	if traced {
+		cfg.emitDecisions(obs.EngineChannels, outputs)
+		cfg.emitRunEnd(obs.EngineChannels, &st, accepted, "", runStart, n, nil)
+	}
 	return &Result{
 		Accepted:    accepted,
 		NodeOutputs: outputs,

@@ -19,10 +19,14 @@ package dip
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bitio"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Instance is a DIP input: the communication graph plus the local inputs
@@ -31,17 +35,17 @@ import (
 type Instance struct {
 	G *graph.Graph
 	// NodeInput[v] is the private local input of node v (may be nil).
-	NodeInput []interface{}
+	NodeInput []any
 	// EdgeInput[e] is input visible to both endpoints of e (may be nil).
-	EdgeInput map[graph.Edge]interface{}
+	EdgeInput map[graph.Edge]any
 }
 
 // NewInstance wraps g with empty inputs.
 func NewInstance(g *graph.Graph) *Instance {
 	return &Instance{
 		G:         g,
-		NodeInput: make([]interface{}, g.N()),
-		EdgeInput: make(map[graph.Edge]interface{}),
+		NodeInput: make([]any, g.N()),
+		EdgeInput: make(map[graph.Edge]any),
 	}
 }
 
@@ -76,7 +80,7 @@ type View struct {
 	// up local input but must not treat it as information the node knows.
 	V     int
 	Deg   int
-	Input interface{}
+	Input any
 	// Coins[r] is v's own public coin string of verifier round r.
 	Coins []bitio.String
 	// Own[r] is v's node label of prover round r.
@@ -86,7 +90,7 @@ type View struct {
 	// EdgeLab[p][r] is the label of the edge at port p in round r.
 	EdgeLab [][]bitio.String
 	// EdgeIn[p] is the shared input of the edge at port p.
-	EdgeIn []interface{}
+	EdgeIn []any
 	// NbrID[p] is the engine vertex id behind port p. Protocol code may
 	// use it only to interpret canonical edge-input encodings (e.g. which
 	// endpoint a directed EdgeInput points from), never as knowledge the
@@ -166,11 +170,14 @@ func NewRunner(inst *Instance) *Runner {
 // verifier rounds, starting with the prover:
 // P V P V P ... The total interaction round count is
 // proverRounds + verifierRounds. It returns the per-node outputs and
-// communication statistics.
-func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng *rand.Rand) (*Result, error) {
+// communication statistics. Options attach a tracer and an identity tag;
+// with no tracer configured every event site reduces to one nil check.
+func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng *rand.Rand, opts ...RunOption) (*Result, error) {
 	if proverRounds < 1 || verifierRounds < 0 || proverRounds < verifierRounds {
 		return nil, fmt.Errorf("dip: invalid schedule P=%d V=%d", proverRounds, verifierRounds)
 	}
+	cfg := NewRunConfig(opts...)
+	traced := cfg.Tracer != nil
 	g := r.inst.G
 	n := g.N()
 
@@ -186,46 +193,82 @@ func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng
 	var st Stats
 	st.Rounds = proverRounds + verifierRounds
 
+	var runStart, phaseStart time.Time
+	if traced {
+		runStart = time.Now()
+		cfg.emitRunStart(obs.EngineRunner, n, st.Rounds)
+	}
+
 	for pr := 0; pr < proverRounds; pr++ {
+		if traced {
+			cfg.emitRoundStart(obs.ProverRoundStart, obs.EngineRunner, pr)
+			phaseStart = time.Now()
+		}
 		a, err := p.Round(pr, coins)
 		if err != nil {
-			return nil, fmt.Errorf("dip: prover round %d: %w", pr, err)
+			err = fmt.Errorf("dip: prover round %d: %w", pr, err)
+			if traced {
+				cfg.emitRunEnd(obs.EngineRunner, &st, false, err.Error(), runStart, 0, nil)
+			}
+			return nil, err
 		}
 		if a == nil {
 			a = NewAssignment(g)
 		}
 		if len(a.Node) != n {
-			return nil, fmt.Errorf("dip: prover round %d assigned %d node labels, want %d", pr, len(a.Node), n)
+			err := fmt.Errorf("dip: prover round %d assigned %d node labels, want %d", pr, len(a.Node), n)
+			if traced {
+				cfg.emitRunEnd(obs.EngineRunner, &st, false, err.Error(), runStart, 0, nil)
+			}
+			return nil, err
 		}
 		assignments = append(assignments, a)
 		r.accumulate(a, &st)
+		if traced {
+			cfg.emitProverRoundEnd(obs.EngineRunner, pr, st.LabelBits[pr], phaseStart)
+		}
 
 		if pr < verifierRounds {
+			if traced {
+				cfg.emitRoundStart(obs.VerifierRoundStart, obs.EngineRunner, pr)
+				phaseStart = time.Now()
+			}
 			round := make([]bitio.String, n)
-			r.parallelNodes(func(x int) {
+			workers, batchNS := r.parallelNodes(func(x int) {
 				view := r.viewFor(x, assignments, coins)
 				round[x] = v.Coins(pr, view, nodeRngs[x])
-			})
+			}, traced)
 			for _, c := range round {
 				if c.Len() > st.MaxCoinBits {
 					st.MaxCoinBits = c.Len()
 				}
 			}
 			coins = append(coins, round)
+			if traced {
+				lens := make([]int, n)
+				for i, c := range round {
+					lens[i] = c.Len()
+				}
+				cfg.emitVerifierRoundEnd(obs.EngineRunner, pr, lens, phaseStart, workers, batchNS)
+			}
 		}
 	}
 
 	outputs := make([]bool, n)
-	r.parallelNodes(func(x int) {
+	decideWorkers, decideNS := r.parallelNodes(func(x int) {
 		view := r.viewFor(x, assignments, coins)
 		outputs[x] = v.Decide(view)
-	})
+	}, traced)
 	accepted := true
 	for _, o := range outputs {
 		if !o {
 			accepted = false
 			break
 		}
+	}
+	if traced {
+		cfg.emitDecisions(obs.EngineRunner, outputs)
+		cfg.emitRunEnd(obs.EngineRunner, &st, accepted, "", runStart, decideWorkers, decideNS)
 	}
 	return &Result{
 		Accepted:    accepted,
@@ -250,7 +293,7 @@ func (r *Runner) viewFor(v int, assignments []*Assignment, coins [][]bitio.Strin
 		Own:     make([]bitio.String, len(assignments)),
 		Nbr:     make([][]bitio.String, len(nbrs)),
 		EdgeLab: make([][]bitio.String, len(nbrs)),
-		EdgeIn:  make([]interface{}, len(nbrs)),
+		EdgeIn:  make([]any, len(nbrs)),
 		NbrID:   append([]int(nil), nbrs...),
 	}
 	for ri, round := range coins {
@@ -272,24 +315,58 @@ func (r *Runner) viewFor(v int, assignments []*Assignment, coins [][]bitio.Strin
 	return view
 }
 
-// parallelNodes runs fn(v) for every vertex, one goroutine per vertex in
-// bounded batches, and waits for completion.
-func (r *Runner) parallelNodes(fn func(v int)) {
+// parallelNodes runs fn(v) for every vertex on a pool of GOMAXPROCS
+// workers pulling vertex ids from a shared counter, and waits for
+// completion. It returns the pool size and, when timed, each worker's
+// busy time (nil otherwise) for goroutine-batch trace events.
+func (r *Runner) parallelNodes(fn func(v int), timed bool) (int, []int64) {
 	n := r.inst.G.N()
-	const batch = 4096
-	for lo := 0; lo < n; lo += batch {
-		hi := lo + batch
-		if hi > n {
-			hi = n
-		}
-		var wg sync.WaitGroup
-		for v := lo; v < hi; v++ {
-			wg.Add(1)
-			go func(v int) {
-				defer wg.Done()
-				fn(v)
-			}(v)
-		}
-		wg.Wait()
+	if n == 0 {
+		return 0, nil
 	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var start time.Time
+		if timed {
+			start = time.Now()
+		}
+		for v := 0; v < n; v++ {
+			fn(v)
+		}
+		if timed {
+			return 1, []int64{time.Since(start).Nanoseconds()}
+		}
+		return 1, nil
+	}
+	var batchNS []int64
+	if timed {
+		batchNS = make([]int64, workers)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var start time.Time
+			if timed {
+				start = time.Now()
+			}
+			for {
+				v := int(next.Add(1)) - 1
+				if v >= n {
+					break
+				}
+				fn(v)
+			}
+			if timed {
+				batchNS[w] = time.Since(start).Nanoseconds()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return workers, batchNS
 }

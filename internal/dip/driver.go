@@ -21,10 +21,20 @@ type Protocol struct {
 // Rounds returns the total number of interaction rounds.
 func (p *Protocol) Rounds() int { return p.ProverRounds + p.VerifierRounds }
 
-// RunOnce executes the protocol once on inst.
-func (p *Protocol) RunOnce(inst *Instance, rng *rand.Rand) (*Result, error) {
+// RunOnce executes the protocol once on inst. Options attach a tracer
+// and span; the protocol's name is applied as the event identity tag
+// unless an explicit WithProtocol option overrides it.
+func (p *Protocol) RunOnce(inst *Instance, rng *rand.Rand, opts ...RunOption) (*Result, error) {
 	r := NewRunner(inst)
-	return r.Run(p.NewProver(), p.Verifier, p.ProverRounds, p.VerifierRounds, rng)
+	return r.Run(p.NewProver(), p.Verifier, p.ProverRounds, p.VerifierRounds, rng, p.tagged(opts)...)
+}
+
+// tagged prepends the protocol's identity tag to opts.
+func (p *Protocol) tagged(opts []RunOption) []RunOption {
+	if p.Name == "" {
+		return opts
+	}
+	return append([]RunOption{WithProtocol(p.Name)}, opts...)
 }
 
 // Trial summarizes repeated executions.
@@ -48,11 +58,12 @@ func (t Trial) AcceptRate() float64 {
 // aggregates outcomes; protocols use it for completeness (expect rate 1 on
 // yes-instances with the honest prover) and soundness (expect low rate on
 // no-instances against adversarial provers).
-func (p *Protocol) Repeat(inst *Instance, runs int, rng *rand.Rand) (Trial, error) {
+func (p *Protocol) Repeat(inst *Instance, runs int, rng *rand.Rand, opts ...RunOption) (Trial, error) {
 	t := Trial{Runs: runs, Rounds: p.Rounds()}
 	runner := NewRunner(inst)
+	tagged := p.tagged(opts)
 	for i := 0; i < runs; i++ {
-		res, err := runner.Run(p.NewProver(), p.Verifier, p.ProverRounds, p.VerifierRounds, rng)
+		res, err := runner.Run(p.NewProver(), p.Verifier, p.ProverRounds, p.VerifierRounds, rng, tagged...)
 		if err != nil {
 			return t, err
 		}
@@ -72,7 +83,7 @@ func (p *Protocol) Repeat(inst *Instance, runs int, rng *rand.Rand) (Trial, erro
 // RunOnceChannels executes the protocol once on inst using the
 // channel-based message-passing engine; results are identical to RunOnce
 // given the same rng stream.
-func (p *Protocol) RunOnceChannels(inst *Instance, rng *rand.Rand) (*Result, error) {
+func (p *Protocol) RunOnceChannels(inst *Instance, rng *rand.Rand, opts ...RunOption) (*Result, error) {
 	r := NewChannelRunner(inst)
-	return r.Run(p.NewProver(), p.Verifier, p.ProverRounds, p.VerifierRounds, rng)
+	return r.Run(p.NewProver(), p.Verifier, p.ProverRounds, p.VerifierRounds, rng, p.tagged(opts)...)
 }

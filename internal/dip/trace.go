@@ -1,0 +1,172 @@
+package dip
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// RunConfig is the resolved per-execution option set: which tracer (if
+// any) receives events, and under which protocol/span identity they are
+// tagged. Composite protocols use it to nest sub-executions under their
+// own span via Child.
+type RunConfig struct {
+	// Tracer receives events; nil means tracing is disabled and the
+	// engines skip event construction entirely (the zero-alloc hot path).
+	Tracer   obs.Tracer
+	Protocol string
+	Span     string
+}
+
+// RunOption configures one execution.
+type RunOption func(*RunConfig)
+
+// WithTracer directs trace events to t. Passing nil or obs.NopTracer
+// disables tracing with zero hot-path cost: the engines guard every
+// event site with a single nil check.
+func WithTracer(t obs.Tracer) RunOption {
+	return func(c *RunConfig) {
+		if t == nil {
+			c.Tracer = nil
+			return
+		}
+		if _, nop := t.(obs.NopTracer); nop {
+			c.Tracer = nil
+			return
+		}
+		c.Tracer = t
+	}
+}
+
+// WithProtocol tags events with a protocol identity. Protocol.RunOnce
+// applies the protocol's own name automatically; explicit options
+// override it.
+func WithProtocol(name string) RunOption {
+	return func(c *RunConfig) { c.Protocol = name }
+}
+
+// WithSpan places the execution at a nesting path ("" is the root;
+// composite protocols place sub-executions at "structural",
+// "component-3", ... under their own span).
+func WithSpan(span string) RunOption {
+	return func(c *RunConfig) { c.Span = span }
+}
+
+// NewRunConfig resolves opts.
+func NewRunConfig(opts ...RunOption) RunConfig {
+	var c RunConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// Child returns the options for a sub-execution nested at span element
+// sub: same tracer, span path extended by "/". With tracing disabled it
+// returns nil so sub-executions stay on the zero-cost path.
+func (c RunConfig) Child(sub string) []RunOption {
+	if c.Tracer == nil {
+		return nil
+	}
+	span := sub
+	if c.Span != "" {
+		span = c.Span + "/" + sub
+	}
+	return []RunOption{WithTracer(c.Tracer), WithSpan(span)}
+}
+
+// event returns an Event pre-tagged with the execution identity.
+func (c *RunConfig) event(kind obs.EventKind, engine string) obs.Event {
+	return obs.Event{Kind: kind, Protocol: c.Protocol, Span: c.Span, Engine: engine}
+}
+
+// CompositeSpan opens a synthetic run span for a composite protocol
+// (one that orchestrates nested engine executions and merges their
+// accounting): it emits RunStart now, tagged with protocol (unless the
+// config already carries a name), and returns the function that emits
+// the matching RunEnd. The returned close function must be called
+// exactly once on every path out of the composite, including failures
+// (pass accepted=false there), so that collectors keep their span
+// stacks balanced.
+func (c RunConfig) CompositeSpan(protocol string, nodes, rounds int) func(accepted bool, maxLabelBits int) {
+	if c.Tracer == nil {
+		return func(bool, int) {}
+	}
+	if c.Protocol == "" {
+		c.Protocol = protocol
+	}
+	start := time.Now()
+	ev := c.event(obs.RunStart, obs.EngineComposite)
+	ev.Nodes = nodes
+	ev.Rounds = rounds
+	c.Tracer.Emit(ev)
+	return func(accepted bool, maxLabelBits int) {
+		end := c.event(obs.RunEnd, obs.EngineComposite)
+		end.Nodes = nodes
+		end.Rounds = rounds
+		end.Accepted = accepted
+		end.MaxLabelBits = maxLabelBits
+		end.WallNS = time.Since(start).Nanoseconds()
+		c.Tracer.Emit(end)
+	}
+}
+
+// emitRunStart/emitRoundStart/emitProverRoundEnd/emitVerifierRoundEnd/
+// emitDecisions/emitRunEnd are the shared event-emission sites of the
+// two engines; both call them in the same order with the same
+// deterministic payloads, which is what makes cross-engine metric
+// fingerprints byte-identical.
+
+func (c *RunConfig) emitRunStart(engine string, nodes, rounds int) {
+	ev := c.event(obs.RunStart, engine)
+	ev.Nodes = nodes
+	ev.Rounds = rounds
+	c.Tracer.Emit(ev)
+}
+
+func (c *RunConfig) emitRoundStart(kind obs.EventKind, engine string, round int) {
+	ev := c.event(kind, engine)
+	ev.Round = round
+	c.Tracer.Emit(ev)
+}
+
+func (c *RunConfig) emitProverRoundEnd(engine string, round int, labelBits []int, start time.Time) {
+	ev := c.event(obs.ProverRoundEnd, engine)
+	ev.Round = round
+	ev.LabelBits = obs.HistOf(labelBits)
+	ev.WallNS = time.Since(start).Nanoseconds()
+	c.Tracer.Emit(ev)
+}
+
+func (c *RunConfig) emitVerifierRoundEnd(engine string, round int, coinBits []int, start time.Time, workers int, batchNS []int64) {
+	ev := c.event(obs.VerifierRoundEnd, engine)
+	ev.Round = round
+	ev.CoinBits = obs.HistOf(coinBits)
+	ev.WallNS = time.Since(start).Nanoseconds()
+	ev.Workers = workers
+	ev.BatchNS = batchNS
+	c.Tracer.Emit(ev)
+}
+
+func (c *RunConfig) emitDecisions(engine string, outputs []bool) {
+	for v, o := range outputs {
+		ev := c.event(obs.NodeDecide, engine)
+		ev.Node = v
+		ev.Accepted = o
+		c.Tracer.Emit(ev)
+	}
+}
+
+func (c *RunConfig) emitRunEnd(engine string, st *Stats, accepted bool, errMsg string, start time.Time, workers int, batchNS []int64) {
+	ev := c.event(obs.RunEnd, engine)
+	ev.Accepted = accepted
+	ev.Rounds = st.Rounds
+	ev.MaxLabelBits = st.MaxLabelBits
+	ev.TotalLabelBits = st.TotalLabelBits
+	ev.MaxCoinBits = st.MaxCoinBits
+	ev.Err = errMsg
+	ev.WallNS = time.Since(start).Nanoseconds()
+	ev.Workers = workers
+	ev.BatchNS = batchNS
+	c.Tracer.Emit(ev)
+}

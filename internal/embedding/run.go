@@ -33,8 +33,17 @@ type Result struct {
 // input (the brief announcement leaves these local conditions implicit;
 // without them a twist at a tree leaf would be invisible to h — see
 // DESIGN.md §4).
-func Run(g *graph.Graph, rot *planar.Rotation, rng *rand.Rand) (*Result, error) {
-	res := &Result{Rounds: 5}
+func Run(g *graph.Graph, rot *planar.Rotation, rng *rand.Rand, opts ...dip.RunOption) (res *Result, err error) {
+	cfg := dip.NewRunConfig(opts...)
+	endRun := cfg.CompositeSpan("embedding", g.N(), 5)
+	defer func() {
+		if res != nil {
+			endRun(res.Accepted, res.MaxLabelBits)
+		} else {
+			endRun(false, 0)
+		}
+	}()
+	res = &Result{Rounds: 5}
 	n := g.N()
 	if n < 2 {
 		return nil, fmt.Errorf("embedding: need n >= 2")
@@ -54,7 +63,7 @@ func Run(g *graph.Graph, rot *planar.Rotation, rng *rand.Rand) (*Result, error) 
 		}
 	}
 	sti := spantree.NewInstance(g, tEdges)
-	stRes, err := spantree.Protocol(sti, stp).RunOnce(sti, rng)
+	stRes, err := spantree.Protocol(sti, stp).RunOnce(sti, rng, cfg.Child("spantree")...)
 	if err != nil {
 		return nil, fmt.Errorf("embedding: spanning-tree stage: %w", err)
 	}
@@ -72,7 +81,7 @@ func Run(g *graph.Graph, rot *planar.Rotation, rng *rand.Rand) (*Result, error) 
 	}
 	inst := &pathouter.Instance{G: red.H, Pos: red.PosH}
 	hdi := dip.NewInstance(red.H)
-	hRes, err := pathouter.Protocol(inst, pp).RunOnce(hdi, rng)
+	hRes, err := pathouter.Protocol(inst, pp).RunOnce(hdi, rng, cfg.Child("reduction-h")...)
 	if err != nil {
 		res.ProverFailed = true
 		return res, nil

@@ -36,7 +36,7 @@ type SizeRow struct {
 
 // E1PathOuterplanarity measures Theorem 1.2 at size n, with the PLS
 // baseline of [FFM+21] measured on the same instance.
-func E1PathOuterplanarity(rng *rand.Rand, n int) (SizeRow, error) {
+func E1PathOuterplanarity(rng *rand.Rand, n int, opts ...dip.RunOption) (SizeRow, error) {
 	gi := gen.PathOuterplanar(rng, n, 0.5)
 	p, err := pathouter.NewParams(n)
 	if err != nil {
@@ -44,12 +44,12 @@ func E1PathOuterplanarity(rng *rand.Rand, n int) (SizeRow, error) {
 	}
 	inst := &pathouter.Instance{G: gi.G, Pos: gi.Pos}
 	di := dip.NewInstance(gi.G)
-	res, err := pathouter.Protocol(inst, p).RunOnce(di, rng)
+	res, err := pathouter.Protocol(inst, p).RunOnce(di, rng, opts...)
 	if err != nil {
 		return SizeRow{}, err
 	}
 	bp := pls.NewParams(n)
-	bres, err := pls.Protocol(gi.G, gi.Pos, bp).RunOnce(dip.NewInstance(gi.G), rng)
+	bres, err := pls.Protocol(gi.G, gi.Pos, bp).RunOnce(dip.NewInstance(gi.G), rng, dip.NewRunConfig(opts...).Child("pls-baseline")...)
 	if err != nil {
 		return SizeRow{}, err
 	}
@@ -62,9 +62,9 @@ func E1PathOuterplanarity(rng *rand.Rand, n int) (SizeRow, error) {
 }
 
 // E2Outerplanarity measures Theorem 1.3 at size n.
-func E2Outerplanarity(rng *rand.Rand, n int) (SizeRow, error) {
+func E2Outerplanarity(rng *rand.Rand, n int, opts ...dip.RunOption) (SizeRow, error) {
 	gi := gen.Outerplanar(rng, n, 0.4)
-	res, err := outerplanar.Run(gi.G, nil, rng)
+	res, err := outerplanar.Run(gi.G, nil, rng, opts...)
 	if err != nil {
 		return SizeRow{}, err
 	}
@@ -72,9 +72,9 @@ func E2Outerplanarity(rng *rand.Rand, n int) (SizeRow, error) {
 }
 
 // E3Embedding measures Theorem 1.4 at size n on random triangulations.
-func E3Embedding(rng *rand.Rand, n int) (SizeRow, error) {
+func E3Embedding(rng *rand.Rand, n int, opts ...dip.RunOption) (SizeRow, error) {
 	gi := gen.Triangulation(rng, n)
-	res, err := embedding.Run(gi.G, gi.Rot, rng)
+	res, err := embedding.Run(gi.G, gi.Rot, rng, opts...)
 	if err != nil {
 		return SizeRow{}, err
 	}
@@ -91,9 +91,9 @@ type DeltaRow struct {
 }
 
 // E4Planarity measures Theorem 1.5 at fixed n and maximum degree delta.
-func E4Planarity(rng *rand.Rand, n, delta int) (DeltaRow, error) {
+func E4Planarity(rng *rand.Rand, n, delta int, opts ...dip.RunOption) (DeltaRow, error) {
 	gi := gen.FanChain(rng, n, delta)
-	res, err := planarity.Run(gi.G, gi.Rot, rng)
+	res, err := planarity.Run(gi.G, gi.Rot, rng, opts...)
 	if err != nil {
 		return DeltaRow{}, err
 	}
@@ -106,9 +106,9 @@ func E4Planarity(rng *rand.Rand, n, delta int) (DeltaRow, error) {
 }
 
 // E5SeriesParallel measures Theorem 1.6 at size n.
-func E5SeriesParallel(rng *rand.Rand, n int) (SizeRow, error) {
+func E5SeriesParallel(rng *rand.Rand, n int, opts ...dip.RunOption) (SizeRow, error) {
 	gi := gen.SeriesParallel(rng, n)
-	res, err := seriesparallel.Run(gi.G, nil, rng)
+	res, err := seriesparallel.Run(gi.G, nil, rng, opts...)
 	if err != nil {
 		return SizeRow{}, err
 	}
@@ -116,9 +116,9 @@ func E5SeriesParallel(rng *rand.Rand, n int) (SizeRow, error) {
 }
 
 // E6Treewidth2 measures Theorem 1.7 at size n.
-func E6Treewidth2(rng *rand.Rand, n int) (SizeRow, error) {
+func E6Treewidth2(rng *rand.Rand, n int, opts ...dip.RunOption) (SizeRow, error) {
 	gi := gen.Treewidth2(rng, n)
-	res, err := treewidth2.Run(gi.G, nil, rng)
+	res, err := treewidth2.Run(gi.G, nil, rng, opts...)
 	if err != nil {
 		return SizeRow{}, err
 	}
@@ -148,14 +148,14 @@ func E7LowerBound(l int) (ThresholdRow, error) {
 }
 
 // E8LRSort measures Lemma 4.1 at size n.
-func E8LRSort(rng *rand.Rand, n int) (SizeRow, error) {
+func E8LRSort(rng *rand.Rand, n int, opts ...dip.RunOption) (SizeRow, error) {
 	inst := lrSortYes(rng, n, n/4)
 	p, err := lrsort.NewParams(n)
 	if err != nil {
 		return SizeRow{}, err
 	}
 	di := lrsort.NewDIPInstance(inst)
-	res, err := lrsort.Protocol(inst, p).RunOnce(di, rng)
+	res, err := lrsort.Protocol(inst, p).RunOnce(di, rng, opts...)
 	if err != nil {
 		return SizeRow{}, err
 	}

@@ -3,13 +3,15 @@ package exp
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/dip"
 )
 
 func TestSizeExperimentsAcceptSmall(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	tests := []struct {
 		name string
-		f    func(*rand.Rand, int) (SizeRow, error)
+		f    func(*rand.Rand, int, ...dip.RunOption) (SizeRow, error)
 	}{
 		{"E1", E1PathOuterplanarity},
 		{"E2", E2Outerplanarity},

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// RoundMetrics is the aggregated view of one interaction round.
+type RoundMetrics struct {
+	Phase     string // "prover" | "verifier"
+	Round     int    // 0-based within the phase
+	LabelBits Hist   // prover rounds
+	CoinBits  Hist   // verifier rounds
+	WallNS    int64
+	Workers   int
+}
+
+// Metrics is the snapshot of one execution span, with nested
+// sub-executions (composite protocols) under Subs.
+type Metrics struct {
+	Protocol string
+	Span     string
+	Engine   string
+	Nodes    int
+	Rounds   int // declared interaction rounds
+
+	RoundMetrics []RoundMetrics
+
+	NodeAccepts int
+	NodeRejects int
+
+	Accepted       bool
+	MaxLabelBits   int
+	TotalLabelBits int
+	MaxCoinBits    int
+	Err            string
+	WallNS         int64
+
+	Subs []*Metrics
+}
+
+// Fingerprint returns a deterministic textual digest of the metrics
+// tree. It includes only fields that are a function of the protocol, the
+// instance, and the seed — bit histograms, rounds, verdicts — and
+// excludes engine identity, wall time, and scheduling, so the two
+// execution engines produce byte-identical fingerprints for the same
+// seeded execution.
+func (m *Metrics) Fingerprint() string {
+	var b strings.Builder
+	m.fingerprint(&b, 0)
+	return b.String()
+}
+
+func (m *Metrics) fingerprint(b *strings.Builder, depth int) {
+	pad := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%srun protocol=%s span=%q nodes=%d rounds=%d accepted=%t max=%d total=%d maxcoin=%d decide=%d/%d err=%q\n",
+		pad, m.Protocol, m.Span, m.Nodes, m.Rounds, m.Accepted,
+		m.MaxLabelBits, m.TotalLabelBits, m.MaxCoinBits, m.NodeAccepts, m.NodeRejects, m.Err)
+	for _, r := range m.RoundMetrics {
+		h := r.LabelBits
+		kind := "label"
+		if r.Phase == "verifier" {
+			h = r.CoinBits
+			kind = "coin"
+		}
+		fmt.Fprintf(b, "%s  %s r=%d %s{n=%d min=%d p50=%d max=%d sum=%d}\n",
+			pad, r.Phase, r.Round, kind, h.N, h.Min, h.P50, h.Max, h.Sum)
+	}
+	for _, s := range m.Subs {
+		s.fingerprint(b, depth+1)
+	}
+}
+
+// CollectTracer aggregates the event stream into Metrics snapshots. Spans
+// nest by bracketing: a RunStart emitted while another run is open
+// becomes a child of that run (this is how composite protocols group
+// their sub-executions). It is safe for concurrent use.
+type CollectTracer struct {
+	mu    sync.Mutex
+	stack []*Metrics
+	done  []*Metrics
+	reg   *Registry
+}
+
+// NewCollect returns an empty collector.
+func NewCollect() *CollectTracer { return &CollectTracer{} }
+
+// NewCollectWithRegistry returns a collector that additionally bumps
+// counters in reg as runs complete.
+func NewCollectWithRegistry(reg *Registry) *CollectTracer { return &CollectTracer{reg: reg} }
+
+// Emit implements Tracer.
+func (c *CollectTracer) Emit(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reg != nil {
+		c.reg.Add("events_total", 1)
+	}
+	if ev.Kind == RunStart {
+		m := &Metrics{
+			Protocol: ev.Protocol, Span: ev.Span, Engine: ev.Engine,
+			Nodes: ev.Nodes, Rounds: ev.Rounds,
+		}
+		c.stack = append(c.stack, m)
+		return
+	}
+	if len(c.stack) == 0 {
+		return // stray event outside any open run
+	}
+	top := c.stack[len(c.stack)-1]
+	switch ev.Kind {
+	case ProverRoundEnd:
+		top.RoundMetrics = append(top.RoundMetrics, RoundMetrics{
+			Phase: "prover", Round: ev.Round, LabelBits: ev.LabelBits,
+			WallNS: ev.WallNS, Workers: ev.Workers,
+		})
+	case VerifierRoundEnd:
+		top.RoundMetrics = append(top.RoundMetrics, RoundMetrics{
+			Phase: "verifier", Round: ev.Round, CoinBits: ev.CoinBits,
+			WallNS: ev.WallNS, Workers: ev.Workers,
+		})
+	case NodeDecide:
+		if ev.Accepted {
+			top.NodeAccepts++
+		} else {
+			top.NodeRejects++
+		}
+	case RunEnd:
+		top.Accepted = ev.Accepted
+		top.MaxLabelBits = ev.MaxLabelBits
+		top.TotalLabelBits = ev.TotalLabelBits
+		top.MaxCoinBits = ev.MaxCoinBits
+		top.Err = ev.Err
+		top.WallNS = ev.WallNS
+		c.stack = c.stack[:len(c.stack)-1]
+		if len(c.stack) > 0 {
+			parent := c.stack[len(c.stack)-1]
+			parent.Subs = append(parent.Subs, top)
+		} else {
+			c.done = append(c.done, top)
+		}
+		if c.reg != nil {
+			c.reg.Add("runs_total", 1)
+			c.reg.Add("label_bits_total", int64(top.TotalLabelBits))
+			if top.Accepted {
+				c.reg.Add("runs_accepted_total", 1)
+			}
+			if top.Protocol != "" {
+				c.reg.Add("runs_total{protocol="+top.Protocol+"}", 1)
+			}
+		}
+	}
+}
+
+// Runs returns the completed top-level snapshots in completion order.
+// The returned values are owned by the collector; treat them as
+// read-only.
+func (c *CollectTracer) Runs() []*Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Metrics(nil), c.done...)
+}
+
+// Fingerprint concatenates the fingerprints of all completed runs.
+func (c *CollectTracer) Fingerprint() string {
+	var b strings.Builder
+	for _, m := range c.Runs() {
+		b.WriteString(m.Fingerprint())
+	}
+	return b.String()
+}
+
+// Reset drops all completed and in-flight snapshots.
+func (c *CollectTracer) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stack, c.done = nil, nil
+}
+
+// Registry is a minimal named-counter registry: monotonically increasing
+// int64 counters keyed by name (optionally with a "{k=v}" suffix for
+// per-protocol breakdowns). It is safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{counters: map[string]int64{}} }
+
+// Add increments counter name by delta.
+func (r *Registry) Add(name string, delta int64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Get returns the current value of counter name (0 if never touched).
+func (r *Registry) Get(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns all counter names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

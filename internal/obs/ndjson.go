@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// NDJSONTracer streams every event as one JSON object per line
+// (newline-delimited JSON) to an io.Writer. Field names are snake_case;
+// fields that are meaningless for an event kind are omitted. The schema
+// is documented in OBSERVABILITY.md. It is safe for concurrent use; the
+// first write error is sticky and retrievable via Err.
+type NDJSONTracer struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewNDJSON returns a tracer streaming to w.
+func NewNDJSON(w io.Writer) *NDJSONTracer {
+	return &NDJSONTracer{enc: json.NewEncoder(w)}
+}
+
+// HistJSON is the wire form of a Hist.
+type HistJSON struct {
+	Min int `json:"min"`
+	P50 int `json:"p50"`
+	Max int `json:"max"`
+	Sum int `json:"sum"`
+}
+
+func histJSON(h Hist) *HistJSON {
+	if h.N == 0 {
+		return nil
+	}
+	return &HistJSON{Min: h.Min, P50: h.P50, Max: h.Max, Sum: h.Sum}
+}
+
+// eventJSON is the wire form of an Event. Round and Node use pointers so
+// that a legitimate value of 0 survives omitempty.
+type eventJSON struct {
+	Ev       string `json:"ev"`
+	Protocol string `json:"protocol,omitempty"`
+	Span     string `json:"span,omitempty"`
+	Engine   string `json:"engine,omitempty"`
+
+	Round  *int `json:"round,omitempty"`
+	Nodes  int  `json:"nodes,omitempty"`
+	Rounds int  `json:"rounds,omitempty"`
+
+	LabelBits *HistJSON `json:"label_bits,omitempty"`
+	CoinBits  *HistJSON `json:"coin_bits,omitempty"`
+
+	Node     *int  `json:"node,omitempty"`
+	Accepted *bool `json:"accepted,omitempty"`
+
+	MaxLabelBits   int    `json:"max_label_bits,omitempty"`
+	TotalLabelBits int    `json:"total_label_bits,omitempty"`
+	MaxCoinBits    int    `json:"max_coin_bits,omitempty"`
+	Err            string `json:"err,omitempty"`
+
+	WallNS  int64   `json:"wall_ns,omitempty"`
+	Workers int     `json:"workers,omitempty"`
+	BatchNS []int64 `json:"batch_ns,omitempty"`
+}
+
+// Emit implements Tracer.
+func (t *NDJSONTracer) Emit(ev Event) {
+	rec := eventJSON{
+		Ev:       ev.Kind.String(),
+		Protocol: ev.Protocol,
+		Span:     ev.Span,
+		Engine:   ev.Engine,
+		Nodes:    ev.Nodes,
+		Rounds:   ev.Rounds,
+		WallNS:   ev.WallNS,
+		Workers:  ev.Workers,
+		BatchNS:  ev.BatchNS,
+	}
+	switch ev.Kind {
+	case ProverRoundStart, VerifierRoundStart:
+		r := ev.Round
+		rec.Round = &r
+	case ProverRoundEnd:
+		r := ev.Round
+		rec.Round = &r
+		rec.LabelBits = histJSON(ev.LabelBits)
+	case VerifierRoundEnd:
+		r := ev.Round
+		rec.Round = &r
+		rec.CoinBits = histJSON(ev.CoinBits)
+	case NodeDecide:
+		v, acc := ev.Node, ev.Accepted
+		rec.Node = &v
+		rec.Accepted = &acc
+	case RunEnd:
+		acc := ev.Accepted
+		rec.Accepted = &acc
+		rec.MaxLabelBits = ev.MaxLabelBits
+		rec.TotalLabelBits = ev.TotalLabelBits
+		rec.MaxCoinBits = ev.MaxCoinBits
+		rec.Err = ev.Err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(rec)
+}
+
+// Err returns the first write error, if any.
+func (t *NDJSONTracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHistOf(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []int
+		want Hist
+	}{
+		{"empty", nil, Hist{}},
+		{"single", []int{7}, Hist{N: 1, Min: 7, P50: 7, Max: 7, Sum: 7}},
+		{"odd", []int{3, 1, 2}, Hist{N: 3, Min: 1, P50: 2, Max: 3, Sum: 6}},
+		{"even", []int{4, 1, 3, 2}, Hist{N: 4, Min: 1, P50: 3, Max: 4, Sum: 10}},
+		{"zeros", []int{0, 0, 0}, Hist{N: 3, Min: 0, P50: 0, Max: 0, Sum: 0}},
+	}
+	for _, c := range cases {
+		if got := HistOf(c.in); got != c.want {
+			t.Errorf("%s: HistOf(%v) = %+v, want %+v", c.name, c.in, got, c.want)
+		}
+	}
+	// HistOf must not mutate its argument.
+	in := []int{5, 1, 3}
+	HistOf(in)
+	if in[0] != 5 || in[1] != 1 || in[2] != 3 {
+		t.Errorf("HistOf mutated input: %v", in)
+	}
+}
+
+// emitRun pushes a minimal complete run into tr.
+func emitRun(tr Tracer, protocol, span string, accepted bool, wallNS int64) {
+	tr.Emit(Event{Kind: RunStart, Protocol: protocol, Span: span, Engine: EngineRunner, Nodes: 3, Rounds: 2})
+	tr.Emit(Event{Kind: ProverRoundStart, Protocol: protocol, Span: span, Round: 0})
+	tr.Emit(Event{Kind: ProverRoundEnd, Protocol: protocol, Span: span, Round: 0,
+		LabelBits: HistOf([]int{1, 2, 3}), WallNS: wallNS})
+	tr.Emit(Event{Kind: VerifierRoundStart, Protocol: protocol, Span: span, Round: 0})
+	tr.Emit(Event{Kind: VerifierRoundEnd, Protocol: protocol, Span: span, Round: 0,
+		CoinBits: HistOf([]int{4, 4, 4}), WallNS: wallNS, Workers: 8})
+	for v := 0; v < 3; v++ {
+		tr.Emit(Event{Kind: NodeDecide, Protocol: protocol, Span: span, Node: v, Accepted: accepted || v != 1})
+	}
+	tr.Emit(Event{Kind: RunEnd, Protocol: protocol, Span: span, Accepted: accepted,
+		MaxLabelBits: 3, TotalLabelBits: 6, MaxCoinBits: 4, WallNS: wallNS})
+}
+
+func TestCollectTracerAggregates(t *testing.T) {
+	c := NewCollect()
+	emitRun(c, "p1", "", true, 111)
+	runs := c.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(runs))
+	}
+	m := runs[0]
+	if m.Protocol != "p1" || !m.Accepted || m.MaxLabelBits != 3 || m.TotalLabelBits != 6 {
+		t.Fatalf("bad metrics: %+v", m)
+	}
+	if m.NodeAccepts != 3 || m.NodeRejects != 0 {
+		t.Fatalf("decide tally %d/%d", m.NodeAccepts, m.NodeRejects)
+	}
+	if len(m.RoundMetrics) != 2 || m.RoundMetrics[0].Phase != "prover" || m.RoundMetrics[1].Phase != "verifier" {
+		t.Fatalf("round metrics: %+v", m.RoundMetrics)
+	}
+	if m.RoundMetrics[0].LabelBits.P50 != 2 {
+		t.Fatalf("label p50 = %d", m.RoundMetrics[0].LabelBits.P50)
+	}
+}
+
+func TestCollectTracerNestsSubRuns(t *testing.T) {
+	c := NewCollect()
+	// Composite run wrapping two nested engine runs.
+	c.Emit(Event{Kind: RunStart, Protocol: "outer", Span: "", Engine: EngineComposite, Nodes: 10, Rounds: 5})
+	emitRun(c, "inner", "component-0", true, 1)
+	emitRun(c, "inner", "component-1", false, 2)
+	c.Emit(Event{Kind: RunEnd, Protocol: "outer", Span: "", Accepted: false, MaxLabelBits: 9})
+	runs := c.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("got %d top-level runs, want 1", len(runs))
+	}
+	if len(runs[0].Subs) != 2 {
+		t.Fatalf("got %d subs, want 2", len(runs[0].Subs))
+	}
+	if runs[0].Subs[1].Span != "component-1" || runs[0].Subs[1].Accepted {
+		t.Fatalf("bad sub: %+v", runs[0].Subs[1])
+	}
+}
+
+func TestFingerprintIgnoresTiming(t *testing.T) {
+	c1, c2 := NewCollect(), NewCollect()
+	emitRun(c1, "p", "", true, 111)
+	emitRun(c2, "p", "", true, 999999) // same run, different wall time
+	if c1.Fingerprint() != c2.Fingerprint() {
+		t.Fatalf("fingerprints differ on timing-only change:\n%s\nvs\n%s", c1.Fingerprint(), c2.Fingerprint())
+	}
+	c3 := NewCollect()
+	emitRun(c3, "p", "", false, 111) // different verdict
+	if c1.Fingerprint() == c3.Fingerprint() {
+		t.Fatal("fingerprint blind to verdict change")
+	}
+}
+
+func TestNDJSONTracerEmitsValidLines(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewNDJSON(&buf)
+	emitRun(tr, "p", "s", true, 5)
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	kinds := map[string]int{}
+	for sc.Scan() {
+		lines++
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", lines, err, sc.Text())
+		}
+		ev, _ := obj["ev"].(string)
+		kinds[ev]++
+		if ev == "prover_round_end" {
+			lb, ok := obj["label_bits"].(map[string]any)
+			if !ok {
+				t.Fatalf("prover_round_end missing label_bits: %s", sc.Text())
+			}
+			for _, k := range []string{"min", "p50", "max", "sum"} {
+				if _, ok := lb[k]; !ok {
+					t.Fatalf("label_bits missing %q", k)
+				}
+			}
+		}
+	}
+	// run_start, PRS, PRE, VRS, VRE, 3× node_decide, run_end.
+	if lines != 9 {
+		t.Fatalf("got %d lines, want 9", lines)
+	}
+	if kinds["node_decide"] != 3 || kinds["run_end"] != 1 {
+		t.Fatalf("kind tally: %v", kinds)
+	}
+	// Round 0 must not be dropped by omitempty.
+	if !strings.Contains(buf.String(), `"round":0`) && !bytes.Contains(buf.Bytes(), []byte(`"round":0`)) {
+		// buf already drained by scanner; re-emit to check.
+		var b2 bytes.Buffer
+		tr2 := NewNDJSON(&b2)
+		tr2.Emit(Event{Kind: ProverRoundEnd, Round: 0, LabelBits: HistOf([]int{1})})
+		if !bytes.Contains(b2.Bytes(), []byte(`"round":0`)) {
+			t.Fatalf("round 0 omitted: %s", b2.String())
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a", 2)
+	r.Add("a", 3)
+	r.Add("b", 1)
+	if r.Get("a") != 5 || r.Get("b") != 1 || r.Get("missing") != 0 {
+		t.Fatalf("counters: %v", r.Snapshot())
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names: %v", names)
+	}
+}
+
+func TestCollectWithRegistry(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollectWithRegistry(reg)
+	emitRun(c, "p", "", true, 1)
+	emitRun(c, "q", "", false, 1)
+	if reg.Get("runs_total") != 2 || reg.Get("runs_accepted_total") != 1 {
+		t.Fatalf("registry: %v", reg.Snapshot())
+	}
+	if reg.Get("runs_total{protocol=p}") != 1 {
+		t.Fatalf("per-protocol counter: %v", reg.Snapshot())
+	}
+}
+
+func TestMultiFanOut(t *testing.T) {
+	c1, c2 := NewCollect(), NewCollect()
+	m := Multi(nil, NopTracer{}, c1, c2)
+	emitRun(m, "p", "", true, 1)
+	if len(c1.Runs()) != 1 || len(c2.Runs()) != 1 {
+		t.Fatal("fan-out missed a target")
+	}
+	if _, nop := Multi(nil, NopTracer{}).(NopTracer); !nop {
+		t.Fatal("empty Multi should collapse to NopTracer")
+	}
+	if Multi(c1) != c1 {
+		t.Fatal("single-target Multi should unwrap")
+	}
+}

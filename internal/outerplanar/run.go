@@ -33,11 +33,21 @@ type Result struct {
 // Run executes the composed outerplanarity DIP on g. If plan is nil the
 // honest prover derives it with the centralized oracles; a cheating
 // prover passes its own plan (soundness experiments do this with crafted
-// decompositions).
-func Run(g *graph.Graph, plan *Plan, rng *rand.Rand) (*Result, error) {
-	res := &Result{Rounds: 5}
+// decompositions). Options attach a tracer: the composite opens its own
+// span and nests the structural stage and every component sub-execution
+// under it.
+func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res *Result, err error) {
+	cfg := dip.NewRunConfig(opts...)
+	endRun := cfg.CompositeSpan("outerplanar", g.N(), 5)
+	defer func() {
+		if res != nil {
+			endRun(res.Accepted, res.MaxLabelBits)
+		} else {
+			endRun(false, 0)
+		}
+	}()
+	res = &Result{Rounds: 5}
 	if plan == nil {
-		var err error
 		plan, err = HonestPlan(g)
 		if err != nil {
 			res.ProverFailed = true
@@ -48,7 +58,7 @@ func Run(g *graph.Graph, plan *Plan, rng *rand.Rand) (*Result, error) {
 
 	// Stage 1+2: structural protocol on the real graph.
 	di := dip.NewInstance(g)
-	structRes, err := StructuralProtocol(di, p, plan).RunOnce(di, rng)
+	structRes, err := StructuralProtocol(di, p, plan).RunOnce(di, rng, cfg.Child("structural")...)
 	if err != nil {
 		return nil, fmt.Errorf("outerplanar: structural stage: %w", err)
 	}
@@ -79,7 +89,7 @@ func Run(g *graph.Graph, plan *Plan, rng *rand.Rand) (*Result, error) {
 		}
 		inst := &pathouter.Instance{G: sub.G, Pos: sub.Pos}
 		sdi := dip.NewInstance(sub.G)
-		sres, err := pathouter.Protocol(inst, pp).RunOnce(sdi, rng)
+		sres, err := pathouter.Protocol(inst, pp).RunOnce(sdi, rng, cfg.Child(fmt.Sprintf("component-%d", ci))...)
 		if err != nil {
 			// A prover that cannot label a component loses that
 			// component: the verifier there rejects.

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"repro/internal/bitio"
+	"repro/internal/dip"
 	"repro/internal/embedding"
 	"repro/internal/graph"
 	"repro/internal/planar"
@@ -34,8 +35,17 @@ type Result struct {
 // when non-nil (generators provide known rotations; adversaries provide
 // crafted ones); otherwise it runs the DMP embedder, and fails — which
 // the verifier treats as rejection — when the graph is not planar.
-func Run(g *graph.Graph, hint *planar.Rotation, rng *rand.Rand) (*Result, error) {
-	res := &Result{Rounds: 5}
+func Run(g *graph.Graph, hint *planar.Rotation, rng *rand.Rand, opts ...dip.RunOption) (res *Result, err error) {
+	cfg := dip.NewRunConfig(opts...)
+	endRun := cfg.CompositeSpan("planarity", g.N(), 5)
+	defer func() {
+		if res != nil {
+			endRun(res.Accepted, res.MaxLabelBits)
+		} else {
+			endRun(false, 0)
+		}
+	}()
+	res = &Result{Rounds: 5}
 	if g.N() < 2 {
 		return nil, errors.New("planarity: need n >= 2")
 	}
@@ -48,7 +58,7 @@ func Run(g *graph.Graph, hint *planar.Rotation, rng *rand.Rand) (*Result, error)
 		}
 		rot = r
 	}
-	emb, err := embedding.Run(g, rot, rng)
+	emb, err := embedding.Run(g, rot, rng, cfg.Child("embedding")...)
 	if err != nil {
 		return nil, err
 	}

@@ -25,10 +25,18 @@ type Result struct {
 // Run executes the composed series-parallel DIP on g. A nil plan invokes
 // the honest prover (SP decomposition via graph reduction); cheating
 // provers supply their own plans.
-func Run(g *graph.Graph, plan *Plan, rng *rand.Rand) (*Result, error) {
-	res := &Result{Rounds: 5}
+func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res *Result, err error) {
+	cfg := dip.NewRunConfig(opts...)
+	endRun := cfg.CompositeSpan("seriesparallel", g.N(), 5)
+	defer func() {
+		if res != nil {
+			endRun(res.Accepted, res.MaxLabelBits)
+		} else {
+			endRun(false, 0)
+		}
+	}()
+	res = &Result{Rounds: 5}
 	if plan == nil {
-		var err error
 		plan, err = HonestPlan(g)
 		if err != nil {
 			res.ProverFailed = true
@@ -38,7 +46,7 @@ func Run(g *graph.Graph, plan *Plan, rng *rand.Rand) (*Result, error) {
 	p := NewParams(g.N())
 
 	di := dip.NewInstance(g)
-	structRes, err := StructuralProtocol(g, p, plan).RunOnce(di, rng)
+	structRes, err := StructuralProtocol(g, p, plan).RunOnce(di, rng, cfg.Child("structural")...)
 	if err != nil {
 		return nil, fmt.Errorf("seriesparallel: structural stage: %w", err)
 	}
@@ -55,14 +63,14 @@ func Run(g *graph.Graph, plan *Plan, rng *rand.Rand) (*Result, error) {
 	}
 
 	accepted := structRes.Accepted
-	for _, ni := range plan.NestingInstances() {
+	for nix, ni := range plan.NestingInstances() {
 		pp, err := pathouter.NewParams(ni.G.N())
 		if err != nil {
 			return nil, err
 		}
 		inst := &pathouter.Instance{G: ni.G, Pos: ni.Pos}
 		sdi := dip.NewInstance(ni.G)
-		sres, err := pathouter.Protocol(inst, pp).RunOnce(sdi, rng)
+		sres, err := pathouter.Protocol(inst, pp).RunOnce(sdi, rng, cfg.Child(fmt.Sprintf("ear-%d", nix))...)
 		if err != nil {
 			res.NestingRejections++
 			accepted = false

@@ -477,11 +477,21 @@ type Result struct {
 	BlockRejections    int
 }
 
-// Run executes the composed treewidth-2 DIP.
-func Run(g *graph.Graph, plan *Plan, rng *rand.Rand) (*Result, error) {
-	res := &Result{Rounds: 5}
+// Run executes the composed treewidth-2 DIP. Options attach a tracer;
+// the structural stage and every per-block series-parallel sub-run nest
+// under the composite's span.
+func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res *Result, err error) {
+	cfg := dip.NewRunConfig(opts...)
+	endRun := cfg.CompositeSpan("treewidth2", g.N(), 5)
+	defer func() {
+		if res != nil {
+			endRun(res.Accepted, res.MaxLabelBits)
+		} else {
+			endRun(false, 0)
+		}
+	}()
+	res = &Result{Rounds: 5}
 	if plan == nil {
-		var err error
 		plan, err = HonestPlan(g)
 		if err != nil {
 			res.ProverFailed = true
@@ -490,7 +500,7 @@ func Run(g *graph.Graph, plan *Plan, rng *rand.Rand) (*Result, error) {
 	}
 	p := NewParams(g.N())
 	di := dip.NewInstance(g)
-	structRes, err := StructuralProtocol(g, p, plan).RunOnce(di, rng)
+	structRes, err := StructuralProtocol(g, p, plan).RunOnce(di, rng, cfg.Child("structural")...)
 	if err != nil {
 		return nil, fmt.Errorf("treewidth2: structural stage: %w", err)
 	}
@@ -525,7 +535,7 @@ func Run(g *graph.Graph, plan *Plan, rng *rand.Rand) (*Result, error) {
 				sub.MustAddEdge(iu, iv)
 			}
 		}
-		sres, err := seriesparallel.Run(sub, nil, rng)
+		sres, err := seriesparallel.Run(sub, nil, rng, cfg.Child(fmt.Sprintf("block-%d", c))...)
 		if err != nil {
 			return nil, err
 		}
