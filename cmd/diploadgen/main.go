@@ -1,0 +1,237 @@
+// Command diploadgen drives a running dipserve with a closed-loop
+// request stream: -c workers share a paced ticket counter targeting
+// -qps requests per second (0 = as fast as the workers go), cycling a
+// -mix of protocol/generator-family/size entries and -seeds distinct
+// verifier seeds (small -seeds values exercise the result cache, large
+// ones force fresh runs). At the end it prints one NDJSON summary row
+// per mix entry plus a run-wide row — same stream shape as dipbench
+// -json, with "type" discriminators — reporting achieved throughput,
+// latency percentiles, and per-status counts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "dipserve address (host:port or URL)")
+	qps := flag.Float64("qps", 500, "target requests per second (0 = unthrottled)")
+	conc := flag.Int("c", 16, "concurrent workers")
+	dur := flag.Duration("duration", 10*time.Second, "run length")
+	seeds := flag.Int("seeds", 8, "distinct verifier seeds to cycle (controls cache-hit ratio)")
+	mix := flag.String("mix", "planarity:triangulation:64,pathouter:pathouter:64,outerplanar:outerplanar:48",
+		"comma-separated protocol:family:n request mix")
+	flag.Parse()
+	if err := run(os.Stdout, *addr, *qps, *conc, *dur, *seeds, *mix); err != nil {
+		fmt.Fprintln(os.Stderr, "diploadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// mixEntry is one slot of the request mix: a protocol certified on a
+// generator-family instance of ~n vertices.
+type mixEntry struct {
+	protocol, family string
+	n                int
+}
+
+func parseMix(spec string) ([]mixEntry, error) {
+	var mix []mixEntry
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("mix entry %q: want protocol:family:n", part)
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("mix entry %q: bad size %q", part, fields[2])
+		}
+		mix = append(mix, mixEntry{protocol: fields[0], family: fields[1], n: n})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+	return mix, nil
+}
+
+// sample is one completed request's accounting.
+type sample struct {
+	mix     int
+	code    int
+	wall    time.Duration
+	hit     bool
+	shared  bool
+	failure bool // transport error, not an HTTP status
+}
+
+func run(w io.Writer, addr string, qps float64, conc int, dur time.Duration, seeds int, mixSpec string) error {
+	mix, err := parseMix(mixSpec)
+	if err != nil {
+		return err
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	if seeds < 1 {
+		seeds = 1
+	}
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	url := strings.TrimRight(base, "/") + "/certify"
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Closed-loop pacing: workers pull monotonically increasing tickets
+	// from a shared counter; ticket i is due at start + i/qps, so the
+	// offered load tracks the target even when individual requests are
+	// slow (the loop is closed per worker, paced globally).
+	var ticket atomic.Int64
+	start := time.Now()
+	deadline := start.Add(dur)
+	results := make(chan sample, 4096)
+
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < conc; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := ticket.Add(1) - 1
+				if qps > 0 {
+					due := start.Add(time.Duration(float64(i) / qps * float64(time.Second)))
+					if sleep := time.Until(due); sleep > 0 {
+						time.Sleep(sleep)
+					}
+				}
+				if time.Now().After(deadline) {
+					return
+				}
+				m := int(i) % len(mix)
+				e := mix[m]
+				body := fmt.Sprintf(
+					`{"protocol":%q,"seed":%d,"gen":{"family":%q,"n":%d,"seed":%d}}`,
+					e.protocol, i%int64(seeds), e.family, e.n, i%int64(seeds))
+				s := sample{mix: m}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", strings.NewReader(body))
+				s.wall = time.Since(t0)
+				if err != nil {
+					s.failure = true
+					results <- s
+					continue
+				}
+				s.code = resp.StatusCode
+				if resp.StatusCode == http.StatusOK {
+					var out serve.Response
+					if json.NewDecoder(resp.Body).Decode(&out) == nil {
+						s.hit, s.shared = out.CacheHit, out.Shared
+					}
+				} else {
+					io.Copy(io.Discard, resp.Body)
+				}
+				resp.Body.Close()
+				results <- s
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	perMix := make([]stats, len(mix))
+	var total stats
+	for s := range results {
+		perMix[s.mix].add(s)
+		total.add(s)
+	}
+	elapsed := time.Since(start)
+
+	enc := json.NewEncoder(w)
+	for i, e := range mix {
+		row := perMix[i].row(elapsed)
+		row["type"] = "loadgen_mix"
+		row["protocol"], row["family"], row["n"] = e.protocol, e.family, e.n
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	row := total.row(elapsed)
+	row["type"] = "loadgen_summary"
+	row["target_qps"], row["concurrency"], row["seeds"] = qps, conc, seeds
+	return enc.Encode(row)
+}
+
+// stats accumulates completed-request samples for one reporting bucket.
+type stats struct {
+	walls            []time.Duration
+	codes            map[int]int64
+	hits, shared     int64
+	failures, netErr int64
+	sent             int64
+}
+
+func (st *stats) add(s sample) {
+	if st.codes == nil {
+		st.codes = make(map[int]int64)
+	}
+	st.sent++
+	if s.failure {
+		st.netErr++
+		return
+	}
+	st.codes[s.code]++
+	st.walls = append(st.walls, s.wall)
+	if s.code != http.StatusOK {
+		st.failures++
+	}
+	if s.hit {
+		st.hits++
+	}
+	if s.shared {
+		st.shared++
+	}
+}
+
+func (st *stats) row(elapsed time.Duration) map[string]any {
+	codes := make(map[string]int64, len(st.codes))
+	for c, n := range st.codes {
+		codes[strconv.Itoa(c)] = n
+	}
+	return map[string]any{
+		"sent":         st.sent,
+		"elapsed_s":    elapsed.Seconds(),
+		"achieved_qps": float64(st.sent) / elapsed.Seconds(),
+		"status":       codes,
+		"net_errors":   st.netErr,
+		"cache_hits":   st.hits,
+		"shared":       st.shared,
+		"p50_ms":       percentile(st.walls, 0.50),
+		"p90_ms":       percentile(st.walls, 0.90),
+		"p99_ms":       percentile(st.walls, 0.99),
+	}
+}
+
+// percentile returns the q-quantile of walls in milliseconds
+// (nearest-rank on the sorted samples; 0 when empty).
+func percentile(walls []time.Duration, q float64) float64 {
+	if len(walls) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(walls))
+	copy(sorted, walls)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestRunAgainstServer drives a short burst at an in-process dipserve
+// and checks the NDJSON report: one row per mix entry plus a summary,
+// with requests actually served and repeated seeds hitting the cache.
+func TestRunAgainstServer(t *testing.T) {
+	s := serve.New(serve.Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	err := run(&buf, ts.URL, 200, 4, 400*time.Millisecond, 2,
+		"planarity:k4sub:8,pathouter:pathouter:16")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rows []map[string]any
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var row map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("invalid NDJSON line %q: %v", sc.Text(), err)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 2 mix + 1 summary:\n%s", len(rows), buf.String())
+	}
+	sum := rows[2]
+	if sum["type"] != "loadgen_summary" {
+		t.Fatalf("last row is %v, want loadgen_summary", sum["type"])
+	}
+	if sent := sum["sent"].(float64); sent < 4 {
+		t.Fatalf("sent %v requests, want a few dozen", sent)
+	}
+	status := sum["status"].(map[string]any)
+	if status["200"] == nil || status["200"].(float64) == 0 {
+		t.Fatalf("no 200s recorded: %v", sum)
+	}
+	// Two seeds over dozens of requests: the cache must have been hit.
+	if hits := sum["cache_hits"].(float64); hits == 0 {
+		t.Fatalf("no cache hits with -seeds 2: %v", sum)
+	}
+	if sum["p99_ms"].(float64) <= 0 {
+		t.Fatalf("p99 missing: %v", sum)
+	}
+}
+
+func TestParseMixRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "planarity", "planarity:k4sub", "planarity:k4sub:one", "p:f:1"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+	mix, err := parseMix(" planarity:k4sub:8 ,pathouter:pathouter:16")
+	if err != nil || len(mix) != 2 || mix[1].n != 16 {
+		t.Fatalf("parseMix round trip: %v %v", mix, err)
+	}
+}

@@ -1,0 +1,91 @@
+// Command dipserve runs the HTTP certification service: POST /certify
+// accepts a JSON request naming a protocol plus an instance (inline
+// edge list or generator spec; graphgen -format edges emits compatible
+// bodies) and responds with the verdict, per-round proof-size stats,
+// and the deterministic trace fingerprint. GET /healthz reports
+// liveness; GET /metricsz streams the counter registry as NDJSON
+// (schema in SERVICE.md and OBSERVABILITY.md).
+//
+// Requests are dispatched onto a sharded bounded-queue worker pool —
+// full queues answer 429 instead of growing memory — behind an LRU
+// result cache with singleflight deduplication. SIGINT/SIGTERM drain
+// in-flight requests and exit 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	addrFile := flag.String("addrfile", "", "write the bound address to this file once listening")
+	shards := flag.Int("shards", 0, "worker-pool shards (0 = default 4)")
+	workers := flag.Int("workers", 0, "workers per shard (0 = GOMAXPROCS/shards)")
+	queue := flag.Int("queue", 0, "pending jobs per shard before 429 (0 = default 64)")
+	cacheCap := flag.Int("cache", 0, "result-cache entries, negative disables (0 = default 1024)")
+	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = 30s)")
+	flag.Parse()
+	if err := run(*addr, *addrFile, serve.Config{
+		Shards:          *shards,
+		WorkersPerShard: *workers,
+		QueueLen:        *queue,
+		CacheCapacity:   *cacheCap,
+		DefaultTimeout:  *timeout,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "dipserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, addrFile string, cfg serve.Config) error {
+	s := serve.New(cfg)
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if addrFile != "" {
+		// Written after Listen succeeds: a reader that sees the file can
+		// connect immediately. Port 0 plus -addrfile is the race-free way
+		// for scripts to start the server on a free port.
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dipserve: listening on %s\n", bound)
+
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "dipserve: %v, draining\n", got)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,21 +1,31 @@
 // Command graphgen emits generated instances of the paper's graph
-// families as edge lists on stdout, for use with planarcheck or external
+// families on stdout, for use with planarcheck, dipserve, or external
 // tools.
 //
-//	graphgen -family pathouter -n 64 -seed 1
+//	graphgen -family pathouter -n 64 -seed 1                 # edge list
+//	graphgen -family pathouter -n 64 -seed 1 -format edges   # dipserve JSON
+//
+// In the default "list" format each edge is one "u v" line under a
+// comment header. The "edges" format emits the exact JSON request body
+// the dipserve /certify endpoint accepts, so generation round-trips
+// through the service:
+//
+//	graphgen -family pathouter -n 64 -format edges |
+//	    curl -s -d @- http://localhost:8080/certify
 //
 // Families: pathouter, outerplanar, triangulation, fanchain, sp,
 // treewidth2, k5sub, k33sub, k4sub.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
 	"repro/internal/gen"
-	"repro/internal/graph"
 )
 
 func main() {
@@ -23,41 +33,50 @@ func main() {
 	n := flag.Int("n", 64, "approximate size")
 	delta := flag.Int("delta", 8, "max degree (fanchain)")
 	seed := flag.Int64("seed", 1, "generator seed")
+	format := flag.String("format", "list", `output format: "list" (edge list) or "edges" (dipserve request JSON)`)
+	protocol := flag.String("protocol", "", "protocol field of the edges format (default: the family's natural protocol)")
 	flag.Parse()
-	if err := run(*family, *n, *delta, *seed); err != nil {
+	if err := run(os.Stdout, *family, *n, *delta, *seed, *format, *protocol); err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(family string, n, delta int, seed int64) error {
-	rng := rand.New(rand.NewSource(seed))
-	var g *graph.Graph
-	switch family {
-	case "pathouter":
-		g = gen.PathOuterplanar(rng, n, 0.5).G
-	case "outerplanar":
-		g = gen.Outerplanar(rng, n, 0.4).G
-	case "triangulation":
-		g = gen.Triangulation(rng, n).G
-	case "fanchain":
-		g = gen.FanChain(rng, n, delta).G
-	case "sp":
-		g = gen.SeriesParallel(rng, n).G
-	case "treewidth2":
-		g = gen.Treewidth2(rng, n).G
-	case "k5sub":
-		g = gen.K5Subdivision(rng, n)
-	case "k33sub":
-		g = gen.K33Subdivision(rng, n)
-	case "k4sub":
-		g = gen.K4Subdivision(rng, n)
+func run(w io.Writer, family string, n, delta int, seed int64, format, protocol string) error {
+	spec := gen.FamilySpec{Family: family, N: n, ChordProb: -1, Delta: delta}
+	g, pos, err := spec.BuildWitnessed(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "list":
+		fmt.Fprintf(w, "# family=%s n=%d seed=%d\n", family, g.N(), seed)
+		for _, e := range g.Edges() {
+			fmt.Fprintf(w, "%d %d\n", e.U, e.V)
+		}
+		return nil
+	case "edges":
+		if protocol == "" {
+			protocol = spec.DefaultProtocol()
+		}
+		edges := make([][2]int, 0, g.M())
+		for _, e := range g.Edges() {
+			edges = append(edges, [2]int{e.U, e.V})
+		}
+		req := map[string]any{
+			"protocol": protocol,
+			"seed":     seed,
+			"graph":    map[string]any{"n": g.N(), "edges": edges},
+		}
+		// The pathouter family's Hamiltonian-path witness rides along:
+		// without it the honest prover can only order biconnected
+		// instances itself.
+		if pos != nil {
+			req["witness_pos"] = pos
+		}
+		enc := json.NewEncoder(w)
+		return enc.Encode(req)
 	default:
-		return fmt.Errorf("unknown family %q", family)
+		return fmt.Errorf("unknown format %q (want list or edges)", format)
 	}
-	fmt.Printf("# family=%s n=%d seed=%d\n", family, g.N(), seed)
-	for _, e := range g.Edges() {
-		fmt.Printf("%d %d\n", e.U, e.V)
-	}
-	return nil
 }

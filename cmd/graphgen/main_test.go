@@ -1,17 +1,88 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+)
 
 func TestRunAllFamilies(t *testing.T) {
 	for _, fam := range []string{
 		"pathouter", "outerplanar", "triangulation", "fanchain",
 		"sp", "treewidth2", "k5sub", "k33sub", "k4sub",
 	} {
-		if err := run(fam, 24, 5, 1); err != nil {
+		if err := run(io.Discard, fam, 24, 5, 1, "list", ""); err != nil {
 			t.Fatalf("%s: %v", fam, err)
 		}
 	}
-	if err := run("nope", 10, 5, 1); err == nil {
+	if err := run(io.Discard, "nope", 10, 5, 1, "list", ""); err == nil {
 		t.Fatal("unknown family accepted")
+	}
+	if err := run(io.Discard, "pathouter", 10, 5, 1, "nope", ""); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+// TestEdgesFormatIsServeRequest pins the -format edges output to the
+// request schema dipserve accepts: protocol + seed + {n, edges} graph.
+func TestEdgesFormatIsServeRequest(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "pathouter", 16, 5, 7, "edges", ""); err != nil {
+		t.Fatal(err)
+	}
+	var req struct {
+		Protocol string `json:"protocol"`
+		Seed     int64  `json:"seed"`
+		Graph    struct {
+			N     int      `json:"n"`
+			Edges [][2]int `json:"edges"`
+		} `json:"graph"`
+		WitnessPos []int `json:"witness_pos"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &req); err != nil {
+		t.Fatalf("edges output is not one JSON object: %v", err)
+	}
+	if req.Protocol != "pathouter" {
+		t.Fatalf("default protocol = %q, want pathouter", req.Protocol)
+	}
+	if req.Seed != 7 {
+		t.Fatalf("seed = %d, want 7", req.Seed)
+	}
+	if req.Graph.N != 16 || len(req.Graph.Edges) < req.Graph.N-1 {
+		t.Fatalf("graph n=%d edges=%d looks wrong", req.Graph.N, len(req.Graph.Edges))
+	}
+	for _, e := range req.Graph.Edges {
+		if e[0] < 0 || e[0] >= req.Graph.N || e[1] < 0 || e[1] >= req.Graph.N || e[0] == e[1] {
+			t.Fatalf("edge %v out of range", e)
+		}
+	}
+	// pathouter instances carry the generator's Hamiltonian-path
+	// witness, so the honest prover can certify them even when the
+	// graph is not biconnected.
+	if len(req.WitnessPos) != req.Graph.N {
+		t.Fatalf("witness_pos has %d entries, want n=%d", len(req.WitnessPos), req.Graph.N)
+	}
+
+	// Protocol override and family default for no-instances.
+	buf.Reset()
+	if err := run(&buf, "k4sub", 8, 5, 1, "edges", "pls"); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Protocol != "pls" {
+		t.Fatalf("protocol override = %q, want pls", req.Protocol)
+	}
+	buf.Reset()
+	if err := run(&buf, "k4sub", 8, 5, 1, "edges", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Protocol != "planarity" {
+		t.Fatalf("k4sub default protocol = %q, want planarity", req.Protocol)
 	}
 }

@@ -1,0 +1,52 @@
+// The certification service, end to end in one process: start
+// internal/serve on a loopback listener, certify K4 twice (miss, then
+// cache hit), certify a generated path-outerplanar instance whose
+// witness rides along from the generator, and read the counters back
+// from /metricsz. SERVICE.md documents the wire format; cmd/dipserve
+// is the same server as a standalone binary.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	s := serve.New(serve.Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	requests := []string{
+		`{"protocol":"planarity","seed":1,"graph":{"n":4,"edges":[[0,1],[0,2],[0,3],[1,2],[1,3],[2,3]]}}`,
+		`{"protocol":"planarity","seed":1,"graph":{"n":4,"edges":[[3,2],[1,3],[2,1],[3,0],[2,0],[1,0]]}}`,
+		`{"protocol":"pathouter","seed":2,"gen":{"family":"pathouter","n":64,"seed":7}}`,
+	}
+	for _, body := range requests {
+		resp, err := http.Post(ts.URL+"/certify", "application/json", strings.NewReader(body))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("%d %s", resp.StatusCode, out)
+	}
+
+	// The second K4 request is the same instance with the edge list
+	// shuffled and flipped — same canonical key, so it hit the cache.
+	resp, err := http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	fmt.Println("--- /metricsz ---")
+	io.Copy(os.Stdout, resp.Body)
+}

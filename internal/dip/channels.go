@@ -118,6 +118,9 @@ func (cr *ChannelRunner) Run(p Prover, v Verifier, proverRounds, verifierRounds 
 	}
 	runErr := func() error {
 		for pr := 0; pr < proverRounds; pr++ {
+			if err := cfg.ctxErr(); err != nil {
+				return err
+			}
 			if traced {
 				cfg.emitRoundStart(obs.ProverRoundStart, obs.EngineChannels, pr)
 				phaseStart = time.Now()

@@ -170,8 +170,10 @@ func NewRunner(inst *Instance) *Runner {
 // verifier rounds, starting with the prover:
 // P V P V P ... The total interaction round count is
 // proverRounds + verifierRounds. It returns the per-node outputs and
-// communication statistics. Options attach a tracer and an identity tag;
-// with no tracer configured every event site reduces to one nil check.
+// communication statistics. Options attach a tracer and an identity tag
+// (with no tracer configured every event site reduces to one nil check)
+// and may bound the run by a context (WithContext), checked between
+// rounds so server-side deadlines abort in-flight interactions.
 func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng *rand.Rand, opts ...RunOption) (*Result, error) {
 	if proverRounds < 1 || verifierRounds < 0 || proverRounds < verifierRounds {
 		return nil, fmt.Errorf("dip: invalid schedule P=%d V=%d", proverRounds, verifierRounds)
@@ -200,6 +202,12 @@ func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng
 	}
 
 	for pr := 0; pr < proverRounds; pr++ {
+		if err := cfg.ctxErr(); err != nil {
+			if traced {
+				cfg.emitRunEnd(obs.EngineRunner, &st, false, err.Error(), runStart, 0, nil)
+			}
+			return nil, err
+		}
 		if traced {
 			cfg.emitRoundStart(obs.ProverRoundStart, obs.EngineRunner, pr)
 			phaseStart = time.Now()
@@ -254,6 +262,12 @@ func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng
 		}
 	}
 
+	if err := cfg.ctxErr(); err != nil {
+		if traced {
+			cfg.emitRunEnd(obs.EngineRunner, &st, false, err.Error(), runStart, 0, nil)
+		}
+		return nil, err
+	}
 	outputs := make([]bool, n)
 	decideWorkers, decideNS := r.parallelNodes(func(x int) {
 		view := r.viewFor(x, assignments, coins)

@@ -1,21 +1,30 @@
 package dip
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/obs"
 )
 
 // RunConfig is the resolved per-execution option set: which tracer (if
-// any) receives events, and under which protocol/span identity they are
-// tagged. Composite protocols use it to nest sub-executions under their
-// own span via Child.
+// any) receives events, under which protocol/span identity they are
+// tagged, and which context (if any) bounds the execution. Composite
+// protocols use it to nest sub-executions under their own span via
+// Child.
 type RunConfig struct {
 	// Tracer receives events; nil means tracing is disabled and the
 	// engines skip event construction entirely (the zero-alloc hot path).
 	Tracer   obs.Tracer
 	Protocol string
 	Span     string
+	// Ctx, when non-nil, is checked between interaction rounds: a
+	// canceled or expired context aborts the run with an error instead
+	// of letting it finish. Round granularity keeps the hot path free of
+	// per-node checks while still bounding abort latency by one round.
+	Ctx context.Context
 }
 
 // RunOption configures one execution.
@@ -52,6 +61,40 @@ func WithSpan(span string) RunOption {
 	return func(c *RunConfig) { c.Span = span }
 }
 
+// WithContext bounds the execution by ctx: both engines check it
+// between interaction rounds and abort with a wrapped ctx.Err() once it
+// is canceled or past its deadline. Composite protocols forward the
+// context to their sub-executions via Child. Passing nil or
+// context.Background() leaves the run unbounded at zero hot-path cost.
+func WithContext(ctx context.Context) RunOption {
+	return func(c *RunConfig) {
+		if ctx == nil || ctx == context.Background() {
+			c.Ctx = nil
+			return
+		}
+		c.Ctx = ctx
+	}
+}
+
+// Aborted reports whether err stems from a canceled or expired
+// WithContext context rather than a protocol/prover failure. Composite
+// protocols use it to propagate aborts out of sub-execution loops that
+// otherwise absorb sub-run errors as local rejections.
+func Aborted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// ctxErr reports the abort condition of the attached context, if any.
+func (c *RunConfig) ctxErr() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	if err := c.Ctx.Err(); err != nil {
+		return fmt.Errorf("dip: run aborted: %w", err)
+	}
+	return nil
+}
+
 // NewRunConfig resolves opts.
 func NewRunConfig(opts ...RunOption) RunConfig {
 	var c RunConfig
@@ -62,17 +105,25 @@ func NewRunConfig(opts ...RunOption) RunConfig {
 }
 
 // Child returns the options for a sub-execution nested at span element
-// sub: same tracer, span path extended by "/". With tracing disabled it
-// returns nil so sub-executions stay on the zero-cost path.
+// sub: same tracer and context, span path extended by "/". With tracing
+// disabled and no context attached it returns nil so sub-executions
+// stay on the zero-cost path.
 func (c RunConfig) Child(sub string) []RunOption {
-	if c.Tracer == nil {
+	if c.Tracer == nil && c.Ctx == nil {
 		return nil
+	}
+	var opts []RunOption
+	if c.Ctx != nil {
+		opts = append(opts, WithContext(c.Ctx))
+	}
+	if c.Tracer == nil {
+		return opts
 	}
 	span := sub
 	if c.Span != "" {
 		span = c.Span + "/" + sub
 	}
-	return []RunOption{WithTracer(c.Tracer), WithSpan(span)}
+	return append(opts, WithTracer(c.Tracer), WithSpan(span))
 }
 
 // event returns an Event pre-tagged with the execution identity.

@@ -83,6 +83,9 @@ func Run(g *graph.Graph, rot *planar.Rotation, rng *rand.Rand, opts ...dip.RunOp
 	hdi := dip.NewInstance(red.H)
 	hRes, err := pathouter.Protocol(inst, pp).RunOnce(hdi, rng, cfg.Child("reduction-h")...)
 	if err != nil {
+		if dip.Aborted(err) {
+			return nil, err
+		}
 		res.ProverFailed = true
 		return res, nil
 	}

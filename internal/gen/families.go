@@ -1,0 +1,123 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// FamilySpec names a generator family with its shared knobs. It is the
+// one generator entry point callers that dispatch on a family *name*
+// (graphgen, the certification service) go through, so the set of
+// recognized names lives in exactly one place.
+type FamilySpec struct {
+	Family string
+	// N is the approximate size; families round it to their structure.
+	N int
+	// ChordProb is the chord density of the outerplanar families;
+	// negative means the family default.
+	ChordProb float64
+	// Delta is the max degree of the fanchain family; <= 0 means 8.
+	Delta int
+}
+
+// Families lists the recognized family names in sorted order.
+func Families() []string {
+	names := make([]string, 0, len(familyMins))
+	for name := range familyMins {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// familyMins maps each family name to the smallest n it supports.
+var familyMins = map[string]int{
+	"pathouter":     2,
+	"outerplanar":   2,
+	"triangulation": 3,
+	"fanchain":      2,
+	"sp":            2,
+	"treewidth2":    2,
+	"k5sub":         5,
+	"k33sub":        6,
+	"k4sub":         4,
+}
+
+// Build materializes the family instance using rng, returning only the
+// graph. Unknown families and out-of-range sizes are errors, not
+// panics, so network-facing callers can reject bad specs with a 4xx.
+func (s FamilySpec) Build(rng *rand.Rand) (*graph.Graph, error) {
+	g, _, err := s.BuildWitnessed(rng)
+	return g, err
+}
+
+// BuildWitnessed is Build plus the family's structural witness where
+// one exists: for pathouter, the Hamiltonian-path position vector the
+// honest prover needs (pos[v] = position of v); nil for every other
+// family.
+func (s FamilySpec) BuildWitnessed(rng *rand.Rand) (*graph.Graph, []int, error) {
+	minN, ok := familyMins[s.Family]
+	if !ok {
+		return nil, nil, fmt.Errorf("gen: unknown family %q (have %v)", s.Family, Families())
+	}
+	if s.N < minN {
+		return nil, nil, fmt.Errorf("gen: family %q needs n >= %d, got %d", s.Family, minN, s.N)
+	}
+	chord := s.ChordProb
+	switch s.Family {
+	case "pathouter":
+		if chord < 0 {
+			chord = 0.5
+		}
+		inst := PathOuterplanar(rng, s.N, chord)
+		return inst.G, inst.Pos, nil
+	case "outerplanar":
+		if chord < 0 {
+			chord = 0.4
+		}
+		return Outerplanar(rng, s.N, chord).G, nil, nil
+	case "triangulation":
+		return Triangulation(rng, s.N).G, nil, nil
+	case "fanchain":
+		delta := s.Delta
+		if delta <= 0 {
+			delta = 8
+		}
+		if delta < 3 {
+			return nil, nil, fmt.Errorf("gen: family fanchain needs delta >= 3, got %d", delta)
+		}
+		return FanChain(rng, s.N, delta).G, nil, nil
+	case "sp":
+		return SeriesParallel(rng, s.N).G, nil, nil
+	case "treewidth2":
+		return Treewidth2(rng, s.N).G, nil, nil
+	case "k5sub":
+		return K5Subdivision(rng, s.N), nil, nil
+	case "k33sub":
+		return K33Subdivision(rng, s.N), nil, nil
+	case "k4sub":
+		return K4Subdivision(rng, s.N), nil, nil
+	}
+	panic("unreachable")
+}
+
+// DefaultProtocol returns the protocol a generated instance of the
+// family is naturally certified with: the yes-families map to their own
+// theorem's protocol, the planar no-instances to the planarity DIP.
+func (s FamilySpec) DefaultProtocol() string {
+	switch s.Family {
+	case "pathouter":
+		return "pathouter"
+	case "outerplanar":
+		return "outerplanar"
+	case "sp":
+		return "sp"
+	case "treewidth2":
+		return "treewidth2"
+	default:
+		return "planarity"
+	}
+}

@@ -175,3 +175,42 @@ func TestNoInstances(t *testing.T) {
 		t.Fatal("twisted rotation still valid")
 	}
 }
+
+// TestFamilySpecBuild pins the name-dispatched builder: every advertised
+// family builds, matches the typed generator under the same seed, and
+// bad specs error instead of panicking.
+func TestFamilySpecBuild(t *testing.T) {
+	for _, fam := range Families() {
+		g, err := FamilySpec{Family: fam, N: 24, ChordProb: -1}.Build(rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if g.N() < 2 || g.M() == 0 {
+			t.Fatalf("%s: degenerate graph n=%d m=%d", fam, g.N(), g.M())
+		}
+	}
+	// Same seed, same family knobs => same graph as the typed generator.
+	want := PathOuterplanar(rand.New(rand.NewSource(9)), 32, 0.5).G
+	got, err := FamilySpec{Family: "pathouter", N: 32, ChordProb: -1}.Build(rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("spec build diverged from typed generator: n=%d/%d m=%d/%d",
+			got.N(), want.N(), got.M(), want.M())
+	}
+	for _, e := range want.Edges() {
+		if !got.HasEdge(e.U, e.V) {
+			t.Fatalf("spec build missing edge %v", e)
+		}
+	}
+	if _, err := (FamilySpec{Family: "nope", N: 8}).Build(rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if _, err := (FamilySpec{Family: "k5sub", N: 3}).Build(rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("undersized k5sub accepted")
+	}
+	if _, err := (FamilySpec{Family: "fanchain", N: 8, Delta: 2}).Build(rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("fanchain delta=2 accepted")
+	}
+}

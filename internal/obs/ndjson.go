@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"sync"
 )
 
@@ -115,4 +116,33 @@ func (t *NDJSONTracer) Err() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.err
+}
+
+// counterJSON is the wire form of one registry counter in an NDJSON
+// snapshot: the same row shape dipbench's summary row flattens, one
+// counter per line so streams stay greppable.
+type counterJSON struct {
+	Type  string `json:"type"`
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// WriteNDJSON writes a point-in-time snapshot of all counters to w as
+// NDJSON, one {"type":"counter","name":...,"value":...} object per line
+// in sorted name order. The snapshot is atomic with respect to
+// concurrent Adds (it copies under the registry lock first).
+func (r *Registry) WriteNDJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	enc := json.NewEncoder(w)
+	for _, name := range names {
+		if err := enc.Encode(counterJSON{Type: "counter", Name: name, Value: snap[name]}); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -194,3 +194,42 @@ func TestMultiFanOut(t *testing.T) {
 		t.Fatal("single-target Multi should unwrap")
 	}
 }
+
+func TestRegistryWriteNDJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add("b_total", 2)
+	reg.Add("a_total", 7)
+	reg.Add("runs_total{protocol=p}", 1)
+	var buf bytes.Buffer
+	if err := reg.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var row struct {
+			Type  string `json:"type"`
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("invalid NDJSON line %q: %v", sc.Text(), err)
+		}
+		if row.Type != "counter" {
+			t.Fatalf("row type %q, want counter", row.Type)
+		}
+		if row.Name == "a_total" && row.Value != 7 {
+			t.Fatalf("a_total = %d, want 7", row.Value)
+		}
+		names = append(names, row.Name)
+	}
+	want := []string{"a_total", "b_total", "runs_total{protocol=p}"}
+	if len(names) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(names), len(want))
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("row %d = %q, want %q (sorted order)", i, names[i], want[i])
+		}
+	}
+}

@@ -91,6 +91,9 @@ func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res
 		sdi := dip.NewInstance(sub.G)
 		sres, err := pathouter.Protocol(inst, pp).RunOnce(sdi, rng, cfg.Child(fmt.Sprintf("component-%d", ci))...)
 		if err != nil {
+			if dip.Aborted(err) {
+				return nil, err
+			}
 			// A prover that cannot label a component loses that
 			// component: the verifier there rejects.
 			res.ComponentRejections++

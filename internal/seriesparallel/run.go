@@ -72,6 +72,9 @@ func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res
 		sdi := dip.NewInstance(ni.G)
 		sres, err := pathouter.Protocol(inst, pp).RunOnce(sdi, rng, cfg.Child(fmt.Sprintf("ear-%d", nix))...)
 		if err != nil {
+			if dip.Aborted(err) {
+				return nil, err
+			}
 			res.NestingRejections++
 			accepted = false
 			continue

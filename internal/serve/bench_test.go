@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// BenchmarkServeThroughput measures the in-process request path —
+// JSON decode, canonical hash, cache, pool dispatch, JSON encode —
+// with no network stack. CacheHit replays one request so every
+// iteration after the first is served from the LRU store; Miss cycles
+// seeds so every iteration runs the protocol.
+func BenchmarkServeThroughput(b *testing.B) {
+	bench := func(b *testing.B, body func(i int) string) {
+		s := New(Config{})
+		defer s.Close()
+		h := s.Handler()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := httptest.NewRequest(http.MethodPost, "/certify", strings.NewReader(body(i)))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, r)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	}
+	b.Run("CacheHit", func(b *testing.B) {
+		bench(b, func(int) string { return k4Req })
+	})
+	b.Run("Miss", func(b *testing.B) {
+		bench(b, func(i int) string {
+			return fmt.Sprintf(
+				`{"protocol":"planarity","seed":%d,"graph":{"n":4,"edges":[[0,1],[0,2],[0,3],[1,2],[1,3],[2,3]]}}`, i)
+		})
+	})
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is an LRU result cache with singleflight deduplication: at most
+// one computation per key runs at a time, concurrent requests for the
+// same key wait for the leader's result, and successful results are
+// retained up to the capacity with least-recently-used eviction.
+// Failed computations are never cached, so transient errors (queue
+// full, deadline exceeded) do not poison the key.
+type Cache struct {
+	mu       sync.Mutex
+	cap      int
+	ll       *list.List                   // front = most recently used
+	items    map[RequestKey]*list.Element // of *cacheEntry
+	inflight map[RequestKey]*flight
+}
+
+type cacheEntry struct {
+	key RequestKey
+	val *Response
+}
+
+type flight struct {
+	done chan struct{}
+	val  *Response
+	err  error
+}
+
+// NewCache returns a cache holding up to capacity responses;
+// capacity <= 0 disables retention but keeps singleflight dedup.
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		cap:      capacity,
+		ll:       list.New(),
+		items:    make(map[RequestKey]*list.Element),
+		inflight: make(map[RequestKey]*flight),
+	}
+}
+
+// Outcome classifies how a Do call was served, for metrics.
+type Outcome int
+
+const (
+	// Computed: this call ran fn itself (cache miss, singleflight leader).
+	Computed Outcome = iota
+	// Hit: served from the LRU store without running fn.
+	Hit
+	// Shared: waited on a concurrent identical request's computation.
+	Shared
+)
+
+// Do returns the response for key, running fn at most once across all
+// concurrent callers with the same key. The returned Outcome reports
+// whether the value came from the store, a shared in-flight
+// computation, or a fresh run of fn.
+func (c *Cache) Do(key RequestKey, fn func() (*Response, error)) (*Response, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		val := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return val, Hit, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.val, Shared, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.val, f.err = fn()
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil && c.cap > 0 {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: f.val})
+		for c.ll.Len() > c.cap {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	return f.val, Computed, f.err
+}
+
+// Len returns the number of cached responses.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

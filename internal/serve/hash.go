@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// RequestKey is the canonical cache key of one certification request:
+// a hex digest of (protocol, seed, vertex count, edge set). Two
+// requests that describe the same instance — regardless of the order
+// or endpoint orientation of their edge lists, and regardless of
+// whether the graph arrived inline or was materialized from a
+// generator spec — produce the same key, so the result cache and the
+// singleflight group deduplicate them.
+type RequestKey string
+
+// Shard maps the key onto one of n worker-pool shards. The key is
+// already a cryptographic digest, so the leading bytes are uniform.
+func (k RequestKey) Shard(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	var x uint64
+	for i := 0; i < 8 && i < len(k); i++ {
+		x = x<<8 | uint64(k[i])
+	}
+	return int(x % uint64(n))
+}
+
+// CanonicalKey computes the RequestKey for running protocol with the
+// given verifier seed on the graph (n vertices, edges), with witness
+// (the prover's private witness input, e.g. a Hamiltonian-path
+// position vector; nil when the prover derives its own) hashed
+// position-sensitively — a witness is ordered data, unlike the edge
+// set. The edge list is canonicalized — each edge sorted
+// endpoint-wise, then the list sorted lexicographically — before
+// hashing, which is what makes the key order-invariant. Duplicate
+// edges collapse (the graph type rejects them anyway, so they cannot
+// describe distinct instances).
+func CanonicalKey(protocol string, seed int64, n int, edges []graph.Edge, witness []int) RequestKey {
+	canon := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		canon[i] = graph.Canon(e.U, e.V)
+	}
+	sort.Slice(canon, func(i, j int) bool {
+		if canon[i].U != canon[j].U {
+			return canon[i].U < canon[j].U
+		}
+		return canon[i].V < canon[j].V
+	})
+	h := sha256.New()
+	fmt.Fprintf(h, "dipserve/v1|%s|%d|%d|", protocol, seed, n)
+	var buf [8]byte
+	for i, e := range canon {
+		if i > 0 && e == canon[i-1] {
+			continue
+		}
+		binary.LittleEndian.PutUint32(buf[:4], uint32(e.U))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(e.V))
+		h.Write(buf[:])
+	}
+	if len(witness) > 0 {
+		io.WriteString(h, "|witness|")
+		for _, p := range witness {
+			binary.LittleEndian.PutUint64(buf[:], uint64(p))
+			h.Write(buf[:])
+		}
+	}
+	return RequestKey(fmt.Sprintf("%x", h.Sum(nil)[:16]))
+}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func k4Edges() []graph.Edge {
+	return []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3}}
+}
+
+// TestCanonicalKeyOrderInvariant: shuffled and endpoint-flipped edge
+// lists describe the same instance, so they must hash identically.
+func TestCanonicalKeyOrderInvariant(t *testing.T) {
+	edges := k4Edges()
+	want := CanonicalKey("planarity", 7, 4, edges, nil)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		shuf := make([]graph.Edge, len(edges))
+		copy(shuf, edges)
+		rng.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+		for i := range shuf {
+			if rng.Intn(2) == 0 {
+				shuf[i] = graph.Edge{U: shuf[i].V, V: shuf[i].U}
+			}
+		}
+		if got := CanonicalKey("planarity", 7, 4, shuf, nil); got != want {
+			t.Fatalf("trial %d: shuffled key %s != %s", trial, got, want)
+		}
+	}
+}
+
+// TestCanonicalKeySensitivity: every component of the request identity
+// must perturb the key.
+func TestCanonicalKeySensitivity(t *testing.T) {
+	base := CanonicalKey("planarity", 7, 4, k4Edges(), nil)
+	cases := map[string]RequestKey{
+		"edge removed": CanonicalKey("planarity", 7, 4, k4Edges()[:5], nil),
+		"edge added":   CanonicalKey("planarity", 7, 5, append(k4Edges(), graph.Edge{U: 3, V: 4}), nil),
+		"edge rewired": CanonicalKey("planarity", 7, 5, append(k4Edges()[:5], graph.Edge{U: 2, V: 4}), nil),
+		"protocol":     CanonicalKey("pathouter", 7, 4, k4Edges(), nil),
+		"seed":         CanonicalKey("planarity", 8, 4, k4Edges(), nil),
+		"vertex count": CanonicalKey("planarity", 7, 5, k4Edges(), nil),
+		"witness":      CanonicalKey("planarity", 7, 4, k4Edges(), []int{0, 1, 2, 3}),
+		"witness perm": CanonicalKey("planarity", 7, 4, k4Edges(), []int{0, 1, 3, 2}),
+	}
+	seen := map[RequestKey]string{base: "base"}
+	for name, key := range cases {
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("%q collides with %q: %s", name, prev, key)
+		}
+		seen[key] = name
+	}
+}
+
+func TestRequestKeyShardStable(t *testing.T) {
+	key := CanonicalKey("planarity", 1, 4, k4Edges(), nil)
+	if s := key.Shard(1); s != 0 {
+		t.Fatalf("single shard must map to 0, got %d", s)
+	}
+	first := key.Shard(8)
+	if first < 0 || first >= 8 {
+		t.Fatalf("shard %d out of range", first)
+	}
+	if again := key.Shard(8); again != first {
+		t.Fatalf("shard not stable: %d then %d", first, again)
+	}
+}

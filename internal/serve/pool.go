@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Pool.Submit when the target shard's
+// bounded queue is at capacity. The HTTP layer maps it to 429 so
+// saturation produces backpressure instead of unbounded buffering.
+var ErrQueueFull = errors.New("serve: worker queue full")
+
+// ErrPoolClosed is returned by Submit after Close.
+var ErrPoolClosed = errors.New("serve: pool closed")
+
+// Pool is a sharded bounded-queue worker pool. Each shard owns one
+// FIFO queue of fixed capacity and a fixed set of workers draining it;
+// jobs are routed to shards by request key, so identical requests that
+// escaped singleflight (e.g. re-submitted after an eviction) land on
+// the same shard and keep cache-friendly locality, while distinct keys
+// spread uniformly.
+type Pool struct {
+	shards []chan func()
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts a pool of shards×workersPerShard workers, each shard
+// with a queue of queueLen pending jobs. All arguments are clamped to
+// at least 1.
+func NewPool(shards, workersPerShard, queueLen int) *Pool {
+	if shards < 1 {
+		shards = 1
+	}
+	if workersPerShard < 1 {
+		workersPerShard = 1
+	}
+	if queueLen < 1 {
+		queueLen = 1
+	}
+	p := &Pool{shards: make([]chan func(), shards)}
+	for s := range p.shards {
+		q := make(chan func(), queueLen)
+		p.shards[s] = q
+		for w := 0; w < workersPerShard; w++ {
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				for job := range q {
+					job()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// Shards returns the shard count.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// Submit enqueues job on the shard owning key without blocking. It
+// returns ErrQueueFull when that shard's queue is at capacity and
+// ErrPoolClosed after Close. The job runs exactly once on success.
+func (p *Pool) Submit(key RequestKey, job func()) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	q := p.shards[key.Shard(len(p.shards))]
+	select {
+	case q <- job:
+		p.mu.Unlock()
+		return nil
+	default:
+		p.mu.Unlock()
+		return ErrQueueFull
+	}
+}
+
+// Run submits job and waits for it to finish, returning ErrQueueFull /
+// ErrPoolClosed without waiting when it cannot be enqueued.
+func (p *Pool) Run(key RequestKey, job func()) error {
+	done := make(chan struct{})
+	if err := p.Submit(key, func() {
+		defer close(done)
+		job()
+	}); err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
+// Close stops accepting jobs, drains the queues, and waits for all
+// workers to exit.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	for _, q := range p.shards {
+		close(q)
+	}
+	p.wg.Wait()
+}

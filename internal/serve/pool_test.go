@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(4, 2, 64)
+	defer p.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		key := CanonicalKey("planarity", int64(i), 4, k4Edges(), nil)
+		if err := p.Submit(key, func() { ran.Add(1); wg.Done() }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	if ran.Load() != 64 {
+		t.Fatalf("ran %d jobs, want 64", ran.Load())
+	}
+}
+
+// TestPoolBackpressure: with one shard, one blocked worker, and a
+// queue of 2, the 4th submission must fail fast with ErrQueueFull —
+// bounded memory, no blocking.
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 1, 2)
+	defer p.Close()
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	block := func() { <-release; wg.Done() }
+	key := RequestKey("k")
+	// One job occupies the worker; give it time to be picked up, then
+	// two more fill the queue. (Without the handoff wait this would be
+	// racy: the first job could still sit in the queue.)
+	started := make(chan struct{})
+	wg.Add(1)
+	if err := p.Submit(key, func() { close(started); block() }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		if err := p.Submit(key, block); err != nil {
+			t.Fatalf("queue fill %d: %v", i, err)
+		}
+	}
+	if err := p.Submit(key, func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestPoolClose(t *testing.T) {
+	p := NewPool(2, 1, 2)
+	p.Close()
+	p.Close() // idempotent
+	if err := p.Submit(RequestKey("k"), func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("want ErrPoolClosed, got %v", err)
+	}
+	if err := p.Run(RequestKey("k"), func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Run after close: want ErrPoolClosed, got %v", err)
+	}
+}

@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/dip"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Config sizes the service. Zero values take the documented defaults.
+type Config struct {
+	// Shards is the worker-pool shard count (default 4).
+	Shards int
+	// WorkersPerShard is the worker count per shard (default
+	// max(1, GOMAXPROCS/Shards)).
+	WorkersPerShard int
+	// QueueLen bounds each shard's pending-job queue (default 64).
+	// A full queue turns into HTTP 429, not memory growth.
+	QueueLen int
+	// CacheCapacity bounds the LRU result cache (default 1024 entries;
+	// negative disables caching, singleflight dedup stays on).
+	CacheCapacity int
+	// DefaultTimeout bounds a request that names no timeout_ms
+	// (default 30s); MaxTimeout caps what a request may ask for
+	// (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxNodes / MaxEdges reject oversized instances with 413
+	// (defaults 1<<20 nodes, 1<<22 edges).
+	MaxNodes int
+	MaxEdges int
+	// Registry receives service and run counters; nil allocates a
+	// private one (exposed at /metricsz either way).
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.WorkersPerShard <= 0 {
+		c.WorkersPerShard = runtime.GOMAXPROCS(0) / c.Shards
+		if c.WorkersPerShard < 1 {
+			c.WorkersPerShard = 1
+		}
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 64
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 1024
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 1 << 20
+	}
+	if c.MaxEdges <= 0 {
+		c.MaxEdges = 1 << 22
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// GraphJSON is the inline-graph form of a request: n vertices, edges as
+// [u, v] pairs in any order and orientation.
+type GraphJSON struct {
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+}
+
+// GenSpecJSON asks the server to materialize a generator family
+// instance instead of shipping edges. ChordProb nil means the family
+// default.
+type GenSpecJSON struct {
+	Family    string   `json:"family"`
+	N         int      `json:"n"`
+	ChordProb *float64 `json:"chord_prob,omitempty"`
+	Delta     int      `json:"delta,omitempty"`
+	Seed      int64    `json:"seed"`
+}
+
+// Request is the /certify request body. Exactly one of Graph and Gen
+// must be set.
+type Request struct {
+	Protocol string       `json:"protocol"`
+	Seed     int64        `json:"seed"`
+	Graph    *GraphJSON   `json:"graph,omitempty"`
+	Gen      *GenSpecJSON `json:"gen,omitempty"`
+	// WitnessPos is the prover's Hamiltonian-path witness for the
+	// pathouter and pls protocols (witness_pos[v] = position of v on
+	// the path; must be a permutation of 0..n-1). Omitted, the honest
+	// prover derives one itself, which only succeeds on biconnected
+	// outerplanar graphs and bare paths; gen-spec pathouter instances
+	// carry the generator's witness automatically.
+	WitnessPos []int `json:"witness_pos,omitempty"`
+	// TimeoutMS overrides the server's default per-request deadline,
+	// capped at Config.MaxTimeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Response is the /certify response body.
+type Response struct {
+	Protocol string `json:"protocol"`
+	// Key is the canonical request hash (the cache key).
+	Key   string `json:"key"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+	Seed  int64  `json:"seed"`
+
+	Accepted      bool `json:"accepted"`
+	ProverFailed  bool `json:"prover_failed,omitempty"`
+	Rounds        int  `json:"rounds"`
+	ProofSizeBits int  `json:"proof_size_bits"`
+	TotalBits     int  `json:"total_label_bits,omitempty"`
+	MaxCoinBits   int  `json:"max_coin_bits,omitempty"`
+
+	Fingerprint string      `json:"fingerprint"`
+	RoundStats  []RoundStat `json:"round_stats,omitempty"`
+
+	// CacheHit / Shared report how this particular call was served:
+	// from the LRU store, or by waiting on a concurrent identical
+	// request. WallNS is this call's service time.
+	CacheHit bool  `json:"cache_hit"`
+	Shared   bool  `json:"shared,omitempty"`
+	WallNS   int64 `json:"wall_ns"`
+}
+
+// errorJSON is the error response body of every non-2xx status.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// Server is the certification service. Create with New, expose via
+// Handler, release with Close.
+type Server struct {
+	cfg   Config
+	pool  *Pool
+	cache *Cache
+	reg   *obs.Registry
+	mux   *http.ServeMux
+}
+
+// New starts the worker pool and returns a ready server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pool:  NewPool(cfg.Shards, cfg.WorkersPerShard, cfg.QueueLen),
+		cache: NewCache(cfg.CacheCapacity),
+		reg:   cfg.Registry,
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/certify", s.handleCertify)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
+	return s
+}
+
+// Handler returns the HTTP handler serving /certify, /healthz, and
+// /metricsz.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the counter registry backing /metricsz.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Close drains the worker pool. In-flight requests finish; subsequent
+// submissions fail with ErrPoolClosed (HTTP 503).
+func (s *Server) Close() { s.pool.Close() }
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.reg.Add(fmt.Sprintf("responses_total{code=%d}", code), 1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// handleMetricsz streams the registry snapshot as NDJSON counter rows
+// (same row shape as the dipbench summary counters; schema in
+// SERVICE.md), followed by gauge rows for point-in-time state.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := s.reg.WriteNDJSON(w); err != nil {
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.Encode(map[string]any{"type": "gauge", "name": "cache_entries", "value": s.cache.Len()})
+	enc.Encode(map[string]any{"type": "gauge", "name": "pool_shards", "value": s.pool.Shards()})
+}
+
+// buildInstance materializes the request's instance, from the inline
+// edge list or the generator spec, plus the witness the run should use:
+// the request's explicit witness_pos, or the generator's own witness
+// for gen-spec pathouter instances. Errors are client errors
+// (400-class).
+func (s *Server) buildInstance(req *Request) (*Instance, error) {
+	inst := &Instance{PathPos: req.WitnessPos}
+	switch {
+	case req.Graph != nil && req.Gen != nil:
+		return nil, errors.New("request has both graph and gen; pick one")
+	case req.Graph != nil:
+		gj := req.Graph
+		if gj.N < 2 {
+			return nil, fmt.Errorf("graph.n = %d, need >= 2", gj.N)
+		}
+		g := graph.New(gj.N)
+		for _, e := range gj.Edges {
+			if err := g.AddEdge(e[0], e[1]); err != nil {
+				return nil, err
+			}
+		}
+		inst.G = g
+	case req.Gen != nil:
+		spec := gen.FamilySpec{Family: req.Gen.Family, N: req.Gen.N, ChordProb: -1, Delta: req.Gen.Delta}
+		if req.Gen.ChordProb != nil {
+			spec.ChordProb = *req.Gen.ChordProb
+		}
+		g, pos, err := spec.BuildWitnessed(rand.New(rand.NewSource(req.Gen.Seed)))
+		if err != nil {
+			return nil, err
+		}
+		inst.G = g
+		if inst.PathPos == nil {
+			inst.PathPos = pos
+		}
+	default:
+		return nil, errors.New("request needs a graph or a gen spec")
+	}
+	if req.WitnessPos != nil {
+		if err := checkPermutation(req.WitnessPos, inst.G.N()); err != nil {
+			return nil, fmt.Errorf("bad witness_pos: %w", err)
+		}
+	}
+	return inst, nil
+}
+
+// checkPermutation verifies pos is a permutation of 0..n-1.
+func checkPermutation(pos []int, n int) error {
+	if len(pos) != n {
+		return fmt.Errorf("length %d, want n = %d", len(pos), n)
+	}
+	seen := make([]bool, n)
+	for v, p := range pos {
+		if p < 0 || p >= n {
+			return fmt.Errorf("pos[%d] = %d out of range [0,%d)", v, p, n)
+		}
+		if seen[p] {
+			return fmt.Errorf("position %d used twice", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.reg.Add("requests_total", 1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if !KnownProtocol(req.Protocol) {
+		s.fail(w, http.StatusBadRequest, "unknown protocol %q (have %v)", req.Protocol, Protocols())
+		return
+	}
+	inst, err := s.buildInstance(&req)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad instance: %v", err)
+		return
+	}
+	g := inst.G
+	if g.N() > s.cfg.MaxNodes || g.M() > s.cfg.MaxEdges {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			"instance too large: n=%d m=%d (limits n<=%d m<=%d)", g.N(), g.M(), s.cfg.MaxNodes, s.cfg.MaxEdges)
+		return
+	}
+	s.reg.Add("requests_total{protocol="+req.Protocol+"}", 1)
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// The effective witness (explicit or generator-supplied) is part of
+	// the request identity: it changes what the prover sends.
+	key := CanonicalKey(req.Protocol, req.Seed, g.N(), g.Edges(), inst.PathPos)
+	resp, outcome, err := s.cache.Do(key, func() (*Response, error) {
+		var res *RunResult
+		var runErr error
+		if perr := s.pool.Run(key, func() {
+			// The deadline may have expired while the job sat queued;
+			// skip the run instead of starting a doomed interaction.
+			if runErr = ctx.Err(); runErr != nil {
+				return
+			}
+			res, runErr = RunProtocol(ctx, req.Protocol, inst, req.Seed, s.reg)
+		}); perr != nil {
+			return nil, perr
+		}
+		if runErr != nil {
+			return nil, runErr
+		}
+		// Composite sub-loops may absorb an abort as a rejection;
+		// never cache a verdict produced under a dead context.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return &Response{
+			Protocol:      req.Protocol,
+			Key:           string(key),
+			Nodes:         g.N(),
+			Edges:         g.M(),
+			Seed:          req.Seed,
+			Accepted:      res.Accepted,
+			ProverFailed:  res.ProverFailed,
+			Rounds:        res.Rounds,
+			ProofSizeBits: res.ProofSizeBits,
+			TotalBits:     res.TotalLabelBits,
+			MaxCoinBits:   res.MaxCoinBits,
+			Fingerprint:   res.Fingerprint,
+			RoundStats:    res.RoundStats,
+		}, nil
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.reg.Add("queue_full_total", 1)
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, http.StatusTooManyRequests, "worker queues full, retry later")
+		case errors.Is(err, ErrPoolClosed):
+			s.fail(w, http.StatusServiceUnavailable, "server shutting down")
+		case dip.Aborted(err):
+			s.reg.Add("deadline_exceeded_total", 1)
+			s.fail(w, http.StatusGatewayTimeout, "certification aborted: %v", err)
+		default:
+			s.fail(w, http.StatusInternalServerError, "certification failed: %v", err)
+		}
+		return
+	}
+
+	switch outcome {
+	case Hit:
+		s.reg.Add("cache_hits_total", 1)
+	case Shared:
+		s.reg.Add("singleflight_shared_total", 1)
+	default:
+		s.reg.Add("cache_misses_total", 1)
+	}
+	out := *resp // per-call copy: the cached value stays pristine
+	out.CacheHit = outcome == Hit
+	out.Shared = outcome == Shared
+	out.WallNS = time.Since(start).Nanoseconds()
+	s.reg.Add("responses_total{code=200}", 1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&out)
+}
