@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,7 +31,9 @@ import (
 
 	"repro/internal/dip"
 	"repro/internal/exp"
+	"repro/internal/gen"
 	"repro/internal/obs"
+	"repro/internal/protocol"
 )
 
 func main() {
@@ -189,65 +192,91 @@ func run(quick bool, seed int64, jsonOut bool, traceFile, cpuProfile, memProfile
 		lens = []int{16, 256, 2048}
 	}
 
-	type sweep struct {
-		id   string
-		name string
-		f    func(*rand.Rand, int, ...dip.RunOption) (exp.SizeRow, error)
-	}
-	sweeps := []sweep{
-		{"E1", "E1 path-outerplanarity (Thm 1.2)", exp.E1PathOuterplanarity},
-		{"E2", "E2 outerplanarity (Thm 1.3)", exp.E2Outerplanarity},
-		{"E3", "E3 planar embedding (Thm 1.4)", exp.E3Embedding},
-		{"E5", "E5 series-parallel (Thm 1.6)", exp.E5SeriesParallel},
-		{"E6", "E6 treewidth <= 2 (Thm 1.7)", exp.E6Treewidth2},
-		{"E8", "E8 LR-sorting (Lemma 4.1)", exp.E8LRSort},
-	}
-	for _, sw := range sweeps {
+	// Size sweeps: one table per registered protocol, menu built from the
+	// internal/protocol registry. Each point generates the descriptor's
+	// natural instance family and reports the measured proof size next to
+	// the declared theorem bound.
+	for _, d := range protocol.All() {
+		name := fmt.Sprintf("%s %s (%s): size sweep", d.Suite, d.Name, d.Theorem)
 		if !jsonOut {
-			fmt.Printf("\n== %s ==\n", sw.name)
-			fmt.Printf("%10s %8s %12s %14s %10s %12s\n", "n", "rounds", "proof bits", "baseline bits", "verdict", "wall")
+			fmt.Printf("\n== %s ==\n", name)
+			fmt.Printf("%10s %8s %12s %12s %10s %12s\n", "n", "rounds", "proof bits", "bound bits", "verdict", "wall")
 		}
 		for _, n := range sizes {
-			cs := childSeed(seed, sw.id, n)
-			rng := rand.New(rand.NewSource(cs))
+			cs := childSeed(seed, d.Suite, n)
+			spec := gen.FamilySpec{Family: d.Family, N: n, ChordProb: -1}
+			g, pos, rot, err := spec.BuildWitnessed(rand.New(rand.NewSource(cs)))
+			if err != nil {
+				return fmt.Errorf("%s n=%d: %w", name, n, err)
+			}
+			inst := &protocol.Instance{G: g, PathPos: pos, Rotation: rot}
+			bound := d.ProofSizeBound(g.N(), g.MaxDegree())
 			collect, opts := b.tracedOpts()
 			start := time.Now()
-			row, err := sw.f(rng, n, opts...)
+			out, err := d.Run(context.Background(), inst, cs, opts...)
 			wall := time.Since(start)
 			if err != nil {
-				return fmt.Errorf("%s n=%d: %w", sw.name, n, err)
+				return fmt.Errorf("%s n=%d: %w", name, n, err)
 			}
 			if jsonOut {
-				obj := map[string]any{
+				if err := b.row(map[string]any{
 					"type":       "sweep_point",
-					"suite":      sw.id,
-					"name":       sw.name,
-					"n":          row.N,
+					"suite":      d.Suite,
+					"name":       name,
+					"protocol":   d.Name,
+					"n":          g.N(),
 					"seed":       cs,
-					"rounds":     row.Rounds,
-					"proof_bits": row.Bits,
-					"accepted":   row.Accepted,
+					"rounds":     out.Rounds,
+					"proof_bits": out.ProofSizeBits,
+					"bound_bits": bound,
+					"accepted":   out.Accepted,
 					"wall_ns":    wall.Nanoseconds(),
 					"runs":       runMetricsJSON(collect.Runs()),
-				}
-				if row.BaselineBits > 0 {
-					obj["baseline_bits"] = row.BaselineBits
-				}
-				if err := b.row(obj); err != nil {
+				}); err != nil {
 					return err
 				}
 				continue
 			}
 			verdict := "accept"
-			if !row.Accepted {
+			if !out.Accepted {
 				verdict = "REJECT"
 			}
-			base := "-"
-			if row.BaselineBits > 0 {
-				base = fmt.Sprint(row.BaselineBits)
-			}
-			fmt.Printf("%10d %8d %12d %14s %10s %12s\n", row.N, row.Rounds, row.Bits, base, verdict, wall.Round(time.Millisecond))
+			fmt.Printf("%10d %8d %12d %12d %10s %12s\n", g.N(), out.Rounds, out.ProofSizeBits, bound, verdict, wall.Round(time.Millisecond))
 		}
+	}
+
+	// E8 exercises the LR-sorting subroutine (Lemma 4.1), not a
+	// registered protocol, so it keeps its dedicated sweep.
+	if !jsonOut {
+		fmt.Printf("\n== E8 LR-sorting (Lemma 4.1) ==\n")
+		fmt.Printf("%10s %8s %12s %10s %12s\n", "n", "rounds", "proof bits", "verdict", "wall")
+	}
+	for _, n := range sizes {
+		cs := childSeed(seed, "E8", n)
+		rng := rand.New(rand.NewSource(cs))
+		collect, opts := b.tracedOpts()
+		start := time.Now()
+		row, err := exp.E8LRSort(rng, n, opts...)
+		wall := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("E8 n=%d: %w", n, err)
+		}
+		if jsonOut {
+			if err := b.row(map[string]any{
+				"type": "sweep_point", "suite": "E8", "name": "E8 LR-sorting (Lemma 4.1)",
+				"n": row.N, "seed": cs, "rounds": row.Rounds, "proof_bits": row.Bits,
+				"accepted": row.Accepted, "wall_ns": wall.Nanoseconds(),
+				"runs": runMetricsJSON(collect.Runs()),
+			}); err != nil {
+				return err
+			}
+			continue
+		}
+		verdict := "accept"
+		if !row.Accepted {
+			verdict = "REJECT"
+		}
+		fmt.Printf("%10d %8d %12d %10s %12s\n", row.N, row.Rounds, row.Bits, verdict, wall.Round(time.Millisecond))
 	}
 
 	if !jsonOut {

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/protocol"
 	"repro/internal/serve"
 )
 
@@ -58,6 +59,11 @@ func parseMix(spec string) ([]mixEntry, error) {
 		n, err := strconv.Atoi(fields[2])
 		if err != nil || n < 2 {
 			return nil, fmt.Errorf("mix entry %q: bad size %q", part, fields[2])
+		}
+		// Reject unknown protocols locally instead of flooding the server
+		// with requests it will 400.
+		if _, ok := protocol.Get(fields[0]); !ok {
+			return nil, fmt.Errorf("mix entry %q: unknown protocol %q (have %s)", part, fields[0], protocol.NameList())
 		}
 		mix = append(mix, mixEntry{protocol: fields[0], family: fields[1], n: n})
 	}

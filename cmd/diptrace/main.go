@@ -1,16 +1,21 @@
-// Command diptrace runs the path-outerplanarity DIP on a generated
-// instance and pretty-prints the full interaction transcript: every
-// prover label (decoded field by field) and every public coin, round by
-// round. A microscope for the protocol's anatomy.
+// Command diptrace runs one of the registered DIPs on a generated
+// instance and pretty-prints its execution. For pathouter it shows the
+// full interaction transcript: every prover label (decoded field by
+// field) and every public coin, round by round — a microscope for the
+// protocol's anatomy. Every other protocol gets a registry-driven
+// summary: descriptor metadata, verdict, proof size versus the declared
+// theorem bound, and the per-span round histograms.
 //
 //	diptrace -n 12 -seed 3
+//	diptrace -protocol planarity -n 64 -seed 3
 //
-// With -json the decoded transcript is emitted as NDJSON instead — one
-// object per node per round plus a meta header and a decision footer —
-// for machine consumption (jq, pandas, diffing two seeds).
+// With -json the output is emitted as NDJSON instead — for pathouter
+// one object per node per round plus a meta header and a decision
+// footer — for machine consumption (jq, pandas, diffing two seeds).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,21 +25,116 @@ import (
 	"repro/internal/dip"
 	"repro/internal/gen"
 	"repro/internal/lrsort"
+	"repro/internal/obs"
 	"repro/internal/pathouter"
+	"repro/internal/protocol"
 )
 
 func main() {
+	proto := flag.String("protocol", "pathouter",
+		"protocol to trace; one of: "+protocol.NameList())
 	n := flag.Int("n", 12, "instance size")
 	seed := flag.Int64("seed", 3, "seed for instance and coins")
 	jsonOut := flag.Bool("json", false, "emit the decoded transcript as NDJSON")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: diptrace [flags]\n\nregistered protocols: %s\n\n", protocol.NameList())
+		flag.PrintDefaults()
+	}
 	flag.Parse()
-	if err := run(*n, *seed, *jsonOut); err != nil {
+	if err := run(*proto, *n, *seed, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "diptrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, seed int64, jsonOut bool) error {
+func run(proto string, n int, seed int64, jsonOut bool) error {
+	if proto == "pathouter" {
+		return runPathOuterDeep(n, seed, jsonOut)
+	}
+	d, ok := protocol.Get(proto)
+	if !ok {
+		return fmt.Errorf("unknown protocol %q (have %s)", proto, protocol.NameList())
+	}
+	return runSummary(d, n, seed, jsonOut)
+}
+
+// runSummary executes any registered protocol through the registry and
+// reports the descriptor metadata, the outcome against the declared
+// bound, and the traced per-span round histograms.
+func runSummary(d *protocol.Descriptor, n int, seed int64, jsonOut bool) error {
+	spec := gen.FamilySpec{Family: d.Family, N: n, ChordProb: -1}
+	g, pos, rot, err := spec.BuildWitnessed(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	inst := &protocol.Instance{G: g, PathPos: pos, Rotation: rot}
+	bound := d.ProofSizeBound(g.N(), g.MaxDegree())
+	collect := obs.NewCollect()
+	out, err := d.Run(context.Background(), inst, seed, dip.WithTracer(collect))
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(map[string]any{
+			"type": "meta", "protocol": d.Name, "theorem": d.Theorem,
+			"family": d.Family, "n": g.N(), "m": g.M(), "seed": seed,
+			"declared_rounds": d.Rounds, "bound": d.BoundExpr, "bound_bits": bound,
+		}); err != nil {
+			return err
+		}
+		for _, m := range collect.Runs() {
+			if err := emitSpanJSON(enc, m); err != nil {
+				return err
+			}
+		}
+		return enc.Encode(map[string]any{
+			"type": "decision", "accepted": out.Accepted, "prover_failed": out.ProverFailed,
+			"rounds": out.Rounds, "proof_bits": out.ProofSizeBits, "bound_bits": bound,
+		})
+	}
+	fmt.Printf("%s DIP (%s, %s) on family %s: n=%d m=%d, seed %d\n",
+		d.Name, d.Theorem, d.BoundExpr, d.Family, g.N(), g.M(), seed)
+	for _, m := range collect.Runs() {
+		printSpanText(m, 0)
+	}
+	fmt.Printf("decision: accepted=%v prover_failed=%v rounds=%d proof size %d bits (declared bound %d bits)\n",
+		out.Accepted, out.ProverFailed, out.Rounds, out.ProofSizeBits, bound)
+	return nil
+}
+
+// emitSpanJSON streams one execution span and its children as NDJSON.
+func emitSpanJSON(enc *json.Encoder, m *obs.Metrics) error {
+	entry := map[string]any{
+		"type": "span", "protocol": m.Protocol, "span": m.Span,
+		"nodes": m.Nodes, "accepted": m.Accepted, "rounds": m.Rounds,
+	}
+	if m.MaxLabelBits > 0 {
+		entry["max_label_bits"] = m.MaxLabelBits
+	}
+	if err := enc.Encode(entry); err != nil {
+		return err
+	}
+	for _, s := range m.Subs {
+		if err := emitSpanJSON(enc, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printSpanText renders one execution span and its children indented.
+func printSpanText(m *obs.Metrics, depth int) {
+	fmt.Printf("%*s- span %q (%s): nodes=%d rounds=%d accepted=%v max_label_bits=%d\n",
+		2*depth+2, "", m.Span, m.Protocol, m.Nodes, m.Rounds, m.Accepted, m.MaxLabelBits)
+	for _, s := range m.Subs {
+		printSpanText(s, depth+1)
+	}
+}
+
+// runPathOuterDeep keeps the original field-by-field transcript view of
+// the pathouter protocol, which this command exists to microscope.
+func runPathOuterDeep(n int, seed int64, jsonOut bool) error {
 	rng := rand.New(rand.NewSource(seed))
 	gi := gen.PathOuterplanar(rng, n, 0.5)
 	p, err := pathouter.NewParams(n)

@@ -44,7 +44,7 @@ func main() {
 
 func run(w io.Writer, family string, n, delta int, seed int64, format, protocol string) error {
 	spec := gen.FamilySpec{Family: family, N: n, ChordProb: -1, Delta: delta}
-	g, pos, err := spec.BuildWitnessed(rand.New(rand.NewSource(seed)))
+	g, pos, _, err := spec.BuildWitnessed(rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return err
 	}

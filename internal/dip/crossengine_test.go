@@ -10,13 +10,14 @@ import (
 	"repro/internal/pathouter"
 )
 
-// TestCrossEngineMetricsIdentical asserts the tentpole observability
-// invariant: for the same seed, the orchestrated Runner and the
-// message-passing ChannelRunner emit the same deterministic event
-// sequence for the E1 (path-outerplanarity) protocol, so their
-// CollectTracer snapshots have byte-identical fingerprints.
-func TestCrossEngineMetricsIdentical(t *testing.T) {
-	const n, seed = 48, 17
+// TestWithEngineSelectsEngine pins the WithEngine option semantics at
+// the dip layer: RunOnce dispatches to the engine the option names (the
+// tracer's engine tag is the witness), RunOnceChannels is sugar for
+// WithEngine(channels), and an unknown engine is an error. The
+// registry-wide invariant — identical fingerprints across engines for
+// every protocol — lives in internal/protocol's cross-engine test.
+func TestWithEngineSelectsEngine(t *testing.T) {
+	const n = 32
 	gi := gen.PathOuterplanar(rand.New(rand.NewSource(5)), n, 0.5)
 	p, err := pathouter.NewParams(n)
 	if err != nil {
@@ -25,32 +26,45 @@ func TestCrossEngineMetricsIdentical(t *testing.T) {
 	inst := &pathouter.Instance{G: gi.G, Pos: gi.Pos}
 	proto := pathouter.Protocol(inst, p)
 
-	c1 := obs.NewCollect()
-	r1, err := proto.RunOnce(dip.NewInstance(gi.G), rand.New(rand.NewSource(seed)), dip.WithTracer(c1))
+	for _, tc := range []struct {
+		name, engine string
+		opts         func(tr obs.Tracer) []dip.RunOption
+	}{
+		{"default", obs.EngineRunner,
+			func(tr obs.Tracer) []dip.RunOption { return []dip.RunOption{dip.WithTracer(tr)} }},
+		{"explicit runner", obs.EngineRunner,
+			func(tr obs.Tracer) []dip.RunOption {
+				return []dip.RunOption{dip.WithTracer(tr), dip.WithEngine(obs.EngineRunner)}
+			}},
+		{"channels", obs.EngineChannels,
+			func(tr obs.Tracer) []dip.RunOption {
+				return []dip.RunOption{dip.WithTracer(tr), dip.WithEngine(obs.EngineChannels)}
+			}},
+	} {
+		collect := obs.NewCollect()
+		res, err := proto.RunOnce(dip.NewInstance(gi.G), rand.New(rand.NewSource(17)), tc.opts(collect)...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !res.Accepted {
+			t.Fatalf("%s: honest run rejected", tc.name)
+		}
+		if got := collect.Runs()[0].Engine; got != tc.engine {
+			t.Errorf("%s: engine tag %q, want %q", tc.name, got, tc.engine)
+		}
+	}
+
+	c := obs.NewCollect()
+	res, err := proto.RunOnceChannels(dip.NewInstance(gi.G), rand.New(rand.NewSource(17)), dip.WithTracer(c))
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2 := obs.NewCollect()
-	r2, err := proto.RunOnceChannels(dip.NewInstance(gi.G), rand.New(rand.NewSource(seed)), dip.WithTracer(c2))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !r1.Accepted || !r2.Accepted {
-		t.Fatalf("honest E1 rejected: runner=%t channels=%t", r1.Accepted, r2.Accepted)
+	if !res.Accepted || c.Runs()[0].Engine != obs.EngineChannels {
+		t.Fatalf("RunOnceChannels: accepted=%v engine=%q", res.Accepted, c.Runs()[0].Engine)
 	}
 
-	f1, f2 := c1.Fingerprint(), c2.Fingerprint()
-	if f1 == "" {
-		t.Fatal("empty fingerprint")
-	}
-	if f1 != f2 {
-		t.Fatalf("engine fingerprints differ:\n--- runner ---\n%s\n--- channels ---\n%s", f1, f2)
-	}
-
-	// The engine tags must differ even though the fingerprints match —
-	// guards against one engine accidentally not being exercised.
-	if c1.Runs()[0].Engine != obs.EngineRunner || c2.Runs()[0].Engine != obs.EngineChannels {
-		t.Fatalf("engines: %q vs %q", c1.Runs()[0].Engine, c2.Runs()[0].Engine)
+	if _, err := proto.RunOnce(dip.NewInstance(gi.G), rand.New(rand.NewSource(17)), dip.WithEngine("bogus")); err == nil {
+		t.Fatal("unknown engine accepted")
 	}
 }
 

@@ -1,7 +1,10 @@
 package dip
 
 import (
+	"fmt"
 	"math/rand"
+
+	"repro/internal/obs"
 )
 
 // Protocol bundles a prover factory and a verifier so experiments can run
@@ -23,10 +26,20 @@ func (p *Protocol) Rounds() int { return p.ProverRounds + p.VerifierRounds }
 
 // RunOnce executes the protocol once on inst. Options attach a tracer
 // and span; the protocol's name is applied as the event identity tag
-// unless an explicit WithProtocol option overrides it.
+// unless an explicit WithProtocol option overrides it. The execution
+// engine is the orchestrated Runner unless a WithEngine option selects
+// the message-passing ChannelRunner; given the same rng stream both
+// engines produce identical results.
 func (p *Protocol) RunOnce(inst *Instance, rng *rand.Rand, opts ...RunOption) (*Result, error) {
-	r := NewRunner(inst)
-	return r.Run(p.NewProver(), p.Verifier, p.ProverRounds, p.VerifierRounds, rng, p.tagged(opts)...)
+	tagged := p.tagged(opts)
+	switch engine := NewRunConfig(tagged...).Engine; engine {
+	case "", obs.EngineRunner:
+		return NewRunner(inst).Run(p.NewProver(), p.Verifier, p.ProverRounds, p.VerifierRounds, rng, tagged...)
+	case obs.EngineChannels:
+		return NewChannelRunner(inst).Run(p.NewProver(), p.Verifier, p.ProverRounds, p.VerifierRounds, rng, tagged...)
+	default:
+		return nil, fmt.Errorf("dip: unknown engine %q", engine)
+	}
 }
 
 // tagged prepends the protocol's identity tag to opts.
@@ -81,9 +94,11 @@ func (p *Protocol) Repeat(inst *Instance, runs int, rng *rand.Rand, opts ...RunO
 }
 
 // RunOnceChannels executes the protocol once on inst using the
-// channel-based message-passing engine; results are identical to RunOnce
-// given the same rng stream.
+// channel-based message-passing engine; shorthand for RunOnce with
+// WithEngine(obs.EngineChannels).
 func (p *Protocol) RunOnceChannels(inst *Instance, rng *rand.Rand, opts ...RunOption) (*Result, error) {
-	r := NewChannelRunner(inst)
-	return r.Run(p.NewProver(), p.Verifier, p.ProverRounds, p.VerifierRounds, rng, p.tagged(opts)...)
+	withEngine := make([]RunOption, 0, len(opts)+1)
+	withEngine = append(withEngine, opts...)
+	withEngine = append(withEngine, WithEngine(obs.EngineChannels))
+	return p.RunOnce(inst, rng, withEngine...)
 }

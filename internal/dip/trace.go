@@ -25,6 +25,11 @@ type RunConfig struct {
 	// of letting it finish. Round granularity keeps the hot path free of
 	// per-node checks while still bounding abort latency by one round.
 	Ctx context.Context
+	// Engine selects the execution engine Protocol.RunOnce uses:
+	// obs.EngineRunner (the default when empty) or obs.EngineChannels.
+	// Composite protocols forward it to their sub-executions via Child,
+	// so one option switches a whole nested run between engines.
+	Engine string
 }
 
 // RunOption configures one execution.
@@ -76,6 +81,19 @@ func WithContext(ctx context.Context) RunOption {
 	}
 }
 
+// WithEngine selects the execution engine for Protocol.RunOnce and
+// every sub-execution nested under it: obs.EngineRunner (default) or
+// obs.EngineChannels. Unknown engine names surface as errors from
+// RunOnce, not silent fallbacks.
+func WithEngine(engine string) RunOption {
+	return func(c *RunConfig) {
+		if engine == obs.EngineRunner {
+			engine = "" // the default; keep Child's zero-cost fast path
+		}
+		c.Engine = engine
+	}
+}
+
 // Aborted reports whether err stems from a canceled or expired
 // WithContext context rather than a protocol/prover failure. Composite
 // protocols use it to propagate aborts out of sub-execution loops that
@@ -109,12 +127,15 @@ func NewRunConfig(opts ...RunOption) RunConfig {
 // disabled and no context attached it returns nil so sub-executions
 // stay on the zero-cost path.
 func (c RunConfig) Child(sub string) []RunOption {
-	if c.Tracer == nil && c.Ctx == nil {
+	if c.Tracer == nil && c.Ctx == nil && c.Engine == "" {
 		return nil
 	}
 	var opts []RunOption
 	if c.Ctx != nil {
 		opts = append(opts, WithContext(c.Ctx))
+	}
+	if c.Engine != "" {
+		opts = append(opts, WithEngine(c.Engine))
 	}
 	if c.Tracer == nil {
 		return opts

@@ -11,6 +11,24 @@ import (
 	"repro/internal/spantree"
 )
 
+// Rounds is the declared interaction-round count of Theorem 1.4.
+const Rounds = 5
+
+// ProofSizeBound is the declared proof-size bound of Theorem 1.4 in
+// bits: O(log log n), scaled from the pathouter bound to cover the
+// ownership accounting of the reduction — every real node carries its
+// copies' labels in h(G,T,ρ), its boundary copies' path neighbors, and
+// the spanning-tree stage labels. delta is unused. Applies to honest
+// runs on yes-instances; asserted by the bound-conformance test in
+// internal/protocol.
+func ProofSizeBound(n, delta int) int {
+	p, err := pathouter.NewParams(n)
+	if err != nil {
+		return 0
+	}
+	return 128 * p.L
+}
+
 // Result summarizes a composite embedded-planarity execution.
 type Result struct {
 	Accepted bool
@@ -35,7 +53,7 @@ type Result struct {
 // DESIGN.md §4).
 func Run(g *graph.Graph, rot *planar.Rotation, rng *rand.Rand, opts ...dip.RunOption) (res *Result, err error) {
 	cfg := dip.NewRunConfig(opts...)
-	endRun := cfg.CompositeSpan("embedding", g.N(), 5)
+	endRun := cfg.CompositeSpan("embedding", g.N(), Rounds)
 	defer func() {
 		if res != nil {
 			endRun(res.Accepted, res.MaxLabelBits)
@@ -43,7 +61,7 @@ func Run(g *graph.Graph, rot *planar.Rotation, rng *rand.Rand, opts ...dip.RunOp
 			endRun(false, 0)
 		}
 	}()
-	res = &Result{Rounds: 5}
+	res = &Result{Rounds: Rounds}
 	n := g.N()
 	if n < 2 {
 		return nil, fmt.Errorf("embedding: need n >= 2")

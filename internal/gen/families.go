@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/planar"
 )
 
 // FamilySpec names a generator family with its shared knobs. It is the
@@ -46,25 +47,40 @@ var familyMins = map[string]int{
 	"k4sub":         4,
 }
 
+// familyProtocol maps each yes-family to the protocol of its own
+// theorem; families absent here (the planar no-instance families and
+// the embedded families without a dedicated sweep) default to the
+// planarity DIP, which certifies any planar instance.
+var familyProtocol = map[string]string{
+	"pathouter":     "pathouter",
+	"outerplanar":   "outerplanar",
+	"triangulation": "planarity",
+	"fanchain":      "planarity",
+	"sp":            "sp",
+	"treewidth2":    "treewidth2",
+}
+
 // Build materializes the family instance using rng, returning only the
 // graph. Unknown families and out-of-range sizes are errors, not
 // panics, so network-facing callers can reject bad specs with a 4xx.
 func (s FamilySpec) Build(rng *rand.Rand) (*graph.Graph, error) {
-	g, _, err := s.BuildWitnessed(rng)
+	g, _, _, err := s.BuildWitnessed(rng)
 	return g, err
 }
 
 // BuildWitnessed is Build plus the family's structural witness where
 // one exists: for pathouter, the Hamiltonian-path position vector the
-// honest prover needs (pos[v] = position of v); nil for every other
-// family.
-func (s FamilySpec) BuildWitnessed(rng *rand.Rand) (*graph.Graph, []int, error) {
+// honest prover needs (pos[v] = position of v); for the embedded
+// planar families (triangulation, fanchain), the rotation system the
+// construction placed the graph with. Families without a witness
+// return nil for both.
+func (s FamilySpec) BuildWitnessed(rng *rand.Rand) (*graph.Graph, []int, *planar.Rotation, error) {
 	minN, ok := familyMins[s.Family]
 	if !ok {
-		return nil, nil, fmt.Errorf("gen: unknown family %q (have %v)", s.Family, Families())
+		return nil, nil, nil, fmt.Errorf("gen: unknown family %q (have %v)", s.Family, Families())
 	}
 	if s.N < minN {
-		return nil, nil, fmt.Errorf("gen: family %q needs n >= %d, got %d", s.Family, minN, s.N)
+		return nil, nil, nil, fmt.Errorf("gen: family %q needs n >= %d, got %d", s.Family, minN, s.N)
 	}
 	chord := s.ChordProb
 	switch s.Family {
@@ -73,33 +89,35 @@ func (s FamilySpec) BuildWitnessed(rng *rand.Rand) (*graph.Graph, []int, error) 
 			chord = 0.5
 		}
 		inst := PathOuterplanar(rng, s.N, chord)
-		return inst.G, inst.Pos, nil
+		return inst.G, inst.Pos, nil, nil
 	case "outerplanar":
 		if chord < 0 {
 			chord = 0.4
 		}
-		return Outerplanar(rng, s.N, chord).G, nil, nil
+		return Outerplanar(rng, s.N, chord).G, nil, nil, nil
 	case "triangulation":
-		return Triangulation(rng, s.N).G, nil, nil
+		inst := Triangulation(rng, s.N)
+		return inst.G, nil, inst.Rot, nil
 	case "fanchain":
 		delta := s.Delta
 		if delta <= 0 {
 			delta = 8
 		}
 		if delta < 3 {
-			return nil, nil, fmt.Errorf("gen: family fanchain needs delta >= 3, got %d", delta)
+			return nil, nil, nil, fmt.Errorf("gen: family fanchain needs delta >= 3, got %d", delta)
 		}
-		return FanChain(rng, s.N, delta).G, nil, nil
+		inst := FanChain(rng, s.N, delta)
+		return inst.G, nil, inst.Rot, nil
 	case "sp":
-		return SeriesParallel(rng, s.N).G, nil, nil
+		return SeriesParallel(rng, s.N).G, nil, nil, nil
 	case "treewidth2":
-		return Treewidth2(rng, s.N).G, nil, nil
+		return Treewidth2(rng, s.N).G, nil, nil, nil
 	case "k5sub":
-		return K5Subdivision(rng, s.N), nil, nil
+		return K5Subdivision(rng, s.N), nil, nil, nil
 	case "k33sub":
-		return K33Subdivision(rng, s.N), nil, nil
+		return K33Subdivision(rng, s.N), nil, nil, nil
 	case "k4sub":
-		return K4Subdivision(rng, s.N), nil, nil
+		return K4Subdivision(rng, s.N), nil, nil, nil
 	}
 	panic("unreachable")
 }
@@ -108,16 +126,8 @@ func (s FamilySpec) BuildWitnessed(rng *rand.Rand) (*graph.Graph, []int, error) 
 // family is naturally certified with: the yes-families map to their own
 // theorem's protocol, the planar no-instances to the planarity DIP.
 func (s FamilySpec) DefaultProtocol() string {
-	switch s.Family {
-	case "pathouter":
-		return "pathouter"
-	case "outerplanar":
-		return "outerplanar"
-	case "sp":
-		return "sp"
-	case "treewidth2":
-		return "treewidth2"
-	default:
-		return "planarity"
+	if p, ok := familyProtocol[s.Family]; ok {
+		return p
 	}
+	return "planarity"
 }

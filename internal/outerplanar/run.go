@@ -9,6 +9,26 @@ import (
 	"repro/internal/pathouter"
 )
 
+// Rounds is the declared interaction-round count of Theorem 1.3: the
+// 3-round structural stage runs inside the 5 rounds of the component
+// stages.
+const Rounds = 5
+
+// ProofSizeBound is the declared proof-size bound of Theorem 1.3 in
+// bits: O(log log n), scaled from the pathouter bound to cover the
+// structural-stage labels and the deferred separating-node copies the
+// merge charges to component neighbors (paper §6). delta is unused. It
+// applies to honest runs on the paper's yes-instance families; the
+// bound-conformance test in internal/protocol asserts it across a size
+// sweep.
+func ProofSizeBound(n, delta int) int {
+	p, err := pathouter.NewParams(n)
+	if err != nil {
+		return 0
+	}
+	return 48 * p.L
+}
+
 // Result summarizes a composite outerplanarity execution.
 type Result struct {
 	Accepted bool
@@ -38,7 +58,7 @@ type Result struct {
 // under it.
 func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res *Result, err error) {
 	cfg := dip.NewRunConfig(opts...)
-	endRun := cfg.CompositeSpan("outerplanar", g.N(), 5)
+	endRun := cfg.CompositeSpan("outerplanar", g.N(), Rounds)
 	defer func() {
 		if res != nil {
 			endRun(res.Accepted, res.MaxLabelBits)
@@ -46,7 +66,7 @@ func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res
 			endRun(false, 0)
 		}
 	}()
-	res = &Result{Rounds: 5}
+	res = &Result{Rounds: Rounds}
 	if plan == nil {
 		plan, err = HonestPlan(g)
 		if err != nil {

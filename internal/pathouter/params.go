@@ -25,6 +25,34 @@ import (
 	"repro/internal/spantree"
 )
 
+// Rounds is the declared interaction-round count of Theorem 1.2: three
+// prover rounds interleaved with two verifier rounds.
+const Rounds = 5
+
+// boundFactor scales the parameter L into the declared per-node
+// proof-size bound. Every label field of the three prover rounds is
+// O(L) bits (forest-code constants, spantree sums, chain names, field
+// elements of size O(log log n)), and edge labels charge at most
+// degeneracy-many (<= 2 on outerplanar graphs) extra fields per node;
+// 32 covers the field count with ~1.5x headroom over measured maxima
+// across the size sweep (see the bound-conformance test in
+// internal/protocol).
+const boundFactor = 32
+
+// ProofSizeBound is the declared proof-size bound of Theorem 1.2 in
+// bits, as a function of the instance size: O(log log n), instantiated
+// as boundFactor * L with L = Theta(log log n) from NewParams. delta is
+// unused — the bound is degree-independent. It applies to honest runs
+// on yes-instances; the bound-conformance test asserts measured
+// Stats.MaxLabelBits stays below it across a size sweep.
+func ProofSizeBound(n, delta int) int {
+	p, err := NewParams(n)
+	if err != nil {
+		return 0
+	}
+	return boundFactor * p.L
+}
+
 // Params bundles the sub-protocol parameters for an n-node instance.
 type Params struct {
 	N  int

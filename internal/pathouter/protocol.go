@@ -11,7 +11,7 @@ import (
 func Protocol(inst *Instance, p Params) *dip.Protocol {
 	return &dip.Protocol{
 		Name:           "path-outerplanarity",
-		ProverRounds:   3,
+		ProverRounds:   Rounds - 2,
 		VerifierRounds: 2,
 		NewProver: func() dip.Prover {
 			h, err := NewHonest(p, inst)
@@ -29,7 +29,7 @@ func Protocol(inst *Instance, p Params) *dip.Protocol {
 func AdversarialProtocol(p Params, newProver func() dip.Prover) *dip.Protocol {
 	return &dip.Protocol{
 		Name:           "path-outerplanarity-adversarial",
-		ProverRounds:   3,
+		ProverRounds:   Rounds - 2,
 		VerifierRounds: 2,
 		NewProver:      newProver,
 		Verifier:       Verifier{P: p},

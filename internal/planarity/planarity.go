@@ -18,6 +18,23 @@ import (
 	"repro/internal/planar"
 )
 
+// Rounds is the declared interaction-round count of Theorem 1.5.
+const Rounds = 5
+
+// ProofSizeBound is the declared proof-size bound of Theorem 1.5 in
+// bits: O(log log n + log Δ) — the embedding bound plus the rotation
+// shipping term, at most degeneracy-many (<= 5 on planar graphs)
+// accountable edges each carrying an ordered pair of log-Δ-wide
+// rotation values. Applies to honest runs on yes-instances; asserted by
+// the bound-conformance test in internal/protocol.
+func ProofSizeBound(n, delta int) int {
+	b := embedding.ProofSizeBound(n, delta)
+	if b == 0 {
+		return 0
+	}
+	return b + 2*5*bitio.BitsFor(delta)
+}
+
 // Result summarizes a planarity execution.
 type Result struct {
 	Accepted bool
@@ -37,7 +54,7 @@ type Result struct {
 // the verifier treats as rejection — when the graph is not planar.
 func Run(g *graph.Graph, hint *planar.Rotation, rng *rand.Rand, opts ...dip.RunOption) (res *Result, err error) {
 	cfg := dip.NewRunConfig(opts...)
-	endRun := cfg.CompositeSpan("planarity", g.N(), 5)
+	endRun := cfg.CompositeSpan("planarity", g.N(), Rounds)
 	defer func() {
 		if res != nil {
 			endRun(res.Accepted, res.MaxLabelBits)
@@ -45,7 +62,7 @@ func Run(g *graph.Graph, hint *planar.Rotation, rng *rand.Rand, opts ...dip.RunO
 			endRun(false, 0)
 		}
 	}()
-	res = &Result{Rounds: 5}
+	res = &Result{Rounds: Rounds}
 	if g.N() < 2 {
 		return nil, errors.New("planarity: need n >= 2")
 	}

@@ -20,6 +20,17 @@ import (
 	"repro/internal/graph"
 )
 
+// Rounds is the declared interaction-round count: one prover round, no
+// verifier randomness.
+const Rounds = 1
+
+// ProofSizeBound is the declared proof-size bound of the Theta(log n)
+// baseline in bits: the exact honest label width, 3*PosBits + 1 with
+// PosBits = ceil(log2 n). delta is unused.
+func ProofSizeBound(n, delta int) int {
+	return 3*NewParams(n).PosBits + 1
+}
+
 // Params fixes the position width. Honest labels need PosBits >=
 // ceil(log2 n); the lower-bound experiments deliberately shrink it.
 type Params struct {
@@ -237,7 +248,7 @@ func (vf Verifier) Decide(view *dip.View) bool {
 func Protocol(g *graph.Graph, pos []int, p Params) *dip.Protocol {
 	return &dip.Protocol{
 		Name:           "pls-path-outerplanarity",
-		ProverRounds:   1,
+		ProverRounds:   Rounds,
 		VerifierRounds: 0,
 		NewProver: func() dip.Prover {
 			return proverFunc(func(round int, coins [][]bitio.String) (*dip.Assignment, error) {

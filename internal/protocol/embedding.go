@@ -1,0 +1,55 @@
+package protocol
+
+import (
+	"math/rand"
+
+	"repro/internal/dip"
+	"repro/internal/embedding"
+	"repro/internal/planar"
+)
+
+func init() {
+	Register(Descriptor{
+		Name:           "embedding",
+		Theorem:        "Theorem 1.4",
+		Suite:          "E3",
+		Summary:        "planar-embedding verification of a given rotation system",
+		Family:         "triangulation",
+		Witness:        WitnessRotation,
+		Rounds:         embedding.Rounds,
+		BoundExpr:      "O(log log n)",
+		ProofSizeBound: embedding.ProofSizeBound,
+		Exec:           runEmbedding,
+	})
+}
+
+// rotationWitness resolves the combinatorial-embedding witness of an
+// embedding run: the instance's explicit rotation when present,
+// otherwise the DMP embedder's attempt.
+func rotationWitness(in *Instance) (*planar.Rotation, bool) {
+	if in.Rotation != nil {
+		return in.Rotation, true
+	}
+	rot, err := planar.Embed(in.G)
+	if err != nil {
+		return nil, false
+	}
+	return rot, true
+}
+
+func runEmbedding(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*Outcome, error) {
+	rot, ok := rotationWitness(in)
+	if !ok {
+		return &Outcome{Rounds: embedding.Rounds, ProverFailed: true}, nil
+	}
+	res, err := embedding.Run(in.G, rot, rng, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Accepted:      res.Accepted && !res.ProverFailed,
+		ProverFailed:  res.ProverFailed,
+		Rounds:        res.Rounds,
+		ProofSizeBits: res.MaxLabelBits,
+	}, nil
+}

@@ -1,0 +1,36 @@
+package protocol
+
+import (
+	"math/rand"
+
+	"repro/internal/dip"
+	"repro/internal/outerplanar"
+)
+
+func init() {
+	Register(Descriptor{
+		Name:           "outerplanar",
+		Theorem:        "Theorem 1.3",
+		Suite:          "E2",
+		Summary:        "outerplanarity via block decomposition over pathouter",
+		Family:         "outerplanar",
+		Witness:        WitnessNone,
+		Rounds:         outerplanar.Rounds,
+		BoundExpr:      "O(log log n)",
+		ProofSizeBound: outerplanar.ProofSizeBound,
+		Exec:           runOuterplanar,
+	})
+}
+
+func runOuterplanar(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*Outcome, error) {
+	res, err := outerplanar.Run(in.G, nil, rng, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Accepted:      res.Accepted && !res.ProverFailed,
+		ProverFailed:  res.ProverFailed,
+		Rounds:        res.Rounds,
+		ProofSizeBits: res.MaxLabelBits,
+	}, nil
+}

@@ -1,0 +1,65 @@
+package protocol
+
+import (
+	"math/rand"
+
+	"repro/internal/dip"
+	"repro/internal/pathouter"
+	"repro/internal/planar"
+)
+
+func init() {
+	Register(Descriptor{
+		Name:           "pathouter",
+		Theorem:        "Theorem 1.2",
+		Suite:          "E1",
+		Summary:        "path-outerplanarity with O(log log n)-bit proofs",
+		Family:         "pathouter",
+		Witness:        WitnessPath,
+		Rounds:         pathouter.Rounds,
+		BoundExpr:      "O(log log n)",
+		ProofSizeBound: pathouter.ProofSizeBound,
+		Exec:           runPathOuter,
+	})
+}
+
+// pathWitness resolves the Hamiltonian-path witness of a pathouter/pls
+// run: the instance's explicit witness when present, otherwise the
+// centralized oracle's attempt.
+func pathWitness(in *Instance) ([]int, bool) {
+	if in.PathPos != nil {
+		return in.PathPos, true
+	}
+	pos, err := planar.PathOuterplanarOrder(in.G)
+	if err != nil {
+		return nil, false
+	}
+	return pos, true
+}
+
+func runPathOuter(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*Outcome, error) {
+	g := in.G
+	pos, ok := pathWitness(in)
+	if !ok {
+		return &Outcome{Rounds: pathouter.Rounds, ProverFailed: true}, nil
+	}
+	p, err := pathouter.NewParams(g.N())
+	if err != nil {
+		return nil, err
+	}
+	inst := &pathouter.Instance{G: g, Pos: pos}
+	res, err := pathouter.Protocol(inst, p).RunOnce(dip.NewInstance(g), rng, opts...)
+	if err != nil {
+		if dip.Aborted(err) {
+			return nil, err
+		}
+		return &Outcome{Rounds: pathouter.Rounds, ProverFailed: true}, nil
+	}
+	return &Outcome{
+		Accepted:       res.Accepted,
+		Rounds:         pathouter.Rounds,
+		ProofSizeBits:  res.Stats.MaxLabelBits,
+		TotalLabelBits: res.Stats.TotalLabelBits,
+		MaxCoinBits:    res.Stats.MaxCoinBits,
+	}, nil
+}

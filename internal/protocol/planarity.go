@@ -1,0 +1,36 @@
+package protocol
+
+import (
+	"math/rand"
+
+	"repro/internal/dip"
+	"repro/internal/planarity"
+)
+
+func init() {
+	Register(Descriptor{
+		Name:           "planarity",
+		Theorem:        "Theorem 1.5",
+		Suite:          "E4",
+		Summary:        "planarity with prover-shipped embedding, O(log log n + log Δ)",
+		Family:         "triangulation",
+		Witness:        WitnessRotation,
+		Rounds:         planarity.Rounds,
+		BoundExpr:      "O(log log n + log Δ)",
+		ProofSizeBound: planarity.ProofSizeBound,
+		Exec:           runPlanarity,
+	})
+}
+
+func runPlanarity(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*Outcome, error) {
+	res, err := planarity.Run(in.G, in.Rotation, rng, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Accepted:      res.Accepted && !res.ProverFailed,
+		ProverFailed:  res.ProverFailed,
+		Rounds:        res.Rounds,
+		ProofSizeBits: res.MaxLabelBits,
+	}, nil
+}

@@ -1,0 +1,36 @@
+package protocol
+
+import (
+	"math/rand"
+
+	"repro/internal/dip"
+	"repro/internal/seriesparallel"
+)
+
+func init() {
+	Register(Descriptor{
+		Name:           "sp",
+		Theorem:        "Theorem 1.6",
+		Suite:          "E5",
+		Summary:        "series-parallel recognition via ear decomposition",
+		Family:         "sp",
+		Witness:        WitnessNone,
+		Rounds:         seriesparallel.Rounds,
+		BoundExpr:      "O(log log n)",
+		ProofSizeBound: seriesparallel.ProofSizeBound,
+		Exec:           runSeriesParallel,
+	})
+}
+
+func runSeriesParallel(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*Outcome, error) {
+	res, err := seriesparallel.Run(in.G, nil, rng, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Accepted:      res.Accepted && !res.ProverFailed,
+		ProverFailed:  res.ProverFailed,
+		Rounds:        res.Rounds,
+		ProofSizeBits: res.MaxLabelBits,
+	}, nil
+}

@@ -1,0 +1,36 @@
+package protocol
+
+import (
+	"math/rand"
+
+	"repro/internal/dip"
+	"repro/internal/treewidth2"
+)
+
+func init() {
+	Register(Descriptor{
+		Name:           "treewidth2",
+		Theorem:        "Theorem 1.7",
+		Suite:          "E6",
+		Summary:        "treewidth ≤ 2 via biconnected-component series-parallel runs",
+		Family:         "treewidth2",
+		Witness:        WitnessNone,
+		Rounds:         treewidth2.Rounds,
+		BoundExpr:      "O(log log n)",
+		ProofSizeBound: treewidth2.ProofSizeBound,
+		Exec:           runTreewidth2,
+	})
+}
+
+func runTreewidth2(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*Outcome, error) {
+	res, err := treewidth2.Run(in.G, nil, rng, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Accepted:      res.Accepted && !res.ProverFailed,
+		ProverFailed:  res.ProverFailed,
+		Rounds:        res.Rounds,
+		ProofSizeBits: res.MaxLabelBits,
+	}, nil
+}

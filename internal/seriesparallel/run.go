@@ -9,6 +9,23 @@ import (
 	"repro/internal/pathouter"
 )
 
+// Rounds is the declared interaction-round count of Theorem 1.6.
+const Rounds = 5
+
+// ProofSizeBound is the declared proof-size bound of Theorem 1.6 in
+// bits: O(log log n), scaled from the pathouter bound to cover the
+// structural-stage labels and the deferred ear-endpoint copies of the
+// ears-as-edges simulation. delta is unused. Applies to honest runs on
+// yes-instances; asserted by the bound-conformance test in
+// internal/protocol.
+func ProofSizeBound(n, delta int) int {
+	p, err := pathouter.NewParams(n)
+	if err != nil {
+		return 0
+	}
+	return 48 * p.L
+}
+
 // Result summarizes a composite series-parallel execution.
 type Result struct {
 	Accepted           bool
@@ -27,7 +44,7 @@ type Result struct {
 // provers supply their own plans.
 func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res *Result, err error) {
 	cfg := dip.NewRunConfig(opts...)
-	endRun := cfg.CompositeSpan("seriesparallel", g.N(), 5)
+	endRun := cfg.CompositeSpan("seriesparallel", g.N(), Rounds)
 	defer func() {
 		if res != nil {
 			endRun(res.Accepted, res.MaxLabelBits)
@@ -35,7 +52,7 @@ func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res
 			endRun(false, 0)
 		}
 	}()
-	res = &Result{Rounds: 5}
+	res = &Result{Rounds: Rounds}
 	if plan == nil {
 		plan, err = HonestPlan(g)
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/planar"
 )
 
 // RequestKey is the canonical cache key of one certification request:
@@ -33,16 +34,16 @@ func (k RequestKey) Shard(n int) int {
 }
 
 // CanonicalKey computes the RequestKey for running protocol with the
-// given verifier seed on the graph (n vertices, edges), with witness
-// (the prover's private witness input, e.g. a Hamiltonian-path
-// position vector; nil when the prover derives its own) hashed
-// position-sensitively — a witness is ordered data, unlike the edge
-// set. The edge list is canonicalized — each edge sorted
-// endpoint-wise, then the list sorted lexicographically — before
-// hashing, which is what makes the key order-invariant. Duplicate
-// edges collapse (the graph type rejects them anyway, so they cannot
-// describe distinct instances).
-func CanonicalKey(protocol string, seed int64, n int, edges []graph.Edge, witness []int) RequestKey {
+// given verifier seed on the graph (n vertices, edges), with the
+// prover's private witness inputs — witness, a Hamiltonian-path
+// position vector, and rot, a combinatorial embedding; nil when the
+// prover derives its own — hashed position-sensitively, because a
+// witness is ordered data, unlike the edge set. The edge list is
+// canonicalized — each edge sorted endpoint-wise, then the list sorted
+// lexicographically — before hashing, which is what makes the key
+// order-invariant. Duplicate edges collapse (the graph type rejects
+// them anyway, so they cannot describe distinct instances).
+func CanonicalKey(protocol string, seed int64, n int, edges []graph.Edge, witness []int, rot *planar.Rotation) RequestKey {
 	canon := make([]graph.Edge, len(edges))
 	for i, e := range edges {
 		canon[i] = graph.Canon(e.U, e.V)
@@ -69,6 +70,17 @@ func CanonicalKey(protocol string, seed int64, n int, edges []graph.Edge, witnes
 		for _, p := range witness {
 			binary.LittleEndian.PutUint64(buf[:], uint64(p))
 			h.Write(buf[:])
+		}
+	}
+	if rot != nil {
+		io.WriteString(h, "|rotation|")
+		for v, row := range rot.Rot {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v)|uint64(len(row))<<32)
+			h.Write(buf[:])
+			for _, u := range row {
+				binary.LittleEndian.PutUint64(buf[:], uint64(u))
+				h.Write(buf[:])
+			}
 		}
 	}
 	return RequestKey(fmt.Sprintf("%x", h.Sum(nil)[:16]))

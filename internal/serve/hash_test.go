@@ -5,17 +5,35 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/planar"
 )
 
 func k4Edges() []graph.Edge {
 	return []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3}}
 }
 
+// k4Rotation builds a rotation system of K4 with the given clockwise
+// neighbor order at vertex 0.
+func k4Rotation(t *testing.T, at0 []int) *planar.Rotation {
+	t.Helper()
+	g := graph.New(4)
+	for _, e := range k4Edges() {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rot, err := planar.NewRotation(g, [][]int{at0, {0, 2, 3}, {0, 1, 3}, {0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rot
+}
+
 // TestCanonicalKeyOrderInvariant: shuffled and endpoint-flipped edge
 // lists describe the same instance, so they must hash identically.
 func TestCanonicalKeyOrderInvariant(t *testing.T) {
 	edges := k4Edges()
-	want := CanonicalKey("planarity", 7, 4, edges, nil)
+	want := CanonicalKey("planarity", 7, 4, edges, nil, nil)
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 20; trial++ {
 		shuf := make([]graph.Edge, len(edges))
@@ -26,7 +44,7 @@ func TestCanonicalKeyOrderInvariant(t *testing.T) {
 				shuf[i] = graph.Edge{U: shuf[i].V, V: shuf[i].U}
 			}
 		}
-		if got := CanonicalKey("planarity", 7, 4, shuf, nil); got != want {
+		if got := CanonicalKey("planarity", 7, 4, shuf, nil, nil); got != want {
 			t.Fatalf("trial %d: shuffled key %s != %s", trial, got, want)
 		}
 	}
@@ -35,16 +53,18 @@ func TestCanonicalKeyOrderInvariant(t *testing.T) {
 // TestCanonicalKeySensitivity: every component of the request identity
 // must perturb the key.
 func TestCanonicalKeySensitivity(t *testing.T) {
-	base := CanonicalKey("planarity", 7, 4, k4Edges(), nil)
+	base := CanonicalKey("planarity", 7, 4, k4Edges(), nil, nil)
 	cases := map[string]RequestKey{
-		"edge removed": CanonicalKey("planarity", 7, 4, k4Edges()[:5], nil),
-		"edge added":   CanonicalKey("planarity", 7, 5, append(k4Edges(), graph.Edge{U: 3, V: 4}), nil),
-		"edge rewired": CanonicalKey("planarity", 7, 5, append(k4Edges()[:5], graph.Edge{U: 2, V: 4}), nil),
-		"protocol":     CanonicalKey("pathouter", 7, 4, k4Edges(), nil),
-		"seed":         CanonicalKey("planarity", 8, 4, k4Edges(), nil),
-		"vertex count": CanonicalKey("planarity", 7, 5, k4Edges(), nil),
-		"witness":      CanonicalKey("planarity", 7, 4, k4Edges(), []int{0, 1, 2, 3}),
-		"witness perm": CanonicalKey("planarity", 7, 4, k4Edges(), []int{0, 1, 3, 2}),
+		"edge removed":  CanonicalKey("planarity", 7, 4, k4Edges()[:5], nil, nil),
+		"edge added":    CanonicalKey("planarity", 7, 5, append(k4Edges(), graph.Edge{U: 3, V: 4}), nil, nil),
+		"edge rewired":  CanonicalKey("planarity", 7, 5, append(k4Edges()[:5], graph.Edge{U: 2, V: 4}), nil, nil),
+		"protocol":      CanonicalKey("pathouter", 7, 4, k4Edges(), nil, nil),
+		"seed":          CanonicalKey("planarity", 8, 4, k4Edges(), nil, nil),
+		"vertex count":  CanonicalKey("planarity", 7, 5, k4Edges(), nil, nil),
+		"witness":       CanonicalKey("planarity", 7, 4, k4Edges(), []int{0, 1, 2, 3}, nil),
+		"witness perm":  CanonicalKey("planarity", 7, 4, k4Edges(), []int{0, 1, 3, 2}, nil),
+		"rotation":      CanonicalKey("planarity", 7, 4, k4Edges(), nil, k4Rotation(t, []int{1, 2, 3})),
+		"rotation perm": CanonicalKey("planarity", 7, 4, k4Edges(), nil, k4Rotation(t, []int{1, 3, 2})),
 	}
 	seen := map[RequestKey]string{base: "base"}
 	for name, key := range cases {
@@ -56,7 +76,7 @@ func TestCanonicalKeySensitivity(t *testing.T) {
 }
 
 func TestRequestKeyShardStable(t *testing.T) {
-	key := CanonicalKey("planarity", 1, 4, k4Edges(), nil)
+	key := CanonicalKey("planarity", 1, 4, k4Edges(), nil, nil)
 	if s := key.Shard(1); s != 0 {
 		t.Fatalf("single shard must map to 0, got %d", s)
 	}

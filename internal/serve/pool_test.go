@@ -14,7 +14,7 @@ func TestPoolRunsJobs(t *testing.T) {
 	var wg sync.WaitGroup
 	for i := 0; i < 64; i++ {
 		wg.Add(1)
-		key := CanonicalKey("planarity", int64(i), 4, k4Edges(), nil)
+		key := CanonicalKey("planarity", int64(i), 4, k4Edges(), nil, nil)
 		if err := p.Submit(key, func() { ran.Add(1); wg.Done() }); err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}

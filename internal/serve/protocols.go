@@ -3,7 +3,9 @@
 // submitted graphs through a sharded bounded-queue worker pool, with an
 // LRU + singleflight result cache keyed by a canonical order-invariant
 // request hash, and an observability surface (/metricsz) backed by the
-// internal/obs counter registry. SERVICE.md documents the wire API.
+// internal/obs counter registry. Protocol dispatch goes through the
+// internal/protocol registry: this package holds no per-protocol code.
+// SERVICE.md documents the wire API.
 package serve
 
 import (
@@ -11,30 +13,20 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
-	"math/rand"
-	"sort"
 
 	"repro/internal/dip"
-	"repro/internal/graph"
 	"repro/internal/obs"
-	"repro/internal/outerplanar"
-	"repro/internal/pathouter"
-	"repro/internal/planar"
-	"repro/internal/planarity"
-	"repro/internal/pls"
-	"repro/internal/seriesparallel"
-	"repro/internal/treewidth2"
+	"repro/internal/protocol"
 )
+
+// Instance is the materialized input of one certification run; see
+// protocol.Instance for the witness semantics.
+type Instance = protocol.Instance
 
 // RunResult is the protocol-level outcome of one certification run,
 // before the HTTP layer wraps it with caching metadata.
 type RunResult struct {
-	Accepted       bool
-	ProverFailed   bool
-	Rounds         int
-	ProofSizeBits  int
-	TotalLabelBits int
-	MaxCoinBits    int
+	protocol.Outcome
 	// Fingerprint is an FNV-64a digest of the deterministic
 	// CollectTracer fingerprint: a function of (protocol, instance,
 	// seed) only, identical across engines and across identical
@@ -55,60 +47,28 @@ type RoundStat struct {
 	Sum   int    `json:"sum"`
 }
 
-// Instance is the materialized input of one certification run: the
-// graph plus the prover-side witness, when the request supplied one.
-type Instance struct {
-	G *graph.Graph
-	// PathPos is the Hamiltonian-path witness the pathouter and pls
-	// protocols hand their honest prover (PathPos[v] = position of v).
-	// nil asks the prover to derive one itself, which succeeds on
-	// biconnected outerplanar graphs and bare paths.
-	PathPos []int
-}
-
-// runnerFunc executes one protocol on inst. A nil error with
-// ProverFailed=true means the honest prover could not build a witness
-// (a rejected no-instance), not a server fault.
-type runnerFunc func(inst *Instance, rng *rand.Rand, opts ...dip.RunOption) (*RunResult, error)
-
-// runners maps wire protocol names to executions. The five interactive
-// families run the Gil–Parter PODC 2025 protocols; "pls" runs the
-// Θ(log n) one-round proof labeling scheme baseline.
-var runners = map[string]runnerFunc{
-	"pathouter":   runPathOuter,
-	"outerplanar": runOuterplanar,
-	"planarity":   runPlanarity,
-	"sp":          runSeriesParallel,
-	"treewidth2":  runTreewidth2,
-	"pls":         runPLS,
-}
-
-// Protocols returns the served protocol names in sorted order.
+// Protocols returns the served protocol names in sorted order — the
+// registry contents, verbatim.
 func Protocols() []string {
-	names := make([]string, 0, len(runners))
-	for name := range runners {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
+	return protocol.Names()
 }
 
 // KnownProtocol reports whether name is served.
 func KnownProtocol(name string) bool {
-	_, ok := runners[name]
+	_, ok := protocol.Get(name)
 	return ok
 }
 
-// RunProtocol executes protocol name on g with verifier randomness
+// RunProtocol executes protocol name on inst with verifier randomness
 // derived from seed, bounded by ctx (checked between interaction
 // rounds). reg, when non-nil, receives the obs run counters. Context
 // cancellation and deadline expiry surface as errors satisfying
 // errors.Is(err, ctx.Err()); prover failures are reported in the
 // result, not as errors.
 func RunProtocol(ctx context.Context, name string, inst *Instance, seed int64, reg *obs.Registry) (*RunResult, error) {
-	run, ok := runners[name]
+	d, ok := protocol.Get(name)
 	if !ok {
-		return nil, fmt.Errorf("serve: unknown protocol %q (have %v)", name, Protocols())
+		return nil, fmt.Errorf("serve: unknown protocol %q (have %s)", name, protocol.NameList())
 	}
 	var collect *obs.CollectTracer
 	if reg != nil {
@@ -116,14 +76,15 @@ func RunProtocol(ctx context.Context, name string, inst *Instance, seed int64, r
 	} else {
 		collect = obs.NewCollect()
 	}
-	opts := []dip.RunOption{dip.WithTracer(collect), dip.WithContext(ctx)}
-	res, err := run(inst, rand.New(rand.NewSource(seed)), opts...)
+	out, err := d.Run(ctx, inst, seed, dip.WithTracer(collect))
 	if err != nil {
 		return nil, err
 	}
-	res.Fingerprint = fingerprintOf(collect)
-	res.RoundStats = flattenRoundStats(collect.Runs())
-	return res, nil
+	return &RunResult{
+		Outcome:     *out,
+		Fingerprint: fingerprintOf(collect),
+		RoundStats:  flattenRoundStats(collect.Runs()),
+	}, nil
 }
 
 // fingerprintOf compresses the collector's deterministic textual
@@ -158,120 +119,4 @@ func flattenRoundStats(runs []*obs.Metrics) []RoundStat {
 		walk(m)
 	}
 	return out
-}
-
-// pathWitness resolves the Hamiltonian-path witness of a pathouter/pls
-// run: the request's explicit witness when present, otherwise the
-// centralized oracle's attempt.
-func pathWitness(in *Instance) ([]int, bool) {
-	if in.PathPos != nil {
-		return in.PathPos, true
-	}
-	pos, err := planar.PathOuterplanarOrder(in.G)
-	if err != nil {
-		return nil, false
-	}
-	return pos, true
-}
-
-func runPathOuter(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*RunResult, error) {
-	g := in.G
-	pos, ok := pathWitness(in)
-	if !ok {
-		return &RunResult{Rounds: 5, ProverFailed: true}, nil
-	}
-	p, err := pathouter.NewParams(g.N())
-	if err != nil {
-		return nil, err
-	}
-	inst := &pathouter.Instance{G: g, Pos: pos}
-	res, err := pathouter.Protocol(inst, p).RunOnce(dip.NewInstance(g), rng, opts...)
-	if err != nil {
-		if dip.Aborted(err) {
-			return nil, err
-		}
-		return &RunResult{Rounds: 5, ProverFailed: true}, nil
-	}
-	return &RunResult{
-		Accepted:       res.Accepted,
-		Rounds:         5,
-		ProofSizeBits:  res.Stats.MaxLabelBits,
-		TotalLabelBits: res.Stats.TotalLabelBits,
-		MaxCoinBits:    res.Stats.MaxCoinBits,
-	}, nil
-}
-
-func runPLS(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*RunResult, error) {
-	g := in.G
-	pos, ok := pathWitness(in)
-	if !ok {
-		return &RunResult{Rounds: 1, ProverFailed: true}, nil
-	}
-	p := pls.NewParams(g.N())
-	res, err := pls.Protocol(g, pos, p).RunOnce(dip.NewInstance(g), rng, opts...)
-	if err != nil {
-		if dip.Aborted(err) {
-			return nil, err
-		}
-		return &RunResult{Rounds: 1, ProverFailed: true}, nil
-	}
-	return &RunResult{
-		Accepted:       res.Accepted,
-		Rounds:         1,
-		ProofSizeBits:  res.Stats.MaxLabelBits,
-		TotalLabelBits: res.Stats.TotalLabelBits,
-		MaxCoinBits:    res.Stats.MaxCoinBits,
-	}, nil
-}
-
-func runOuterplanar(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*RunResult, error) {
-	res, err := outerplanar.Run(in.G, nil, rng, opts...)
-	if err != nil {
-		return nil, err
-	}
-	return &RunResult{
-		Accepted:      res.Accepted && !res.ProverFailed,
-		ProverFailed:  res.ProverFailed,
-		Rounds:        res.Rounds,
-		ProofSizeBits: res.MaxLabelBits,
-	}, nil
-}
-
-func runPlanarity(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*RunResult, error) {
-	res, err := planarity.Run(in.G, nil, rng, opts...)
-	if err != nil {
-		return nil, err
-	}
-	return &RunResult{
-		Accepted:      res.Accepted && !res.ProverFailed,
-		ProverFailed:  res.ProverFailed,
-		Rounds:        res.Rounds,
-		ProofSizeBits: res.MaxLabelBits,
-	}, nil
-}
-
-func runSeriesParallel(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*RunResult, error) {
-	res, err := seriesparallel.Run(in.G, nil, rng, opts...)
-	if err != nil {
-		return nil, err
-	}
-	return &RunResult{
-		Accepted:      res.Accepted && !res.ProverFailed,
-		ProverFailed:  res.ProverFailed,
-		Rounds:        res.Rounds,
-		ProofSizeBits: res.MaxLabelBits,
-	}, nil
-}
-
-func runTreewidth2(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*RunResult, error) {
-	res, err := treewidth2.Run(in.G, nil, rng, opts...)
-	if err != nil {
-		return nil, err
-	}
-	return &RunResult{
-		Accepted:      res.Accepted && !res.ProverFailed,
-		ProverFailed:  res.ProverFailed,
-		Rounds:        res.Rounds,
-		ProofSizeBits: res.MaxLabelBits,
-	}, nil
 }

@@ -8,6 +8,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/protocol"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -227,6 +229,93 @@ func TestCertifyDeadline504(t *testing.T) {
 		`{"protocol":"planarity","seed":2,"timeout_ms":120000,"gen":{"family":"triangulation","n":512,"seed":3}}`)
 	if resp2.StatusCode != http.StatusOK || !out.Accepted || out.CacheHit {
 		t.Fatalf("post-timeout recompute: status %d, %+v", resp2.StatusCode, out)
+	}
+}
+
+// TestCertifyUnknownProtocolListsRegistry: the 400 error body names the
+// available protocols, sourced from the internal/protocol registry.
+func TestCertifyUnknownProtocolListsRegistry(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/certify", "application/json",
+		strings.NewReader(`{"protocol":"nope","seed":1,"graph":{"n":2,"edges":[[0,1]]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var e errorJSON
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, protocol.NameList()) {
+		t.Fatalf("error %q does not list the registry names %q", e.Error, protocol.NameList())
+	}
+}
+
+// TestCertifyRoundsMatchDescriptor: the rounds field of every /certify
+// response is the registry descriptor's declared count, not a
+// serve-layer literal.
+func TestCertifyRoundsMatchDescriptor(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, req := range map[string]string{
+		"planarity": k4Req,
+		"pathouter": `{"protocol":"pathouter","seed":5,"gen":{"family":"pathouter","n":32,"seed":11}}`,
+		"pls":       `{"protocol":"pls","seed":5,"gen":{"family":"pathouter","n":32,"seed":11}}`,
+	} {
+		d, ok := protocol.Get(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		resp, out := postCertify(t, ts, req)
+		if resp.StatusCode != http.StatusOK || !out.Accepted {
+			t.Fatalf("%s: status %d, %+v", name, resp.StatusCode, out)
+		}
+		if out.Rounds != d.Rounds {
+			t.Errorf("%s: response rounds %d, descriptor declares %d", name, out.Rounds, d.Rounds)
+		}
+	}
+}
+
+// TestProtocolz: the descriptor listing matches the registry exactly.
+func TestProtocolz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/protocolz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Protocols []ProtocolInfoJSON `json:"protocols"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(body.Protocols), len(protocol.Names()); got != want {
+		t.Fatalf("%d protocols listed, registry has %d", got, want)
+	}
+	for _, row := range body.Protocols {
+		d, ok := protocol.Get(row.Name)
+		if !ok {
+			t.Errorf("listed protocol %q is not registered", row.Name)
+			continue
+		}
+		if row.Rounds != d.Rounds || row.Theorem != d.Theorem || row.Family != d.Family ||
+			row.BoundExpr != d.BoundExpr || row.Witness != string(d.Witness) {
+			t.Errorf("%s: listing %+v diverges from descriptor", row.Name, row)
+		}
+	}
+	post, err := http.Post(ts.URL+"/protocolz", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /protocolz: status %d, want 405", post.StatusCode)
 	}
 }
 

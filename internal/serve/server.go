@@ -14,6 +14,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/protocol"
 )
 
 // Config sizes the service. Zero values take the documented defaults.
@@ -169,11 +170,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/certify", s.handleCertify)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("/protocolz", s.handleProtocolz)
 	return s
 }
 
-// Handler returns the HTTP handler serving /certify, /healthz, and
-// /metricsz.
+// Handler returns the HTTP handler serving /certify, /healthz,
+// /metricsz, and /protocolz.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Registry returns the counter registry backing /metricsz.
@@ -208,11 +210,49 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(map[string]any{"type": "gauge", "name": "pool_shards", "value": s.pool.Shards()})
 }
 
+// ProtocolInfoJSON is one row of the /protocolz response: a registered
+// protocol's descriptor metadata.
+type ProtocolInfoJSON struct {
+	Name      string `json:"name"`
+	Theorem   string `json:"theorem"`
+	Suite     string `json:"suite,omitempty"`
+	Summary   string `json:"summary,omitempty"`
+	Family    string `json:"family"`
+	Witness   string `json:"witness"`
+	Rounds    int    `json:"rounds"`
+	BoundExpr string `json:"proof_size_bound"`
+}
+
+// handleProtocolz lists the registered protocols with their descriptor
+// metadata, straight from the internal/protocol registry.
+func (s *Server) handleProtocolz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	descs := protocol.All()
+	rows := make([]ProtocolInfoJSON, 0, len(descs))
+	for _, d := range descs {
+		rows = append(rows, ProtocolInfoJSON{
+			Name:      d.Name,
+			Theorem:   d.Theorem,
+			Suite:     d.Suite,
+			Summary:   d.Summary,
+			Family:    d.Family,
+			Witness:   string(d.Witness),
+			Rounds:    d.Rounds,
+			BoundExpr: d.BoundExpr,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"protocols": rows})
+}
+
 // buildInstance materializes the request's instance, from the inline
-// edge list or the generator spec, plus the witness the run should use:
-// the request's explicit witness_pos, or the generator's own witness
-// for gen-spec pathouter instances. Errors are client errors
-// (400-class).
+// edge list or the generator spec, plus the witnesses the run should
+// use: the request's explicit witness_pos, or the generator's own
+// witnesses (the pathouter position vector, the embedded families'
+// rotation system). Errors are client errors (400-class).
 func (s *Server) buildInstance(req *Request) (*Instance, error) {
 	inst := &Instance{PathPos: req.WitnessPos}
 	switch {
@@ -235,11 +275,12 @@ func (s *Server) buildInstance(req *Request) (*Instance, error) {
 		if req.Gen.ChordProb != nil {
 			spec.ChordProb = *req.Gen.ChordProb
 		}
-		g, pos, err := spec.BuildWitnessed(rand.New(rand.NewSource(req.Gen.Seed)))
+		g, pos, rot, err := spec.BuildWitnessed(rand.New(rand.NewSource(req.Gen.Seed)))
 		if err != nil {
 			return nil, err
 		}
 		inst.G = g
+		inst.Rotation = rot
 		if inst.PathPos == nil {
 			inst.PathPos = pos
 		}
@@ -287,7 +328,7 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !KnownProtocol(req.Protocol) {
-		s.fail(w, http.StatusBadRequest, "unknown protocol %q (have %v)", req.Protocol, Protocols())
+		s.fail(w, http.StatusBadRequest, "unknown protocol %q (have %s)", req.Protocol, protocol.NameList())
 		return
 	}
 	inst, err := s.buildInstance(&req)
@@ -313,9 +354,9 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	// The effective witness (explicit or generator-supplied) is part of
-	// the request identity: it changes what the prover sends.
-	key := CanonicalKey(req.Protocol, req.Seed, g.N(), g.Edges(), inst.PathPos)
+	// The effective witnesses (explicit or generator-supplied) are part
+	// of the request identity: they change what the prover sends.
+	key := CanonicalKey(req.Protocol, req.Seed, g.N(), g.Edges(), inst.PathPos, inst.Rotation)
 	resp, outcome, err := s.cache.Do(key, func() (*Response, error) {
 		var res *RunResult
 		var runErr error

@@ -467,6 +467,23 @@ func StructuralProtocol(g *graph.Graph, p Params, plan *Plan) *dip.Protocol {
 
 // ---- composite runner ------------------------------------------------
 
+// Rounds is the declared interaction-round count of Theorem 1.7.
+const Rounds = 5
+
+// ProofSizeBound is the declared proof-size bound of Theorem 1.7 in
+// bits: O(log log n), the per-block series-parallel bound plus the
+// block-cut structural labels and the deferred separating-vertex copies
+// charged to block leaders. delta is unused. Applies to honest runs on
+// yes-instances; asserted by the bound-conformance test in
+// internal/protocol.
+func ProofSizeBound(n, delta int) int {
+	b := seriesparallel.ProofSizeBound(n, delta)
+	if b == 0 {
+		return 0
+	}
+	return b + b/2
+}
+
 // Result summarizes a composite treewidth-2 execution.
 type Result struct {
 	Accepted           bool
@@ -482,7 +499,7 @@ type Result struct {
 // under the composite's span.
 func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res *Result, err error) {
 	cfg := dip.NewRunConfig(opts...)
-	endRun := cfg.CompositeSpan("treewidth2", g.N(), 5)
+	endRun := cfg.CompositeSpan("treewidth2", g.N(), Rounds)
 	defer func() {
 		if res != nil {
 			endRun(res.Accepted, res.MaxLabelBits)
@@ -490,7 +507,7 @@ func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res
 			endRun(false, 0)
 		}
 	}()
-	res = &Result{Rounds: 5}
+	res = &Result{Rounds: Rounds}
 	if plan == nil {
 		plan, err = HonestPlan(g)
 		if err != nil {
