@@ -10,6 +10,10 @@
 //	-trace FILE      stream the full typed event trace as NDJSON to FILE
 //	-cpuprofile FILE write a pprof CPU profile of the whole suite
 //	-memprofile FILE write a pprof heap profile at exit
+//	-hotpath FILE    run only the engine hot-path + service throughput
+//	                 benchmarks and merge the numbers into FILE
+//	                 (BENCH_dip.json); the first write freezes the
+//	                 baseline, later writes replace the current section
 //
 // Every sweep point runs on its own child seed derived from (-seed,
 // sweep name, n), so a single row is reproducible in isolation and a
@@ -29,6 +33,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/benchkit"
 	"repro/internal/dip"
 	"repro/internal/exp"
 	"repro/internal/gen"
@@ -43,11 +48,47 @@ func main() {
 	traceFile := flag.String("trace", "", "write NDJSON event trace to file")
 	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memProfile := flag.String("memprofile", "", "write heap profile to file")
+	hotPath := flag.String("hotpath", "", "run only the hot-path benchmarks and merge numbers into this JSON file")
 	flag.Parse()
+	if *hotPath != "" {
+		if err := runHotPath(*hotPath, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "dipbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*quick, *seed, *jsonOut, *traceFile, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "dipbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runHotPath measures the engine hot paths and the service request path
+// (the workloads behind BenchmarkRunnerHotPath / BenchmarkServeThroughput)
+// and merges the numbers into file, preserving the first-ever snapshot as
+// the baseline so the file always holds the before/after pair.
+func runHotPath(file string, jsonOut bool) error {
+	results, err := benchkit.HotPath()
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, r := range results {
+			if err := enc.Encode(map[string]any{
+				"type": "hotpath_bench", "name": r.Name, "iterations": r.Iterations,
+				"ns_per_op": r.NsPerOp, "bytes_per_op": r.BytesPerOp, "allocs_per_op": r.AllocsPerOp,
+			}); err != nil {
+				return err
+			}
+		}
+	} else {
+		fmt.Printf("%-28s %10s %14s %14s %14s\n", "benchmark", "iters", "ns/op", "B/op", "allocs/op")
+		for _, r := range results {
+			fmt.Printf("%-28s %10d %14d %14d %14d\n", r.Name, r.Iterations, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+	}
+	return benchkit.WriteFile(file, "cmd/dipbench -hotpath", results)
 }
 
 // childSeed derives the per-(sweep, n) seed: rows are individually

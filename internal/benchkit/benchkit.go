@@ -1,0 +1,256 @@
+// Package benchkit runs the engine hot-path and service throughput
+// benchmarks outside `go test`, so cmd/dipbench can emit machine-readable
+// before/after numbers (BENCH_dip.json) for the perf gate. The workloads
+// mirror BenchmarkRunnerHotPath / BenchmarkChannelHotPath /
+// BenchmarkRepeatHotPath (internal/dip) and BenchmarkServeThroughput
+// (internal/serve); keep them in sync when the fixtures change.
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/dip"
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// Result is one benchmark measurement in wire form.
+type Result struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// Snapshot is one full suite run with its environment.
+type Snapshot struct {
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Note       string   `json:"note,omitempty"`
+	Results    []Result `json:"results"`
+}
+
+// File is the BENCH_dip.json document: the first snapshot ever written
+// is frozen as the baseline; later runs only replace current.
+type File struct {
+	Schema   string    `json:"schema"`
+	Baseline *Snapshot `json:"baseline,omitempty"`
+	Current  *Snapshot `json:"current"`
+}
+
+const schema = "bench_dip/v1"
+
+func toResult(name string, r testing.BenchmarkResult) Result {
+	return Result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// fixedProver replays a prerecorded assignment per round, like the test
+// fixture of the same shape in internal/dip.
+type fixedProver struct{ assigns []*dip.Assignment }
+
+func (p *fixedProver) Round(round int, _ [][]bitio.String) (*dip.Assignment, error) {
+	if round >= len(p.assigns) {
+		return nil, fmt.Errorf("benchkit: no assignment for round %d", round)
+	}
+	return p.assigns[round], nil
+}
+
+// hotPathVerifier touches every label so view assembly cannot be elided,
+// without any protocol-level decoding.
+type hotPathVerifier struct{}
+
+func (hotPathVerifier) Coins(round int, view *dip.View, rng *rand.Rand) bitio.String {
+	return bitio.FromUint(uint64(rng.Intn(16)), 4)
+}
+
+func (hotPathVerifier) Decide(view *dip.View) bool {
+	sum := 0
+	for r := range view.Own {
+		sum += view.Own[r].Len()
+	}
+	for p := 0; p < view.Deg; p++ {
+		for r := range view.Nbr[p] {
+			sum += view.Nbr[p][r].Len() + view.EdgeLab[p][r].Len()
+		}
+	}
+	return sum > 0
+}
+
+func gridGraph(rows, cols int) *graph.Graph {
+	g := graph.New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+func fixture(rows, cols, proverRounds int) (*dip.Instance, *fixedProver) {
+	g := gridGraph(rows, cols)
+	assigns := make([]*dip.Assignment, proverRounds)
+	for pr := range assigns {
+		a := dip.NewEdgeAssignment(g)
+		for v := 0; v < g.N(); v++ {
+			a.Node[v] = bitio.FromUint(uint64(v%256), 8)
+		}
+		for _, e := range g.Edges() {
+			a.Edge[e] = bitio.FromUint(uint64((e.U+e.V)%16), 4)
+		}
+		assigns[pr] = a
+	}
+	return dip.NewInstance(g), &fixedProver{assigns: assigns}
+}
+
+// HotPath runs the three engine hot-path workloads (10k-node grid,
+// P=3/V=2) and the two service throughput workloads, in the same order
+// as the committed baseline.
+func HotPath() ([]Result, error) {
+	var out []Result
+	var benchErr error
+
+	inst, prover := fixture(100, 100, 3)
+	v := hotPathVerifier{}
+
+	runner := dip.NewRunner(inst)
+	out = append(out, toResult("RunnerHotPath", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := runner.Run(prover, v, 3, 2, rand.New(rand.NewSource(int64(i))))
+			if err != nil || !res.Accepted {
+				benchErr = fmt.Errorf("benchkit: runner: accepted=%v err=%v", res != nil && res.Accepted, err)
+				b.FailNow()
+			}
+		}
+	})))
+
+	cr := dip.NewChannelRunner(inst)
+	out = append(out, toResult("ChannelHotPath", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := cr.Run(prover, v, 3, 2, rand.New(rand.NewSource(int64(i))))
+			if err != nil || !res.Accepted {
+				benchErr = fmt.Errorf("benchkit: channels: accepted=%v err=%v", res != nil && res.Accepted, err)
+				b.FailNow()
+			}
+		}
+	})))
+
+	rinst, rprover := fixture(50, 50, 3)
+	proto := &dip.Protocol{
+		Name:           "hotpath",
+		ProverRounds:   3,
+		VerifierRounds: 2,
+		NewProver:      func() dip.Prover { return rprover },
+		Verifier:       hotPathVerifier{},
+	}
+	out = append(out, toResult("RepeatHotPath", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr, err := proto.Repeat(rinst, 2, rand.New(rand.NewSource(int64(i))))
+			if err != nil || tr.Accepts != tr.Runs {
+				benchErr = fmt.Errorf("benchkit: repeat: err=%v", err)
+				b.FailNow()
+			}
+		}
+	})))
+
+	sr, err := serveThroughput()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, sr...)
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	return out, nil
+}
+
+const k4Req = `{"protocol":"planarity","seed":1,"graph":{"n":4,"edges":[[0,1],[0,2],[0,3],[1,2],[1,3],[2,3]]}}`
+
+// serveThroughput mirrors BenchmarkServeThroughput: the in-process
+// /certify request path with a warm cache (CacheHit) and with cycling
+// seeds so every request executes the protocol (Miss).
+func serveThroughput() ([]Result, error) {
+	var benchErr error
+	bench := func(body func(i int) string) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			s := serve.New(serve.Config{})
+			defer s.Close()
+			h := s.Handler()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := httptest.NewRequest(http.MethodPost, "/certify", strings.NewReader(body(i)))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, r)
+				if w.Code != http.StatusOK {
+					benchErr = fmt.Errorf("benchkit: serve: status %d: %s", w.Code, w.Body.String())
+					b.FailNow()
+				}
+			}
+		})
+	}
+	out := []Result{
+		toResult("ServeThroughput/CacheHit", bench(func(int) string { return k4Req })),
+		toResult("ServeThroughput/Miss", bench(func(i int) string {
+			return fmt.Sprintf(
+				`{"protocol":"planarity","seed":%d,"graph":{"n":4,"edges":[[0,1],[0,2],[0,3],[1,2],[1,3],[2,3]]}}`, i)
+		})),
+	}
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	return out, nil
+}
+
+// WriteFile merges a suite run into path: the first write freezes the
+// snapshot as both baseline and current; later writes keep the existing
+// baseline and replace current, so the file always carries the
+// before/after pair for the perf gate.
+func WriteFile(path, note string, results []Result) error {
+	snap := &Snapshot{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       note,
+		Results:    results,
+	}
+	doc := &File{Schema: schema, Current: snap}
+	if raw, err := os.ReadFile(path); err == nil {
+		var prev File
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			return fmt.Errorf("benchkit: %s exists but is not valid bench JSON: %w", path, err)
+		}
+		doc.Baseline = prev.Baseline
+	}
+	if doc.Baseline == nil {
+		doc.Baseline = snap
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -91,6 +91,59 @@ func TestEdgeLabelAccountingK4(t *testing.T) {
 	}
 }
 
+// TestFreezeRejectsSmuggledEdgeLabels pins the freeze-time validation
+// of prover assignments: an adversarial prover labeling an edge that is
+// not in the graph — or using a non-canonical key — used to be skipped
+// silently by the map-lookup read path, letting label bits bypass the
+// Stats accounting entirely. Both engines must now reject such an
+// assignment as an error instead of running to a verdict.
+func TestFreezeRejectsSmuggledEdgeLabels(t *testing.T) {
+	cases := []struct {
+		name string
+		edge graph.Edge
+	}{
+		// pathGraph(4) has edges (0,1) (1,2) (2,3) only.
+		{"absent edge", graph.Edge{U: 0, V: 2}},
+		{"out of range", graph.Edge{U: 1, V: 9}},
+		{"non-canonical key", graph.Edge{U: 2, V: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := pathGraph(4)
+			a := NewAssignment(g)
+			a.Edge[graph.Canon(0, 1)] = bitio.FromUint(1, 3)
+			a.Edge[tc.edge] = bitio.FromUint(1, 64) // the smuggled bits
+			v := echoVerifier{decide: func(*View) bool { return true }}
+			if _, err := NewRunner(NewInstance(g)).Run(&fixedProver{assigns: []*Assignment{a}},
+				v, 1, 0, rand.New(rand.NewSource(1))); err == nil {
+				t.Error("runner accepted assignment with unaccountable edge label")
+			}
+			if _, err := NewChannelRunner(NewInstance(g)).Run(&fixedProver{assigns: []*Assignment{a}},
+				v, 2, 1, rand.New(rand.NewSource(1))); err == nil {
+				t.Error("channel engine accepted assignment with unaccountable edge label")
+			}
+		})
+	}
+}
+
+// TestRunRejectsUnknownEdgeInput is the same validation for the
+// instance itself: EdgeInput keyed by a non-edge is a construction bug
+// surfaced at the first run, not silently dropped input.
+func TestRunRejectsUnknownEdgeInput(t *testing.T) {
+	g := pathGraph(4)
+	inst := NewInstance(g)
+	inst.EdgeInput[graph.Edge{U: 0, V: 3}] = "orphan"
+	v := echoVerifier{decide: func(*View) bool { return true }}
+	if _, err := NewRunner(inst).Run(&fixedProver{assigns: []*Assignment{NewAssignment(g)}},
+		v, 1, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("runner accepted instance with edge input on a non-edge")
+	}
+	if _, err := NewChannelRunner(inst).Run(&fixedProver{assigns: []*Assignment{NewAssignment(g)}},
+		v, 1, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("channel engine accepted instance with edge input on a non-edge")
+	}
+}
+
 // TestAccountableCoversEachEdgeOnce checks the orientation-derived
 // accountability lists directly: on K4 the six edge ids partition across
 // the four per-node lists with no repeats and none missing.
@@ -98,7 +151,7 @@ func TestAccountableCoversEachEdgeOnce(t *testing.T) {
 	g := k4()
 	r := NewRunner(NewInstance(g))
 	seen := make(map[int]int)
-	for v, eids := range r.accountable {
+	for v, eids := range r.fi.accountable {
 		for _, eid := range eids {
 			seen[eid]++
 			e := g.Edges()[eid]

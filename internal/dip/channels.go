@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"repro/internal/bitio"
-	"repro/internal/graph"
 	"repro/internal/obs"
 )
 
@@ -17,16 +16,18 @@ import (
 // shape of the model, with no central orchestration of the verifier
 // side. It produces results identical to Runner (tests assert this); the
 // orchestrated Runner remains the default because it is faster on large
-// instances.
+// instances. Like Runner, it reuses per-node rngs and the frozen
+// instance across runs, so it is NOT safe for concurrent Run calls.
 type ChannelRunner struct {
-	inst        *Instance
-	accountable [][]int
+	inst *Instance
+	fi   *frozenInstance
+	// nodeRngs are created on the first run and reseeded on later runs.
+	nodeRngs []*rand.Rand
 }
 
 // NewChannelRunner prepares a channel-based execution environment.
 func NewChannelRunner(inst *Instance) *ChannelRunner {
-	r := NewRunner(inst)
-	return &ChannelRunner{inst: inst, accountable: r.accountable}
+	return &ChannelRunner{inst: inst, fi: newFrozenInstance(inst)}
 }
 
 // nodeMsg is one prover-round delivery to a node: its own label, its
@@ -50,6 +51,10 @@ func (cr *ChannelRunner) Run(p Prover, v Verifier, proverRounds, verifierRounds 
 	traced := cfg.Tracer != nil
 	g := cr.inst.G
 	n := g.N()
+	fi := cr.fi
+	if err := fi.check(); err != nil {
+		return nil, err
+	}
 
 	// Channels: prover -> node deliveries, node -> prover coins, and the
 	// final decisions.
@@ -62,41 +67,56 @@ func (cr *ChannelRunner) Run(p Prover, v Verifier, proverRounds, verifierRounds 
 		decide[i] = make(chan bool, 1)
 	}
 
-	nodeRngs := make([]*rand.Rand, n)
-	for i := range nodeRngs {
-		nodeRngs[i] = rand.New(rand.NewSource(rng.Int63()))
+	if cr.nodeRngs == nil {
+		cr.nodeRngs = make([]*rand.Rand, n)
+		for i := range cr.nodeRngs {
+			cr.nodeRngs[i] = rand.New(rand.NewSource(rng.Int63()))
+		}
+	} else {
+		for i := range cr.nodeRngs {
+			cr.nodeRngs[i].Seed(rng.Int63())
+		}
 	}
 
 	// Node goroutines: receive labels each prover round, emit coins each
 	// verifier round, decide at the end. Each node accumulates only its
-	// legal view.
+	// legal view, growing a long-lived View whose backing arrays are
+	// fully allocated up front (flat, sliced per port), so the rounds
+	// themselves allocate nothing on the node side.
 	var wg sync.WaitGroup
 	for x := 0; x < n; x++ {
 		wg.Add(1)
 		go func(x int) {
 			defer wg.Done()
-			nbrs := g.Neighbors(x)
+			ports := fi.ports[x]
+			eids := fi.portEID[x]
+			d := len(ports)
 			view := &View{
 				V:       x,
-				Deg:     len(nbrs),
-				Input:   cr.inst.NodeInput[x],
-				Nbr:     make([][]bitio.String, len(nbrs)),
-				EdgeLab: make([][]bitio.String, len(nbrs)),
-				EdgeIn:  make([]any, len(nbrs)),
-				NbrID:   append([]int(nil), nbrs...),
+				Deg:     d,
+				Input:   fi.nodeIn[x],
+				Coins:   make([]bitio.String, 0, verifierRounds),
+				Own:     make([]bitio.String, 0, proverRounds),
+				Nbr:     make([][]bitio.String, d),
+				EdgeLab: make([][]bitio.String, d),
+				EdgeIn:  make([]any, d),
+				NbrID:   ports,
 			}
-			for pi, u := range nbrs {
-				view.EdgeIn[pi] = cr.inst.EdgeInput[graph.Canon(x, u)]
+			flat := make([]bitio.String, 2*d*proverRounds)
+			for pi := 0; pi < d; pi++ {
+				view.Nbr[pi] = flat[2*pi*proverRounds : 2*pi*proverRounds : (2*pi+1)*proverRounds]
+				view.EdgeLab[pi] = flat[(2*pi+1)*proverRounds : (2*pi+1)*proverRounds : (2*pi+2)*proverRounds]
+				view.EdgeIn[pi] = fi.edgeIn[eids[pi]]
 			}
 			for pr := 0; pr < proverRounds; pr++ {
 				msg := <-deliver[x]
 				view.Own = append(view.Own, msg.own)
-				for pi := range nbrs {
+				for pi := 0; pi < d; pi++ {
 					view.Nbr[pi] = append(view.Nbr[pi], msg.nbr[pi])
 					view.EdgeLab[pi] = append(view.EdgeLab[pi], msg.edgeLab[pi])
 				}
 				if pr < verifierRounds {
-					c := v.Coins(pr, view, nodeRngs[x])
+					c := v.Coins(pr, view, cr.nodeRngs[x])
 					view.Coins = append(view.Coins, c)
 					coinsUp[x] <- c
 				}
@@ -135,18 +155,26 @@ func (cr *ChannelRunner) Run(p Prover, v Verifier, proverRounds, verifierRounds 
 			if len(a.Node) != n {
 				return fmt.Errorf("dip: prover round %d assigned %d node labels, want %d", pr, len(a.Node), n)
 			}
+			fa, err := fi.freeze(a)
+			if err != nil {
+				return fmt.Errorf("dip: prover round %d: %w", pr, err)
+			}
 			assignments = append(assignments, a)
-			accumulateStats(cr.inst, cr.accountable, a, &st)
+			fi.accumulate(fa, &st)
+			// One flat delivery buffer per round, sliced per node via the
+			// CSR port offsets: two allocations for all n messages. The
+			// ranges are disjoint and written before the send, so nodes
+			// read them race-free.
+			nbrFlat := make([]bitio.String, fi.portOff[n])
+			labFlat := make([]bitio.String, fi.portOff[n])
 			for x := 0; x < n; x++ {
-				nbrs := g.Neighbors(x)
-				msg := nodeMsg{
-					own:     a.Node[x],
-					nbr:     make([]bitio.String, len(nbrs)),
-					edgeLab: make([]bitio.String, len(nbrs)),
-				}
-				for pi, u := range nbrs {
-					msg.nbr[pi] = a.Node[u]
-					msg.edgeLab[pi] = a.Edge[graph.Canon(x, u)]
+				lo, hi := fi.portOff[x], fi.portOff[x+1]
+				msg := nodeMsg{own: fa.node[x], nbr: nbrFlat[lo:hi:hi], edgeLab: labFlat[lo:hi:hi]}
+				ports := fi.ports[x]
+				eids := fi.portEID[x]
+				for pi := range ports {
+					msg.nbr[pi] = fa.node[ports[pi]]
+					msg.edgeLab[pi] = fa.edge[eids[pi]]
 				}
 				deliver[x] <- msg
 			}
@@ -227,23 +255,4 @@ func (cr *ChannelRunner) Run(p Prover, v Verifier, proverRounds, verifierRounds 
 		Stats:       st,
 		Transcript:  Transcript{Assignments: assignments, Coins: coins},
 	}, nil
-}
-
-// accumulateStats shares the proof metering between the two engines.
-func accumulateStats(inst *Instance, accountable [][]int, a *Assignment, st *Stats) {
-	g := inst.G
-	round := make([]int, g.N())
-	for v := 0; v < g.N(); v++ {
-		bits := a.Node[v].Len()
-		for _, eid := range accountable[v] {
-			e := g.Edges()[eid]
-			bits += a.Edge[e].Len()
-		}
-		round[v] = bits
-		st.TotalLabelBits += bits
-		if bits > st.MaxLabelBits {
-			st.MaxLabelBits = bits
-		}
-	}
-	st.LabelBits = append(st.LabelBits, round)
 }

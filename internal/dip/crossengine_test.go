@@ -68,6 +68,53 @@ func TestWithEngineSelectsEngine(t *testing.T) {
 	}
 }
 
+// TestRepeatHonorsEngine is the regression test for Repeat silently
+// ignoring WithEngine: every run of a Repeat under
+// WithEngine(channels) must execute on the channel engine (the tracer's
+// engine tag is the witness), an unknown engine must be an error, and
+// the channel-engine trial must be metric-fingerprint-identical to the
+// Runner trial on the same seed.
+func TestRepeatHonorsEngine(t *testing.T) {
+	const n, runs = 24, 3
+	gi := gen.PathOuterplanar(rand.New(rand.NewSource(9)), n, 0.5)
+	p, err := pathouter.NewParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto := pathouter.Protocol(&pathouter.Instance{G: gi.G, Pos: gi.Pos}, p)
+
+	trial := func(engine string) (dip.Trial, *obs.CollectTracer) {
+		collect := obs.NewCollect()
+		tr, err := proto.Repeat(dip.NewInstance(gi.G), runs, rand.New(rand.NewSource(21)),
+			dip.WithTracer(collect), dip.WithEngine(engine))
+		if err != nil {
+			t.Fatalf("engine %q: %v", engine, err)
+		}
+		return tr, collect
+	}
+	runnerTrial, runnerCollect := trial(obs.EngineRunner)
+	chanTrial, chanCollect := trial(obs.EngineChannels)
+
+	if got := chanCollect.Runs(); len(got) != runs {
+		t.Fatalf("channels: %d traced runs, want %d", len(got), runs)
+	} else {
+		for i, m := range got {
+			if m.Engine != obs.EngineChannels {
+				t.Errorf("channels run %d executed on engine %q", i, m.Engine)
+			}
+		}
+	}
+	if runnerTrial != chanTrial {
+		t.Errorf("trials diverge across engines: %+v vs %+v", runnerTrial, chanTrial)
+	}
+	if rf, cf := runnerCollect.Fingerprint(), chanCollect.Fingerprint(); rf != cf {
+		t.Errorf("metric fingerprints diverge across engines:\nrunner:   %s\nchannels: %s", rf, cf)
+	}
+	if _, err := proto.Repeat(dip.NewInstance(gi.G), 1, rand.New(rand.NewSource(1)), dip.WithEngine("bogus")); err == nil {
+		t.Error("Repeat accepted unknown engine")
+	}
+}
+
 // TestCompositeNestingSpans asserts that a composite protocol's
 // sub-executions appear as children of the composite span with
 // path-joined span names (driver plumbing through outerplanar.Run).

@@ -1,0 +1,219 @@
+package dip
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/graph"
+)
+
+// frozenInstance is the dense, run-ready form of an Instance, built
+// once per Runner/ChannelRunner and shared by every run on it. All map
+// lookups of the construction-time API (Instance.EdgeInput,
+// Assignment.Edge) are resolved to edge-id-indexed slices here, so the
+// per-node view assembly does zero hashing and zero Canon calls.
+type frozenInstance struct {
+	g *graph.Graph
+	n int
+	// nodeIn aliases Instance.NodeInput.
+	nodeIn []any
+	// edgeIn[eid] is the shared input of edge eid (EdgeInput densified).
+	edgeIn []any
+	// ports[v] aliases g.Neighbors(v); portEID[v] aliases g.PortEdgeIDs(v).
+	ports   [][]int
+	portEID [][]int
+	// portOff is the CSR offset table over ports: node v's ports occupy
+	// [portOff[v], portOff[v+1]) in a flattened all-ports array of length
+	// portOff[n] == 2*M. The channel engine slices its per-round delivery
+	// buffers out of it.
+	portOff []int
+	// accountable[v] lists edge ids charged to v (bounded-outdegree
+	// orientation; <= degeneracy many per node, <= 5 on planar graphs).
+	accountable [][]int
+	// emptyEdges is an all-zero length-M slice shared by every frozen
+	// assignment of a round with no edge labels, so view assembly never
+	// branches on "did this round label edges".
+	emptyEdges []bitio.String
+	// badEdgeInput records the first EdgeInput key that is not an edge of
+	// the graph; runs report it as an error instead of silently dropping
+	// the input.
+	badEdgeInput *graph.Edge
+}
+
+// newFrozenInstance densifies inst. Orientation (for edge-label
+// accounting) is computed here so both engines share one freeze step.
+func newFrozenInstance(inst *Instance) *frozenInstance {
+	g := inst.G
+	n := g.N()
+	out, _ := graph.OrientByDegeneracy(g)
+	acc := make([][]int, n)
+	for v := range out {
+		for _, u := range out[v] {
+			acc[v] = append(acc[v], g.EdgeID(v, u))
+		}
+	}
+	fi := &frozenInstance{
+		g:           g,
+		n:           n,
+		nodeIn:      inst.NodeInput,
+		edgeIn:      make([]any, g.M()),
+		ports:       make([][]int, n),
+		portEID:     make([][]int, n),
+		portOff:     make([]int, n+1),
+		accountable: acc,
+		emptyEdges:  make([]bitio.String, g.M()),
+	}
+	for v := 0; v < n; v++ {
+		fi.ports[v] = g.Neighbors(v)
+		fi.portEID[v] = g.PortEdgeIDs(v)
+		fi.portOff[v+1] = fi.portOff[v] + len(fi.ports[v])
+	}
+	for e, in := range inst.EdgeInput {
+		id := g.EdgeID(e.U, e.V)
+		if id < 0 {
+			if fi.badEdgeInput == nil {
+				bad := e
+				fi.badEdgeInput = &bad
+			}
+			continue
+		}
+		fi.edgeIn[id] = in
+	}
+	return fi
+}
+
+// check reports the deferred freeze-time validation error, if any.
+// NewRunner/NewChannelRunner have no error return, so instance-level
+// problems surface at the first Run instead.
+func (fi *frozenInstance) check() error {
+	if fi.badEdgeInput != nil {
+		return fmt.Errorf("dip: instance edge input references edge (%d,%d) not in graph",
+			fi.badEdgeInput.U, fi.badEdgeInput.V)
+	}
+	return nil
+}
+
+// frozenAssignment is one prover round in dense form: labels indexed by
+// vertex and edge id, no maps on the read path.
+type frozenAssignment struct {
+	node []bitio.String
+	edge []bitio.String // by edge id; fi.emptyEdges when the round labeled none
+}
+
+// freeze validates and densifies one prover-round assignment. Every key
+// of a.Edge must be a canonical (U < V) edge of the graph: an absent or
+// non-canonical edge would previously be skipped silently by the
+// map-lookup read path, letting an adversarial prover smuggle label
+// bits past the Stats accounting — here it is an error.
+func (fi *frozenInstance) freeze(a *Assignment) (frozenAssignment, error) {
+	fa := frozenAssignment{node: a.Node, edge: fi.emptyEdges}
+	if len(a.Edge) == 0 {
+		return fa, nil
+	}
+	fa.edge = make([]bitio.String, fi.g.M())
+	for e, lab := range a.Edge {
+		if e.U > e.V {
+			return fa, fmt.Errorf("dip: assignment labels non-canonical edge (%d,%d); use graph.Canon", e.U, e.V)
+		}
+		id := fi.g.EdgeID(e.U, e.V)
+		if id < 0 {
+			return fa, fmt.Errorf("dip: assignment labels edge (%d,%d) not in graph", e.U, e.V)
+		}
+		fa.edge[id] = lab
+	}
+	return fa, nil
+}
+
+// accumulate meters one frozen prover round into st under the
+// accountable-endpoint charging rule (Lemma 2.4): each node is charged
+// its node label plus the labels of its out-oriented edges.
+func (fi *frozenInstance) accumulate(fa frozenAssignment, st *Stats) {
+	round := make([]int, fi.n)
+	for v := 0; v < fi.n; v++ {
+		bits := fa.node[v].Len()
+		for _, eid := range fi.accountable[v] {
+			bits += fa.edge[eid].Len()
+		}
+		round[v] = bits
+		st.TotalLabelBits += bits
+		if bits > st.MaxLabelBits {
+			st.MaxLabelBits = bits
+		}
+	}
+	st.LabelBits = append(st.LabelBits, round)
+}
+
+// viewScratch is one worker's reusable View: flat backing arrays sliced
+// per port and per round, grown monotonically, so steady-state view
+// assembly allocates nothing. A View handed to Verifier.Coins/Decide is
+// valid only for the duration of that call; verifiers must not retain
+// it or any slice reachable from it.
+type viewScratch struct {
+	view View
+	strs []bitio.String   // backing for Coins, Own, Nbr[p], EdgeLab[p]
+	rows [][]bitio.String // backing for Nbr, EdgeLab
+	ins  []any            // backing for EdgeIn
+}
+
+// grow ensures the backing arrays hold at least the given element
+// counts, reallocating only when capacity is exceeded.
+func (s *viewScratch) grow(strs, rows, ins int) {
+	if cap(s.strs) < strs {
+		s.strs = make([]bitio.String, strs)
+	}
+	s.strs = s.strs[:cap(s.strs)]
+	if cap(s.rows) < rows {
+		s.rows = make([][]bitio.String, rows)
+	}
+	s.rows = s.rows[:cap(s.rows)]
+	if cap(s.ins) < ins {
+		s.ins = make([]any, ins)
+	}
+	s.ins = s.ins[:cap(s.ins)]
+}
+
+// fill assembles node v's view for the current interaction state into
+// the scratch and returns it. Every slot of every window it slices out
+// is overwritten, so no stale data from a previous node leaks through.
+func (fi *frozenInstance) fill(s *viewScratch, v int, assignments []frozenAssignment, coins [][]bitio.String) *View {
+	ports := fi.ports[v]
+	eids := fi.portEID[v]
+	d := len(ports)
+	R := len(assignments)
+	C := len(coins)
+	s.grow(C+R+2*d*R, 2*d, d)
+
+	strs, rows := s.strs, s.rows
+	view := &s.view
+	view.V = v
+	view.Deg = d
+	view.Input = fi.nodeIn[v]
+	view.NbrID = ports
+
+	view.Coins = strs[:C:C]
+	for ri, round := range coins {
+		view.Coins[ri] = round[v]
+	}
+	view.Own = strs[C : C+R : C+R]
+	for ri := range assignments {
+		view.Own[ri] = assignments[ri].node[v]
+	}
+	view.Nbr = rows[:d:d]
+	view.EdgeLab = rows[d : 2*d : 2*d]
+	view.EdgeIn = s.ins[:d:d]
+	off := C + R
+	for p := 0; p < d; p++ {
+		u, eid := ports[p], eids[p]
+		nbr := strs[off : off+R : off+R]
+		lab := strs[off+R : off+2*R : off+2*R]
+		off += 2 * R
+		for ri := range assignments {
+			nbr[ri] = assignments[ri].node[u]
+			lab[ri] = assignments[ri].edge[eid]
+		}
+		view.Nbr[p] = nbr
+		view.EdgeLab[p] = lab
+		view.EdgeIn[p] = fi.edgeIn[eid]
+	}
+	return view
+}

@@ -19,9 +19,6 @@ package dip
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/bitio"
@@ -65,6 +62,19 @@ func NewAssignment(g *graph.Graph) *Assignment {
 	}
 }
 
+// NewEdgeAssignment returns an empty assignment whose Edge map is
+// presized for a label on every edge of g — the right constructor for
+// prover rounds that label all (or most) edges, avoiding incremental
+// map growth. The map form is a construction-time convenience only: the
+// engines freeze it into dense edge-id-indexed storage when the round
+// is delivered, and every key must be a canonical edge of g.
+func NewEdgeAssignment(g *graph.Graph) *Assignment {
+	return &Assignment{
+		Node: make([]bitio.String, g.N()),
+		Edge: make(map[graph.Edge]bitio.String, g.M()),
+	}
+}
+
 // Prover produces label assignments. A Prover may be honest or adversarial;
 // the engine treats both identically.
 type Prover interface {
@@ -74,7 +84,11 @@ type Prover interface {
 	Round(round int, coins [][]bitio.String) (*Assignment, error)
 }
 
-// View is everything node v may legally consult.
+// View is everything node v may legally consult. The engines assemble
+// views in reusable per-worker scratch space: a View passed to
+// Verifier.Coins or Verifier.Decide (and everything reachable from its
+// slices) is valid only for the duration of that call and must not be
+// retained.
 type View struct {
 	// V is the engine-internal vertex id. Protocol code may use it to look
 	// up local input but must not treat it as information the node knows.
@@ -145,25 +159,26 @@ type Transcript struct {
 	Coins [][]bitio.String
 }
 
-// Runner executes a protocol on an instance.
+// Runner executes a protocol on an instance. NewRunner freezes the
+// instance into a dense edge-id-indexed form once; each Run freezes the
+// prover's assignments the same way, keeps a persistent pool of workers
+// alive across its rounds, and assembles per-node views in per-worker
+// scratch space — so the steady-state verifier loop allocates nothing.
+// Per-node rngs and the frozen instance persist across runs (Repeat
+// exploits this), which makes a Runner NOT safe for concurrent Run
+// calls; use one Runner per goroutine.
 type Runner struct {
 	inst *Instance
-	// accountable[v] lists edge ids charged to v (bounded-outdegree
-	// orientation; <= degeneracy many per node, <= 5 on planar graphs).
-	accountable [][]int
+	fi   *frozenInstance
+	// nodeRngs are created on the first run and reseeded on later runs.
+	nodeRngs []*rand.Rand
+	// scratch[w] is worker w's reusable view, grown monotonically.
+	scratch []*viewScratch
 }
 
 // NewRunner prepares an execution environment for inst.
 func NewRunner(inst *Instance) *Runner {
-	g := inst.G
-	out, _ := graph.OrientByDegeneracy(g)
-	acc := make([][]int, g.N())
-	for v := range out {
-		for _, u := range out[v] {
-			acc[v] = append(acc[v], g.EdgeID(v, u))
-		}
-	}
-	return &Runner{inst: inst, accountable: acc}
+	return &Runner{inst: inst, fi: newFrozenInstance(inst)}
 }
 
 // Run executes proverRounds prover rounds interleaved with verifierRounds
@@ -182,14 +197,41 @@ func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng
 	traced := cfg.Tracer != nil
 	g := r.inst.G
 	n := g.N()
+	if err := r.fi.check(); err != nil {
+		return nil, err
+	}
 
 	assignments := make([]*Assignment, 0, proverRounds)
+	frozen := make([]frozenAssignment, 0, proverRounds)
 	coins := make([][]bitio.String, 0, verifierRounds)
 
-	// Per-node private rngs, seeded deterministically from the master rng.
-	nodeRngs := make([]*rand.Rand, n)
-	for i := range nodeRngs {
-		nodeRngs[i] = rand.New(rand.NewSource(rng.Int63()))
+	// Per-node private rngs, seeded deterministically from the master
+	// rng: created on the first run, reseeded (same stream as a fresh
+	// rand.NewSource) on every later run.
+	if r.nodeRngs == nil {
+		r.nodeRngs = make([]*rand.Rand, n)
+		for i := range r.nodeRngs {
+			r.nodeRngs[i] = rand.New(rand.NewSource(rng.Int63()))
+		}
+	} else {
+		for i := range r.nodeRngs {
+			r.nodeRngs[i].Seed(rng.Int63())
+		}
+	}
+
+	// The worker pool lives for the whole run: its workers park between
+	// rounds instead of being respawned per parallel phase. Below two
+	// workers the batches run inline on scratch 0.
+	var pool *nodePool
+	workers := poolSizeFor(n)
+	if workers > 1 {
+		pool = newNodePool(workers)
+		defer pool.close()
+	} else {
+		workers = 1
+	}
+	for len(r.scratch) < workers {
+		r.scratch = append(r.scratch, &viewScratch{})
 	}
 
 	var st Stats
@@ -230,8 +272,17 @@ func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng
 			}
 			return nil, err
 		}
+		fa, err := r.fi.freeze(a)
+		if err != nil {
+			err = fmt.Errorf("dip: prover round %d: %w", pr, err)
+			if traced {
+				cfg.emitRunEnd(obs.EngineRunner, &st, false, err.Error(), runStart, 0, nil)
+			}
+			return nil, err
+		}
 		assignments = append(assignments, a)
-		r.accumulate(a, &st)
+		frozen = append(frozen, fa)
+		r.fi.accumulate(fa, &st)
 		if traced {
 			cfg.emitProverRoundEnd(obs.EngineRunner, pr, st.LabelBits[pr], phaseStart)
 		}
@@ -242,9 +293,9 @@ func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng
 				phaseStart = time.Now()
 			}
 			round := make([]bitio.String, n)
-			workers, batchNS := r.parallelNodes(func(x int) {
-				view := r.viewFor(x, assignments, coins)
-				round[x] = v.Coins(pr, view, nodeRngs[x])
+			workers, batchNS := r.parallelNodes(pool, func(w, x int) {
+				view := r.fi.fill(r.scratch[w], x, frozen, coins)
+				round[x] = v.Coins(pr, view, r.nodeRngs[x])
 			}, traced)
 			for _, c := range round {
 				if c.Len() > st.MaxCoinBits {
@@ -269,8 +320,8 @@ func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng
 		return nil, err
 	}
 	outputs := make([]bool, n)
-	decideWorkers, decideNS := r.parallelNodes(func(x int) {
-		view := r.viewFor(x, assignments, coins)
+	decideWorkers, decideNS := r.parallelNodes(pool, func(w, x int) {
+		view := r.fi.fill(r.scratch[w], x, frozen, coins)
 		outputs[x] = v.Decide(view)
 	}, traced)
 	accepted := true
@@ -292,95 +343,27 @@ func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng
 	}, nil
 }
 
-func (r *Runner) accumulate(a *Assignment, st *Stats) {
-	accumulateStats(r.inst, r.accountable, a, st)
-}
-
-func (r *Runner) viewFor(v int, assignments []*Assignment, coins [][]bitio.String) *View {
-	g := r.inst.G
-	nbrs := g.Neighbors(v)
-	view := &View{
-		V:       v,
-		Deg:     len(nbrs),
-		Input:   r.inst.NodeInput[v],
-		Coins:   make([]bitio.String, len(coins)),
-		Own:     make([]bitio.String, len(assignments)),
-		Nbr:     make([][]bitio.String, len(nbrs)),
-		EdgeLab: make([][]bitio.String, len(nbrs)),
-		EdgeIn:  make([]any, len(nbrs)),
-		NbrID:   append([]int(nil), nbrs...),
-	}
-	for ri, round := range coins {
-		view.Coins[ri] = round[v]
-	}
-	for ri, a := range assignments {
-		view.Own[ri] = a.Node[v]
-	}
-	for p, u := range nbrs {
-		e := graph.Canon(v, u)
-		view.Nbr[p] = make([]bitio.String, len(assignments))
-		view.EdgeLab[p] = make([]bitio.String, len(assignments))
-		for ri, a := range assignments {
-			view.Nbr[p][ri] = a.Node[u]
-			view.EdgeLab[p][ri] = a.Edge[e]
-		}
-		view.EdgeIn[p] = r.inst.EdgeInput[e]
-	}
-	return view
-}
-
-// parallelNodes runs fn(v) for every vertex on a pool of GOMAXPROCS
-// workers pulling vertex ids from a shared counter, and waits for
-// completion. It returns the pool size and, when timed, each worker's
-// busy time (nil otherwise) for goroutine-batch trace events.
-func (r *Runner) parallelNodes(fn func(v int), timed bool) (int, []int64) {
-	n := r.inst.G.N()
+// parallelNodes runs fn(worker, v) for every vertex — on the run's
+// persistent pool when one is live, inline on scratch 0 otherwise. It
+// returns the worker count and, when timed, each worker's busy time
+// (nil otherwise) for goroutine-batch trace events.
+func (r *Runner) parallelNodes(pool *nodePool, fn func(worker, v int), timed bool) (int, []int64) {
+	n := r.fi.n
 	if n == 0 {
 		return 0, nil
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
+	if pool == nil {
 		var start time.Time
 		if timed {
 			start = time.Now()
 		}
 		for v := 0; v < n; v++ {
-			fn(v)
+			fn(0, v)
 		}
 		if timed {
 			return 1, []int64{time.Since(start).Nanoseconds()}
 		}
 		return 1, nil
 	}
-	var batchNS []int64
-	if timed {
-		batchNS = make([]int64, workers)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var start time.Time
-			if timed {
-				start = time.Now()
-			}
-			for {
-				v := int(next.Add(1)) - 1
-				if v >= n {
-					break
-				}
-				fn(v)
-			}
-			if timed {
-				batchNS[w] = time.Since(start).Nanoseconds()
-			}
-		}(w)
-	}
-	wg.Wait()
-	return workers, batchNS
+	return pool.run(fn, n, timed)
 }

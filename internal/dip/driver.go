@@ -70,13 +70,30 @@ func (t Trial) AcceptRate() float64 {
 // Repeat executes the protocol runs times with independent randomness and
 // aggregates outcomes; protocols use it for completeness (expect rate 1 on
 // yes-instances with the honest prover) and soundness (expect low rate on
-// no-instances against adversarial provers).
+// no-instances against adversarial provers). The execution engine honors
+// WithEngine exactly like RunOnce; whichever engine runs, it is
+// constructed once, so the frozen instance — and for the orchestrated
+// Runner the per-node rngs — are reused across all runs.
 func (p *Protocol) Repeat(inst *Instance, runs int, rng *rand.Rand, opts ...RunOption) (Trial, error) {
 	t := Trial{Runs: runs, Rounds: p.Rounds()}
-	runner := NewRunner(inst)
 	tagged := p.tagged(opts)
+	var run func() (*Result, error)
+	switch engine := NewRunConfig(tagged...).Engine; engine {
+	case "", obs.EngineRunner:
+		runner := NewRunner(inst)
+		run = func() (*Result, error) {
+			return runner.Run(p.NewProver(), p.Verifier, p.ProverRounds, p.VerifierRounds, rng, tagged...)
+		}
+	case obs.EngineChannels:
+		runner := NewChannelRunner(inst)
+		run = func() (*Result, error) {
+			return runner.Run(p.NewProver(), p.Verifier, p.ProverRounds, p.VerifierRounds, rng, tagged...)
+		}
+	default:
+		return t, fmt.Errorf("dip: unknown engine %q", engine)
+	}
 	for i := 0; i < runs; i++ {
-		res, err := runner.Run(p.NewProver(), p.Verifier, p.ProverRounds, p.VerifierRounds, rng, tagged...)
+		res, err := run()
 		if err != nil {
 			return t, err
 		}
@@ -94,11 +111,11 @@ func (p *Protocol) Repeat(inst *Instance, runs int, rng *rand.Rand, opts ...RunO
 }
 
 // RunOnceChannels executes the protocol once on inst using the
-// channel-based message-passing engine; shorthand for RunOnce with
-// WithEngine(obs.EngineChannels).
+// channel-based message-passing engine.
+//
+// Deprecated: it is a trivial alias now that RunOnce and Repeat honor
+// WithEngine uniformly; call RunOnce with
+// dip.WithEngine(obs.EngineChannels) instead.
 func (p *Protocol) RunOnceChannels(inst *Instance, rng *rand.Rand, opts ...RunOption) (*Result, error) {
-	withEngine := make([]RunOption, 0, len(opts)+1)
-	withEngine = append(withEngine, opts...)
-	withEngine = append(withEngine, WithEngine(obs.EngineChannels))
-	return p.RunOnce(inst, rng, withEngine...)
+	return p.RunOnce(inst, rng, append(append(make([]RunOption, 0, len(opts)+1), opts...), WithEngine(obs.EngineChannels))...)
 }

@@ -1,0 +1,106 @@
+package dip
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// nodePool is a persistent pool of worker goroutines executing per-node
+// closures. The Runner starts one pool per run and keeps its workers
+// parked between rounds (channel handoff), instead of spawning
+// GOMAXPROCS goroutines for every verifier round and again at decide
+// time. Each worker owns a stable worker index so callers can attach
+// per-worker scratch state (the reusable views).
+//
+// A pool runs one batch at a time; run and close may only be called
+// from a single orchestrating goroutine.
+type nodePool struct {
+	workers int
+	// Batch state, written by run before signaling and read by workers
+	// after receiving the signal (the channel send establishes the
+	// happens-before edge).
+	fn    func(worker, v int)
+	n     int
+	timed bool
+	next  atomic.Int64
+	// ready[w] signals worker w to start the current batch; closing it
+	// shuts the worker down.
+	ready []chan struct{}
+	wg    sync.WaitGroup
+	// batchNS[w] is worker w's busy time in the last timed batch.
+	batchNS []int64
+}
+
+// poolSizeFor returns the worker count for an n-node instance:
+// GOMAXPROCS capped by n. A size below 2 means the caller should run
+// the batch inline — a pool would only add handoff latency.
+func poolSizeFor(n int) int {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// newNodePool starts a pool of the given size. The caller must close it.
+func newNodePool(workers int) *nodePool {
+	p := &nodePool{
+		workers: workers,
+		ready:   make([]chan struct{}, workers),
+		batchNS: make([]int64, workers),
+	}
+	for w := range p.ready {
+		p.ready[w] = make(chan struct{}, 1)
+		go p.loop(w)
+	}
+	return p
+}
+
+func (p *nodePool) loop(w int) {
+	for range p.ready[w] {
+		var start time.Time
+		if p.timed {
+			start = time.Now()
+		}
+		for {
+			v := int(p.next.Add(1)) - 1
+			if v >= p.n {
+				break
+			}
+			p.fn(w, v)
+		}
+		if p.timed {
+			p.batchNS[w] = time.Since(start).Nanoseconds()
+		}
+		p.wg.Done()
+	}
+}
+
+// run executes fn(worker, v) for every v in [0, n) across the pool's
+// workers (shared-counter work stealing) and waits for completion. It
+// returns the pool size and, when timed, a copy of the per-worker busy
+// times for goroutine-batch trace events (nil otherwise).
+func (p *nodePool) run(fn func(worker, v int), n int, timed bool) (int, []int64) {
+	p.fn, p.n, p.timed = fn, n, timed
+	p.next.Store(0)
+	p.wg.Add(p.workers)
+	for _, c := range p.ready {
+		c <- struct{}{}
+	}
+	p.wg.Wait()
+	p.fn = nil
+	if timed {
+		return p.workers, append([]int64(nil), p.batchNS...)
+	}
+	return p.workers, nil
+}
+
+// close shuts the workers down. It must not be called while a batch is
+// in flight.
+func (p *nodePool) close() {
+	for _, c := range p.ready {
+		close(c)
+	}
+}

@@ -126,17 +126,29 @@ func TestCompositeSpanBalancesOnFailure(t *testing.T) {
 	}
 }
 
+// batchOnce mirrors Run's pool setup for one parallelNodes batch: a
+// fresh persistent pool when the machine allows more than one worker,
+// the inline path otherwise.
+func batchOnce(r *Runner, fn func(w, v int), timed bool) (int, []int64) {
+	var pool *nodePool
+	if w := poolSizeFor(r.fi.n); w > 1 {
+		pool = newNodePool(w)
+		defer pool.close()
+	}
+	return r.parallelNodes(pool, fn, timed)
+}
+
 // TestParallelNodesCoversAllVertices guards the worker-pool rewrite:
 // every vertex must be visited exactly once, whatever GOMAXPROCS is.
 func TestParallelNodesCoversAllVertices(t *testing.T) {
 	for _, n := range []int{0, 1, 2, 7, 257, 5000} {
 		r := NewRunner(NewInstance(pathGraph(max(n, 1))))
 		if n == 0 {
-			r.inst = NewInstance(graph.New(0))
+			r = NewRunner(NewInstance(graph.New(0)))
 		}
 		var visits sync.Map
 		var count atomic.Int64
-		workers, _ := r.parallelNodes(func(v int) {
+		workers, _ := batchOnce(r, func(w, v int) {
 			if _, dup := visits.LoadOrStore(v, true); dup {
 				t.Errorf("n=%d: vertex %d visited twice", n, v)
 			}
@@ -151,9 +163,43 @@ func TestParallelNodesCoversAllVertices(t *testing.T) {
 	}
 }
 
+// TestNodePoolPersistsAcrossBatches pins the persistent-pool contract
+// directly: one pool serves many batches (as Run reuses it across
+// verifier rounds and the decide phase) with full coverage each time,
+// workers keep stable indices within the pool size, and timed batches
+// report one busy-time entry per worker. GOMAXPROCS is forced above one
+// so the test exercises real handoff even on single-CPU machines.
+func TestNodePoolPersistsAcrossBatches(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const n, workers = 1000, 4
+	pool := newNodePool(workers)
+	defer pool.close()
+	for batch := 0; batch < 5; batch++ {
+		var count atomic.Int64
+		got, batchNS := pool.run(func(w, v int) {
+			if w < 0 || w >= workers {
+				t.Errorf("batch %d: worker index %d out of range", batch, w)
+			}
+			count.Add(1)
+		}, n, batch%2 == 0)
+		if int(count.Load()) != n {
+			t.Fatalf("batch %d: visited %d of %d", batch, count.Load(), n)
+		}
+		if got != workers {
+			t.Fatalf("batch %d: workers=%d", batch, got)
+		}
+		if batch%2 == 0 && len(batchNS) != workers {
+			t.Fatalf("batch %d: %d timings for %d workers", batch, len(batchNS), workers)
+		}
+		if batch%2 == 1 && batchNS != nil {
+			t.Fatalf("batch %d: untimed batch reported timings", batch)
+		}
+	}
+}
+
 func TestParallelNodesTimedReportsBatches(t *testing.T) {
 	r := NewRunner(NewInstance(pathGraph(64)))
-	workers, batchNS := r.parallelNodes(func(int) {}, true)
+	workers, batchNS := batchOnce(r, func(int, int) {}, true)
 	if len(batchNS) != workers {
 		t.Fatalf("batch timings: %d for %d workers", len(batchNS), workers)
 	}
@@ -162,7 +208,7 @@ func TestParallelNodesTimedReportsBatches(t *testing.T) {
 // BenchmarkParallelNodes compares the worker pool against the previous
 // goroutine-per-vertex strategy; the pool must not regress.
 func BenchmarkParallelNodes(b *testing.B) {
-	work := func(v int) {
+	work := func(w, v int) {
 		s := 0
 		for i := 0; i < 64; i++ {
 			s += v * i
@@ -172,13 +218,18 @@ func BenchmarkParallelNodes(b *testing.B) {
 	for _, n := range []int{1024, 16384} {
 		r := NewRunner(NewInstance(pathGraph(n)))
 		b.Run(fmt.Sprintf("pool/n=%d", n), func(b *testing.B) {
+			var pool *nodePool
+			if w := poolSizeFor(n); w > 1 {
+				pool = newNodePool(w)
+				defer pool.close()
+			}
 			for i := 0; i < b.N; i++ {
-				r.parallelNodes(work, false)
+				r.parallelNodes(pool, work, false)
 			}
 		})
 		b.Run(fmt.Sprintf("spawn/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				spawnPerVertex(n, work)
+				spawnPerVertex(n, func(v int) { work(0, v) })
 			}
 		})
 	}

@@ -141,7 +141,7 @@ func checkCorners(g *graph.Graph, rot *planar.Rotation, tree *graph.Tree, red *R
 	a2 := hRes.Transcript.Assignments[1]
 
 	// Decode each chord of h once.
-	chordAt := map[graph.Edge]*chord{}
+	chordAt := make(map[graph.Edge]*chord, len(a1.Edge))
 	for e := range a1.Edge {
 		r1, err := pathouter.DecodeRound1Edge(a1.Edge[e], pp)
 		if err != nil {

@@ -40,6 +40,10 @@ type Graph struct {
 	adj   [][]int
 	edges []Edge
 	eid   map[Edge]int
+	// portEID[v][p] is the edge id of the edge between v and its
+	// neighbor at port p, i.e. {v, adj[v][p]}. Maintained alongside adj
+	// so hot paths can resolve port -> edge id without hashing.
+	portEID [][]int
 }
 
 // New returns an empty graph on n vertices.
@@ -48,9 +52,10 @@ func New(n int) *Graph {
 		panic(fmt.Sprintf("graph: negative vertex count %d", n))
 	}
 	return &Graph{
-		n:   n,
-		adj: make([][]int, n),
-		eid: make(map[Edge]int),
+		n:       n,
+		adj:     make([][]int, n),
+		eid:     make(map[Edge]int),
+		portEID: make([][]int, n),
 	}
 }
 
@@ -82,10 +87,13 @@ func (g *Graph) AddEdge(u, v int) error {
 	if _, ok := g.eid[e]; ok {
 		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
 	}
-	g.eid[e] = len(g.edges)
+	id := len(g.edges)
+	g.eid[e] = id
 	g.edges = append(g.edges, e)
 	g.adj[u] = append(g.adj[u], v)
 	g.adj[v] = append(g.adj[v], u)
+	g.portEID[u] = append(g.portEID[u], id)
+	g.portEID[v] = append(g.portEID[v], id)
 	return nil
 }
 
@@ -120,6 +128,12 @@ func (g *Graph) Edges() []Edge { return g.edges }
 // Neighbors returns the adjacency list of v. The caller must not modify
 // the returned slice.
 func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// PortEdgeIDs returns, aligned with Neighbors(v), the edge id of the
+// edge behind each of v's ports: PortEdgeIDs(v)[p] == EdgeID(v,
+// Neighbors(v)[p]), with no hash lookup. The caller must not modify the
+// returned slice.
+func (g *Graph) PortEdgeIDs(v int) []int { return g.portEID[v] }
 
 // Degree returns the degree of v.
 func (g *Graph) Degree(v int) int { return len(g.adj[v]) }

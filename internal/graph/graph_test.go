@@ -37,6 +37,26 @@ func TestBasicGraph(t *testing.T) {
 	}
 }
 
+func TestPortEdgeIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := New(40)
+	for i := 0; i < 120; i++ {
+		g.AddEdge(rng.Intn(40), rng.Intn(40)) // dups/self-loops rejected
+	}
+	for v := 0; v < g.N(); v++ {
+		nbrs := g.Neighbors(v)
+		eids := g.PortEdgeIDs(v)
+		if len(eids) != len(nbrs) {
+			t.Fatalf("v=%d: %d port edge ids for %d neighbors", v, len(eids), len(nbrs))
+		}
+		for p, u := range nbrs {
+			if want := g.EdgeID(v, u); eids[p] != want {
+				t.Fatalf("PortEdgeIDs(%d)[%d] = %d, EdgeID(%d,%d) = %d", v, p, eids[p], v, u, want)
+			}
+		}
+	}
+}
+
 func TestComponents(t *testing.T) {
 	g := New(6)
 	mustEdges(t, g, [][2]int{{0, 1}, {1, 2}, {3, 4}})

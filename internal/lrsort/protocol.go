@@ -65,7 +65,7 @@ func (ep *engineProver) Round(round int, coins [][]bitio.String) (*dip.Assignmen
 		}
 		ep.h = h
 		h.Round1()
-		a := dip.NewAssignment(g)
+		a := dip.NewEdgeAssignment(g)
 		for v := 0; v < g.N(); v++ {
 			a.Node[v] = h.R1Node[v].Encode(ep.p)
 		}
@@ -86,7 +86,7 @@ func (ep *engineProver) Round(round int, coins [][]bitio.String) (*dip.Assignmen
 			cs[v] = c
 		}
 		ep.h.Round2(cs)
-		a := dip.NewAssignment(g)
+		a := dip.NewEdgeAssignment(g)
 		for v := 0; v < g.N(); v++ {
 			a.Node[v] = ep.h.R2Node[v].Encode(ep.p)
 		}

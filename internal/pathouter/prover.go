@@ -125,7 +125,7 @@ func (h *Honest) round1() (*dip.Assignment, error) {
 	h.lr.Round1()
 	h.computeNesting()
 
-	a := dip.NewAssignment(g)
+	a := dip.NewEdgeAssignment(g)
 	for v := 0; v < g.N(); v++ {
 		a.Node[v] = Round1Node{FC: fc[v], LR: h.lr.R1Node[v]}.Encode(h.P)
 	}
@@ -199,7 +199,7 @@ func (h *Honest) round2(rawCoins []bitio.String) (*dip.Assignment, error) {
 		hasLeft[de.Head] = true
 	}
 
-	a := dip.NewAssignment(g)
+	a := dip.NewEdgeAssignment(g)
 	for v := 0; v < n; v++ {
 		a.Node[v] = Round2Node{
 			ST:            sums[v],

@@ -220,7 +220,7 @@ func (sp *structProver) Round(round int, coins [][]bitio.String) (*dip.Assignmen
 		if err != nil {
 			return nil, err
 		}
-		a := dip.NewAssignment(g)
+		a := dip.NewEdgeAssignment(g)
 		for v := 0; v < g.N(); v++ {
 			a.Node[v] = structR1{FC: fc[v], InP1: sp.plan.EarOf[v] == 0}.encode()
 		}
@@ -266,7 +266,7 @@ func (sp *structProver) Round(round int, coins [][]bitio.String) (*dip.Assignmen
 				done[w] = true
 			}
 		}
-		a := dip.NewAssignment(g)
+		a := dip.NewEdgeAssignment(g)
 		for v := 0; v < n; v++ {
 			ear := sp.plan.EarOf[v]
 			var pred uint64
