@@ -39,6 +39,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/obs"
 	"repro/internal/protocol"
+	"repro/internal/soundness"
 )
 
 func main() {
@@ -49,9 +50,17 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memProfile := flag.String("memprofile", "", "write heap profile to file")
 	hotPath := flag.String("hotpath", "", "run only the hot-path benchmarks and merge numbers into this JSON file")
+	soundnessSweep := flag.Bool("soundness", false, "run only the Monte-Carlo soundness estimator sweep (E-S)")
 	flag.Parse()
 	if *hotPath != "" {
 		if err := runHotPath(*hotPath, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "dipbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *soundnessSweep {
+		if err := runSoundness(*quick, *seed, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "dipbench:", err)
 			os.Exit(1)
 		}
@@ -89,6 +98,37 @@ func runHotPath(file string, jsonOut bool) error {
 		}
 	}
 	return benchkit.WriteFile(file, "cmd/dipbench -hotpath", results)
+}
+
+// runSoundness runs the registry-wide Monte-Carlo soundness sweep
+// (EXPERIMENTS.md E-S): per protocol, one completeness anchor on the
+// yes-family plus a (strategy × n) grid on the matched no-family, with
+// Wilson 95% intervals. -quick shrinks to n=24 with 8 runs per cell.
+func runSoundness(quick bool, seed int64, jsonOut bool) error {
+	cfg := soundness.Config{Seed: seed}
+	if quick {
+		cfg.Sizes = []int{24}
+		cfg.Runs = 8
+	}
+	rows, err := soundness.Estimate(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return soundness.WriteNDJSON(os.Stdout, rows)
+	}
+	fmt.Printf("== E-S Monte-Carlo soundness sweep (seed %d) ==\n", seed)
+	fmt.Printf("%-12s %-14s %-12s %-14s %6s %6s %8s %8s %8s %18s\n",
+		"protocol", "kind", "family", "strategy", "n", "runs", "rejects", "pfail", "rate", "wilson 95%")
+	for _, r := range rows {
+		strategy := r.Strategy
+		if strategy == "" {
+			strategy = "-"
+		}
+		fmt.Printf("%-12s %-14s %-12s %-14s %6d %6d %8d %8d %8.3f [%6.3f, %6.3f]\n",
+			r.Protocol, r.Kind, r.Family, strategy, r.N, r.Runs, r.Rejects, r.ProverFailures, r.Rate, r.Lo, r.Hi)
+	}
+	return nil
 }
 
 // childSeed derives the per-(sweep, n) seed: rows are individually

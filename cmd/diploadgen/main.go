@@ -98,7 +98,7 @@ func run(w io.Writer, addr string, qps float64, conc int, dur time.Duration, see
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	url := strings.TrimRight(base, "/") + "/certify"
+	url := strings.TrimRight(base, "/") + "/v1/certify"
 	client := &http.Client{Timeout: 30 * time.Second}
 
 	// Closed-loop pacing: workers pull monotonically increasing tickets

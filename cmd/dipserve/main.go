@@ -1,10 +1,12 @@
-// Command dipserve runs the HTTP certification service: POST /certify
-// accepts a JSON request naming a protocol plus an instance (inline
-// edge list or generator spec; graphgen -format edges emits compatible
-// bodies) and responds with the verdict, per-round proof-size stats,
-// and the deterministic trace fingerprint. GET /healthz reports
-// liveness; GET /metricsz streams the counter registry as NDJSON
-// (schema in SERVICE.md and OBSERVABILITY.md).
+// Command dipserve runs the HTTP certification service: POST
+// /v1/certify accepts a JSON request naming a protocol plus an
+// instance (inline edge list or generator spec; graphgen -format edges
+// emits compatible bodies) and responds with the verdict, per-round
+// proof-size stats, and the deterministic trace fingerprint. POST
+// /v1/soundness runs a bounded Monte-Carlo soundness sweep. GET
+// /healthz reports liveness; GET /v1/metricsz streams the counter
+// registry as NDJSON (schema in SERVICE.md and OBSERVABILITY.md).
+// Unversioned legacy paths still serve with Deprecation headers.
 //
 // Requests are dispatched onto a sharded bounded-queue worker pool —
 // full queues answer 429 instead of growing memory — behind an LRU

@@ -2,7 +2,7 @@
 // internal/serve on a loopback listener, certify K4 twice (miss, then
 // cache hit), certify a generated path-outerplanar instance whose
 // witness rides along from the generator, and read the counters back
-// from /metricsz. SERVICE.md documents the wire format; cmd/dipserve
+// from /v1/metricsz. SERVICE.md documents the wire format; cmd/dipserve
 // is the same server as a standalone binary.
 package main
 
@@ -29,7 +29,7 @@ func main() {
 		`{"protocol":"pathouter","seed":2,"gen":{"family":"pathouter","n":64,"seed":7}}`,
 	}
 	for _, body := range requests {
-		resp, err := http.Post(ts.URL+"/certify", "application/json", strings.NewReader(body))
+		resp, err := http.Post(ts.URL+"/v1/certify", "application/json", strings.NewReader(body))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -41,12 +41,12 @@ func main() {
 
 	// The second K4 request is the same instance with the edge list
 	// shuffled and flipped — same canonical key, so it hit the cache.
-	resp, err := http.Get(ts.URL + "/metricsz")
+	resp, err := http.Get(ts.URL + "/v1/metricsz")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer resp.Body.Close()
-	fmt.Println("--- /metricsz ---")
+	fmt.Println("--- /v1/metricsz ---")
 	io.Copy(os.Stdout, resp.Body)
 }

@@ -49,11 +49,15 @@ func (cr *ChannelRunner) Run(p Prover, v Verifier, proverRounds, verifierRounds 
 	}
 	cfg := NewRunConfig(opts...)
 	traced := cfg.Tracer != nil
+	adv := cfg.Adversary
 	g := cr.inst.G
 	n := g.N()
 	fi := cr.fi
 	if err := fi.check(); err != nil {
 		return nil, err
+	}
+	if adv != nil {
+		adv.BeginRun(g)
 	}
 
 	// Channels: prover -> node deliveries, node -> prover coins, and the
@@ -145,12 +149,20 @@ func (cr *ChannelRunner) Run(p Prover, v Verifier, proverRounds, verifierRounds 
 				cfg.emitRoundStart(obs.ProverRoundStart, obs.EngineChannels, pr)
 				phaseStart = time.Now()
 			}
-			a, err := p.Round(pr, coins)
+			proverCoins, coinMut := coins, 0
+			if adv != nil {
+				proverCoins, coinMut = adv.ObserveCoins(pr, coins)
+			}
+			a, err := p.Round(pr, proverCoins)
 			if err != nil {
 				return fmt.Errorf("dip: prover round %d: %w", pr, err)
 			}
 			if a == nil {
 				a = NewAssignment(g)
+			}
+			labelMut := 0
+			if adv != nil {
+				a, labelMut = corruptRound(adv, g, pr, a, assignments)
 			}
 			if len(a.Node) != n {
 				return fmt.Errorf("dip: prover round %d assigned %d node labels, want %d", pr, len(a.Node), n)
@@ -161,6 +173,9 @@ func (cr *ChannelRunner) Run(p Prover, v Verifier, proverRounds, verifierRounds 
 			}
 			assignments = append(assignments, a)
 			fi.accumulate(fa, &st)
+			if traced && adv != nil {
+				cfg.emitAdversaryAct(obs.EngineChannels, pr, adv.Name(), coinMut+labelMut)
+			}
 			// One flat delivery buffer per round, sliced per node via the
 			// CSR port offsets: two allocations for all n messages. The
 			// ranges are disjoint and written before the send, so nodes
@@ -237,14 +252,23 @@ func (cr *ChannelRunner) Run(p Prover, v Verifier, proverRounds, verifierRounds 
 	}
 
 	outputs := make([]bool, n)
-	accepted := true
 	for x := 0; x < n; x++ {
 		outputs[x] = <-decide[x]
-		if !outputs[x] {
-			accepted = false
-		}
 	}
 	wg.Wait()
+	if adv != nil {
+		flips := overrideDecisions(adv, outputs)
+		if traced {
+			cfg.emitAdversaryAct(obs.EngineChannels, st.Rounds, adv.Name(), flips)
+		}
+	}
+	accepted := true
+	for _, o := range outputs {
+		if !o {
+			accepted = false
+			break
+		}
+	}
 	if traced {
 		cfg.emitDecisions(obs.EngineChannels, outputs)
 		cfg.emitRunEnd(obs.EngineChannels, &st, accepted, "", runStart, n, nil)

@@ -12,8 +12,8 @@ import (
 
 // TestWithEngineSelectsEngine pins the WithEngine option semantics at
 // the dip layer: RunOnce dispatches to the engine the option names (the
-// tracer's engine tag is the witness), RunOnceChannels is sugar for
-// WithEngine(channels), and an unknown engine is an error. The
+// tracer's engine tag is the witness) and an unknown engine is an
+// error. The
 // registry-wide invariant — identical fingerprints across engines for
 // every protocol — lives in internal/protocol's cross-engine test.
 func TestWithEngineSelectsEngine(t *testing.T) {
@@ -52,15 +52,6 @@ func TestWithEngineSelectsEngine(t *testing.T) {
 		if got := collect.Runs()[0].Engine; got != tc.engine {
 			t.Errorf("%s: engine tag %q, want %q", tc.name, got, tc.engine)
 		}
-	}
-
-	c := obs.NewCollect()
-	res, err := proto.RunOnceChannels(dip.NewInstance(gi.G), rand.New(rand.NewSource(17)), dip.WithTracer(c))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.Accepted || c.Runs()[0].Engine != obs.EngineChannels {
-		t.Fatalf("RunOnceChannels: accepted=%v engine=%q", res.Accepted, c.Runs()[0].Engine)
 	}
 
 	if _, err := proto.RunOnce(dip.NewInstance(gi.G), rand.New(rand.NewSource(17)), dip.WithEngine("bogus")); err == nil {

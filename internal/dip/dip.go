@@ -195,10 +195,14 @@ func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng
 	}
 	cfg := NewRunConfig(opts...)
 	traced := cfg.Tracer != nil
+	adv := cfg.Adversary
 	g := r.inst.G
 	n := g.N()
 	if err := r.fi.check(); err != nil {
 		return nil, err
+	}
+	if adv != nil {
+		adv.BeginRun(g)
 	}
 
 	assignments := make([]*Assignment, 0, proverRounds)
@@ -254,7 +258,11 @@ func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng
 			cfg.emitRoundStart(obs.ProverRoundStart, obs.EngineRunner, pr)
 			phaseStart = time.Now()
 		}
-		a, err := p.Round(pr, coins)
+		proverCoins, coinMut := coins, 0
+		if adv != nil {
+			proverCoins, coinMut = adv.ObserveCoins(pr, coins)
+		}
+		a, err := p.Round(pr, proverCoins)
 		if err != nil {
 			err = fmt.Errorf("dip: prover round %d: %w", pr, err)
 			if traced {
@@ -264,6 +272,10 @@ func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng
 		}
 		if a == nil {
 			a = NewAssignment(g)
+		}
+		labelMut := 0
+		if adv != nil {
+			a, labelMut = corruptRound(adv, g, pr, a, assignments)
 		}
 		if len(a.Node) != n {
 			err := fmt.Errorf("dip: prover round %d assigned %d node labels, want %d", pr, len(a.Node), n)
@@ -283,6 +295,9 @@ func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng
 		assignments = append(assignments, a)
 		frozen = append(frozen, fa)
 		r.fi.accumulate(fa, &st)
+		if traced && adv != nil {
+			cfg.emitAdversaryAct(obs.EngineRunner, pr, adv.Name(), coinMut+labelMut)
+		}
 		if traced {
 			cfg.emitProverRoundEnd(obs.EngineRunner, pr, st.LabelBits[pr], phaseStart)
 		}
@@ -324,6 +339,12 @@ func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng
 		view := r.fi.fill(r.scratch[w], x, frozen, coins)
 		outputs[x] = v.Decide(view)
 	}, traced)
+	if adv != nil {
+		flips := overrideDecisions(adv, outputs)
+		if traced {
+			cfg.emitAdversaryAct(obs.EngineRunner, st.Rounds, adv.Name(), flips)
+		}
+	}
 	accepted := true
 	for _, o := range outputs {
 		if !o {

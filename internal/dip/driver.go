@@ -109,13 +109,3 @@ func (p *Protocol) Repeat(inst *Instance, runs int, rng *rand.Rand, opts ...RunO
 	}
 	return t, nil
 }
-
-// RunOnceChannels executes the protocol once on inst using the
-// channel-based message-passing engine.
-//
-// Deprecated: it is a trivial alias now that RunOnce and Repeat honor
-// WithEngine uniformly; call RunOnce with
-// dip.WithEngine(obs.EngineChannels) instead.
-func (p *Protocol) RunOnceChannels(inst *Instance, rng *rand.Rand, opts ...RunOption) (*Result, error) {
-	return p.RunOnce(inst, rng, append(append(make([]RunOption, 0, len(opts)+1), opts...), WithEngine(obs.EngineChannels))...)
-}

@@ -30,6 +30,11 @@ type RunConfig struct {
 	// Composite protocols forward it to their sub-executions via Child,
 	// so one option switches a whole nested run between engines.
 	Engine string
+	// Adversary, when non-nil, is interposed at the engine boundary of
+	// the run (coin filtering, label corruption, verdict overrides; see
+	// the Adversary interface). Composite protocols forward it to their
+	// sub-executions via Child, so one option faults a whole nested run.
+	Adversary Adversary
 }
 
 // RunOption configures one execution.
@@ -127,7 +132,7 @@ func NewRunConfig(opts ...RunOption) RunConfig {
 // disabled and no context attached it returns nil so sub-executions
 // stay on the zero-cost path.
 func (c RunConfig) Child(sub string) []RunOption {
-	if c.Tracer == nil && c.Ctx == nil && c.Engine == "" {
+	if c.Tracer == nil && c.Ctx == nil && c.Engine == "" && c.Adversary == nil {
 		return nil
 	}
 	var opts []RunOption
@@ -136,6 +141,9 @@ func (c RunConfig) Child(sub string) []RunOption {
 	}
 	if c.Engine != "" {
 		opts = append(opts, WithEngine(c.Engine))
+	}
+	if c.Adversary != nil {
+		opts = append(opts, WithAdversary(c.Adversary))
 	}
 	if c.Tracer == nil {
 		return opts
@@ -217,6 +225,14 @@ func (c *RunConfig) emitVerifierRoundEnd(engine string, round int, coinBits []in
 	ev.WallNS = time.Since(start).Nanoseconds()
 	ev.Workers = workers
 	ev.BatchNS = batchNS
+	c.Tracer.Emit(ev)
+}
+
+func (c *RunConfig) emitAdversaryAct(engine string, round int, name string, mutations int) {
+	ev := c.event(obs.AdversaryAct, engine)
+	ev.Round = round
+	ev.Adversary = name
+	ev.Mutations = mutations
 	c.Tracer.Emit(ev)
 }
 

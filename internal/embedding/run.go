@@ -29,39 +29,25 @@ func ProofSizeBound(n, delta int) int {
 	return 128 * p.L
 }
 
-// Result summarizes a composite embedded-planarity execution.
-type Result struct {
-	Accepted bool
-	Rounds   int
-	// MaxLabelBits is the proof size after ownership accounting: every
-	// real node carries the labels of its owned copies plus its boundary
-	// copies' path neighbors, and the tree-verification labels.
-	MaxLabelBits int
-	// Diagnostics.
-	TreeRejected    bool
-	NestingRejected bool
-	CornerRejected  bool
-	ProverFailed    bool
-}
-
 // Run executes the composed planar-embedding DIP: spanning-tree
 // verification of T on the real graph, path-outerplanarity of h(G,T,ρ)
 // with copies simulated by their owners, and the per-node corner-order
 // checks that tie the chord nesting back to each node's local rotation
 // input (the brief announcement leaves these local conditions implicit;
 // without them a twist at a tree leaf would be invisible to h — see
-// DESIGN.md §4).
-func Run(g *graph.Graph, rot *planar.Rotation, rng *rand.Rand, opts ...dip.RunOption) (res *Result, err error) {
+// DESIGN.md §4). Rejecting stages surface in the outcome's Rejections
+// map under "tree", "nesting", and "corner".
+func Run(g *graph.Graph, rot *planar.Rotation, rng *rand.Rand, opts ...dip.RunOption) (res *dip.Outcome, err error) {
 	cfg := dip.NewRunConfig(opts...)
 	endRun := cfg.CompositeSpan("embedding", g.N(), Rounds)
 	defer func() {
 		if res != nil {
-			endRun(res.Accepted, res.MaxLabelBits)
+			endRun(res.Accepted, res.ProofSizeBits)
 		} else {
 			endRun(false, 0)
 		}
 	}()
-	res = &Result{Rounds: Rounds}
+	res = &dip.Outcome{Rounds: Rounds}
 	n := g.N()
 	if n < 2 {
 		return nil, fmt.Errorf("embedding: need n >= 2")
@@ -85,7 +71,9 @@ func Run(g *graph.Graph, rot *planar.Rotation, rng *rand.Rand, opts ...dip.RunOp
 	if err != nil {
 		return nil, fmt.Errorf("embedding: spanning-tree stage: %w", err)
 	}
-	res.TreeRejected = !stRes.Accepted
+	if !stRes.Accepted {
+		res.Reject("tree")
+	}
 
 	// Stage B: path-outerplanarity of h.
 	red, err := BuildReduction(g, rot, tree)
@@ -107,15 +95,20 @@ func Run(g *graph.Graph, rot *planar.Rotation, rng *rand.Rand, opts ...dip.RunOp
 		res.ProverFailed = true
 		return res, nil
 	}
-	res.NestingRejected = !hRes.Accepted
+	if !hRes.Accepted {
+		res.Reject("nesting")
+	}
 
 	// Stage C: corner-order checks at every real node against its own
 	// rotation input, using the same name/succ labels.
 	cornerOK := checkCorners(g, rot, tree, red, pp, hRes)
-	res.CornerRejected = !cornerOK
+	if !cornerOK {
+		res.Reject("corner")
+	}
 
 	res.Accepted = stRes.Accepted && hRes.Accepted && cornerOK
-	res.MaxLabelBits = mergeBits(g, red, stRes, hRes)
+	res.ProofSizeBits = mergeBits(g, red, stRes, hRes)
+	res.TotalLabelBits = stRes.Stats.TotalLabelBits + hRes.Stats.TotalLabelBits
 	return res, nil
 }
 

@@ -18,7 +18,7 @@ func TestRunCompleteness(t *testing.T) {
 			}
 			if !res.Accepted {
 				t.Fatalf("trial %d rep %d: rejected (tree=%v nest=%v corner=%v)",
-					trial, rep, res.TreeRejected, res.NestingRejected, res.CornerRejected)
+					trial, rep, res.Rejected("tree"), res.Rejected("nesting"), res.Rejected("corner"))
 			}
 			if res.Rounds != 5 {
 				t.Fatalf("rounds = %d", res.Rounds)
@@ -37,7 +37,7 @@ func TestRunCompletenessFanChain(t *testing.T) {
 		}
 		if !res.Accepted {
 			t.Fatalf("delta=%d: rejected (tree=%v nest=%v corner=%v)",
-				delta, res.TreeRejected, res.NestingRejected, res.CornerRejected)
+				delta, res.Rejected("tree"), res.Rejected("nesting"), res.Rejected("corner"))
 		}
 	}
 }
@@ -78,7 +78,7 @@ func TestRunProofSizeDoublyLogarithmic(t *testing.T) {
 		if !res.Accepted {
 			t.Fatalf("n=%d rejected", n)
 		}
-		sizes = append(sizes, res.MaxLabelBits)
+		sizes = append(sizes, res.ProofSizeBits)
 	}
 	if sizes[2] >= 2*sizes[0] {
 		t.Fatalf("proof size growth too fast: %v", sizes)

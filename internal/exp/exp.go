@@ -68,7 +68,7 @@ func E2Outerplanarity(rng *rand.Rand, n int, opts ...dip.RunOption) (SizeRow, er
 	if err != nil {
 		return SizeRow{}, err
 	}
-	return SizeRow{N: n, Rounds: res.Rounds, Bits: res.MaxLabelBits, Accepted: res.Accepted}, nil
+	return SizeRow{N: n, Rounds: res.Rounds, Bits: res.ProofSizeBits, Accepted: res.Accepted}, nil
 }
 
 // E3Embedding measures Theorem 1.4 at size n on random triangulations.
@@ -78,7 +78,7 @@ func E3Embedding(rng *rand.Rand, n int, opts ...dip.RunOption) (SizeRow, error) 
 	if err != nil {
 		return SizeRow{}, err
 	}
-	return SizeRow{N: n, Rounds: res.Rounds, Bits: res.MaxLabelBits, Accepted: res.Accepted}, nil
+	return SizeRow{N: n, Rounds: res.Rounds, Bits: res.ProofSizeBits, Accepted: res.Accepted}, nil
 }
 
 // DeltaRow is one point of the Theorem 1.5 Δ-sweep.
@@ -99,7 +99,7 @@ func E4Planarity(rng *rand.Rand, n, delta int, opts ...dip.RunOption) (DeltaRow,
 	}
 	return DeltaRow{
 		N: gi.G.N(), Delta: delta,
-		Bits:         res.MaxLabelBits,
+		Bits:         res.ProofSizeBits,
 		RotationBits: res.RotationBits,
 		Accepted:     res.Accepted,
 	}, nil
@@ -112,7 +112,7 @@ func E5SeriesParallel(rng *rand.Rand, n int, opts ...dip.RunOption) (SizeRow, er
 	if err != nil {
 		return SizeRow{}, err
 	}
-	return SizeRow{N: gi.G.N(), Rounds: res.Rounds, Bits: res.MaxLabelBits, Accepted: res.Accepted}, nil
+	return SizeRow{N: gi.G.N(), Rounds: res.Rounds, Bits: res.ProofSizeBits, Accepted: res.Accepted}, nil
 }
 
 // E6Treewidth2 measures Theorem 1.7 at size n.
@@ -122,7 +122,7 @@ func E6Treewidth2(rng *rand.Rand, n int, opts ...dip.RunOption) (SizeRow, error)
 	if err != nil {
 		return SizeRow{}, err
 	}
-	return SizeRow{N: n, Rounds: res.Rounds, Bits: res.MaxLabelBits, Accepted: res.Accepted}, nil
+	return SizeRow{N: n, Rounds: res.Rounds, Bits: res.ProofSizeBits, Accepted: res.Accepted}, nil
 }
 
 // ThresholdRow is one point of the Theorem 1.8 lower-bound sweep.

@@ -45,6 +45,8 @@ var familyMins = map[string]int{
 	"k5sub":         5,
 	"k33sub":        6,
 	"k4sub":         4,
+	"k4planted":     4,
+	"twisted":       4,
 }
 
 // familyProtocol maps each yes-family to the protocol of its own
@@ -58,6 +60,8 @@ var familyProtocol = map[string]string{
 	"fanchain":      "planarity",
 	"sp":            "sp",
 	"treewidth2":    "treewidth2",
+	"k4planted":     "pathouter",
+	"twisted":       "embedding",
 }
 
 // Build materializes the family instance using rng, returning only the
@@ -69,11 +73,13 @@ func (s FamilySpec) Build(rng *rand.Rand) (*graph.Graph, error) {
 }
 
 // BuildWitnessed is Build plus the family's structural witness where
-// one exists: for pathouter, the Hamiltonian-path position vector the
-// honest prover needs (pos[v] = position of v); for the embedded
-// planar families (triangulation, fanchain), the rotation system the
-// construction placed the graph with. Families without a witness
-// return nil for both.
+// one exists: for pathouter (and the k4planted no-family), the
+// Hamiltonian-path position vector the honest prover needs (pos[v] =
+// position of v); for the embedded planar families (triangulation,
+// fanchain), the rotation system the construction placed the graph
+// with — and for the twisted no-family, the deliberately non-planar
+// rotation whose rejection the embedding protocol must certify.
+// Families without a witness return nil for both.
 func (s FamilySpec) BuildWitnessed(rng *rand.Rand) (*graph.Graph, []int, *planar.Rotation, error) {
 	minN, ok := familyMins[s.Family]
 	if !ok {
@@ -118,6 +124,19 @@ func (s FamilySpec) BuildWitnessed(rng *rand.Rand) (*graph.Graph, []int, *planar
 		return K33Subdivision(rng, s.N), nil, nil, nil
 	case "k4sub":
 		return K4Subdivision(rng, s.N), nil, nil, nil
+	case "k4planted":
+		if chord < 0 {
+			chord = 0.5
+		}
+		inst := PathOuterplanar(rng, s.N, chord)
+		return WithEmbeddedK4(rng, inst), inst.Pos, nil, nil
+	case "twisted":
+		inst := Triangulation(rng, s.N)
+		rot, err := TwistRotation(rng, inst)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return inst.G, nil, rot, nil
 	}
 	panic("unreachable")
 }

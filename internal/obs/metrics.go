@@ -38,6 +38,14 @@ type Metrics struct {
 	Err            string
 	WallNS         int64
 
+	// Adversary is the fault-injection strategy active during the span
+	// ("" = none); AdversaryActs counts its AdversaryAct events and
+	// AdversaryMutations the total mutations it injected. Deterministic,
+	// so adversarial runs fingerprint identically across engines.
+	Adversary          string
+	AdversaryActs      int
+	AdversaryMutations int
+
 	Subs []*Metrics
 }
 
@@ -58,6 +66,10 @@ func (m *Metrics) fingerprint(b *strings.Builder, depth int) {
 	fmt.Fprintf(b, "%srun protocol=%s span=%q nodes=%d rounds=%d accepted=%t max=%d total=%d maxcoin=%d decide=%d/%d err=%q\n",
 		pad, m.Protocol, m.Span, m.Nodes, m.Rounds, m.Accepted,
 		m.MaxLabelBits, m.TotalLabelBits, m.MaxCoinBits, m.NodeAccepts, m.NodeRejects, m.Err)
+	if m.Adversary != "" {
+		fmt.Fprintf(b, "%s  adversary=%s acts=%d mutations=%d\n",
+			pad, m.Adversary, m.AdversaryActs, m.AdversaryMutations)
+	}
 	for _, r := range m.RoundMetrics {
 		h := r.LabelBits
 		kind := "label"
@@ -126,6 +138,17 @@ func (c *CollectTracer) Emit(ev Event) {
 			top.NodeAccepts++
 		} else {
 			top.NodeRejects++
+		}
+	case AdversaryAct:
+		top.Adversary = ev.Adversary
+		top.AdversaryActs++
+		top.AdversaryMutations += ev.Mutations
+		if c.reg != nil {
+			c.reg.Add("adversary_acts_total", 1)
+			c.reg.Add("adversary_mutations_total", int64(ev.Mutations))
+			if ev.Adversary != "" {
+				c.reg.Add("adversary_mutations_total{strategy="+ev.Adversary+"}", int64(ev.Mutations))
+			}
 		}
 	case RunEnd:
 		top.Accepted = ev.Accepted

@@ -61,6 +61,9 @@ type eventJSON struct {
 	MaxCoinBits    int    `json:"max_coin_bits,omitempty"`
 	Err            string `json:"err,omitempty"`
 
+	Adversary string `json:"adversary,omitempty"`
+	Mutations *int   `json:"mutations,omitempty"`
+
 	WallNS  int64   `json:"wall_ns,omitempty"`
 	Workers int     `json:"workers,omitempty"`
 	BatchNS []int64 `json:"batch_ns,omitempty"`
@@ -102,6 +105,11 @@ func (t *NDJSONTracer) Emit(ev Event) {
 		rec.TotalLabelBits = ev.TotalLabelBits
 		rec.MaxCoinBits = ev.MaxCoinBits
 		rec.Err = ev.Err
+	case AdversaryAct:
+		r, mut := ev.Round, ev.Mutations
+		rec.Round = &r
+		rec.Adversary = ev.Adversary
+		rec.Mutations = &mut
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -34,6 +34,14 @@ const (
 	NodeDecide
 	// RunEnd closes an execution span with the terminal statistics.
 	RunEnd
+	// AdversaryAct reports one fault-injection act of an attached
+	// adversary (internal/chaos): after each prover round with the
+	// number of label/coin mutations injected, and once after the
+	// decision phase with the number of flipped verdicts. The payload is
+	// deterministic — both engines emit identical AdversaryAct sequences
+	// for the same (seed, strategy), so fingerprints stay
+	// engine-independent even under fault injection.
+	AdversaryAct
 )
 
 // String returns the snake_case wire name of the kind.
@@ -53,6 +61,8 @@ func (k EventKind) String() string {
 		return "node_decide"
 	case RunEnd:
 		return "run_end"
+	case AdversaryAct:
+		return "adversary_act"
 	}
 	return "unknown"
 }
@@ -94,7 +104,8 @@ func HistOf(vals []int) Hist {
 //
 // Deterministic fields (identical across engines for the same seed):
 // Kind, Protocol, Span, Round, Nodes, Rounds, LabelBits, CoinBits, Node,
-// Accepted, MaxLabelBits, TotalLabelBits, MaxCoinBits, Err.
+// Accepted, MaxLabelBits, TotalLabelBits, MaxCoinBits, Err, Adversary,
+// Mutations.
 // Non-deterministic fields (timing/scheduling): Engine, WallNS, Workers,
 // BatchNS.
 type Event struct {
@@ -123,6 +134,13 @@ type Event struct {
 	TotalLabelBits int
 	MaxCoinBits    int
 	Err            string // non-empty when the run failed with an error
+
+	// Fault injection (AdversaryAct): the strategy name and the number
+	// of mutations the adversary injected in the bracketed phase (label
+	// bit-flips/withholdings per prover round, flipped verdicts after
+	// the decision phase).
+	Adversary string
+	Mutations int
 
 	// Timing and scheduling (never part of fingerprints).
 	WallNS  int64   // elapsed wall time of the bracketed phase / run

@@ -55,7 +55,7 @@ func TestCompleteness(t *testing.T) {
 			}
 			if !res.Accepted {
 				t.Fatalf("trial %d rep %d (n=%d): rejected (structural=%v, compRej=%d)",
-					trial, rep, n, res.StructuralRejected, res.ComponentRejections)
+					trial, rep, n, res.Rejected("structural"), res.RejectionCount("component"))
 			}
 			if res.Rounds != 5 {
 				t.Fatalf("rounds %d", res.Rounds)
@@ -161,7 +161,7 @@ func TestProofSizeDoublyLogarithmic(t *testing.T) {
 		if !res.Accepted {
 			t.Fatalf("n=%d rejected", n)
 		}
-		sizes = append(sizes, res.MaxLabelBits)
+		sizes = append(sizes, res.ProofSizeBits)
 	}
 	if sizes[2] >= 2*sizes[0] {
 		t.Fatalf("proof size growth too fast: %v", sizes)

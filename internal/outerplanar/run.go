@@ -29,44 +29,25 @@ func ProofSizeBound(n, delta int) int {
 	return 48 * p.L
 }
 
-// Result summarizes a composite outerplanarity execution.
-type Result struct {
-	Accepted bool
-	// Rounds is the interaction-round count of the composed protocol: the
-	// 3-round structural stage runs inside the 5 rounds of the component
-	// stages.
-	Rounds int
-	// MaxLabelBits is the proof size after merging the structural labels,
-	// each node's home-component labels, and the deferred copies of
-	// separating-node labels held by their component neighbors.
-	MaxLabelBits int
-	// ProverFailed records that no prover strategy was supplied and the
-	// honest prover could not construct a witness (the verifier rejects
-	// malformed or missing labels, so this counts as rejection).
-	ProverFailed bool
-	// ComponentRejections counts component sub-runs that rejected.
-	ComponentRejections int
-	// StructuralRejected reports the stage-1/2 outcome.
-	StructuralRejected bool
-}
-
 // Run executes the composed outerplanarity DIP on g. If plan is nil the
 // honest prover derives it with the centralized oracles; a cheating
 // prover passes its own plan (soundness experiments do this with crafted
 // decompositions). Options attach a tracer: the composite opens its own
 // span and nests the structural stage and every component sub-execution
-// under it.
-func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res *Result, err error) {
+// under it. Rejecting stages surface in the outcome's Rejections map
+// under "structural" (stage 1/2) and "component" (one count per
+// rejecting component sub-run).
+func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res *dip.Outcome, err error) {
 	cfg := dip.NewRunConfig(opts...)
 	endRun := cfg.CompositeSpan("outerplanar", g.N(), Rounds)
 	defer func() {
 		if res != nil {
-			endRun(res.Accepted, res.MaxLabelBits)
+			endRun(res.Accepted, res.ProofSizeBits)
 		} else {
 			endRun(false, 0)
 		}
 	}()
-	res = &Result{Rounds: Rounds}
+	res = &dip.Outcome{Rounds: Rounds}
 	if plan == nil {
 		plan, err = HonestPlan(g)
 		if err != nil {
@@ -82,7 +63,10 @@ func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res
 	if err != nil {
 		return nil, fmt.Errorf("outerplanar: structural stage: %w", err)
 	}
-	res.StructuralRejected = !structRes.Accepted
+	if !structRes.Accepted {
+		res.Reject("structural")
+	}
+	res.TotalLabelBits = structRes.Stats.TotalLabelBits
 
 	// Per-node per-round label bits, merged across stages. The composed
 	// protocol has 3 prover rounds; structural labels ride in the first
@@ -116,21 +100,22 @@ func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res
 			}
 			// A prover that cannot label a component loses that
 			// component: the verifier there rejects.
-			res.ComponentRejections++
+			res.Reject("component")
 			accepted = false
 			continue
 		}
 		if !sres.Accepted {
-			res.ComponentRejections++
+			res.Reject("component")
 			accepted = false
 		}
+		res.TotalLabelBits += sres.Stats.TotalLabelBits
 		mergeComponentBits(merged, sres.Stats.LabelBits, sub, g)
 	}
 	res.Accepted = accepted
 	for _, row := range merged {
 		for _, bits := range row {
-			if bits > res.MaxLabelBits {
-				res.MaxLabelBits = bits
+			if bits > res.ProofSizeBits {
+				res.ProofSizeBits = bits
 			}
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dip"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 func yesInstance(rng *rand.Rand, n int, density float64) *Instance {
@@ -243,7 +244,7 @@ func TestChannelEngineAgreesOnRealProtocol(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := proto.RunOnceChannels(di, rand.New(rand.NewSource(99)))
+	b, err := proto.RunOnce(di, rand.New(rand.NewSource(99)), dip.WithEngine(obs.EngineChannels))
 	if err != nil {
 		t.Fatal(err)
 	}

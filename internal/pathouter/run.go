@@ -1,0 +1,29 @@
+package pathouter
+
+import (
+	"math/rand"
+
+	"repro/internal/dip"
+	"repro/internal/graph"
+)
+
+// Run executes the path-outerplanarity DIP once on g with the
+// Hamiltonian-path witness pos, returning the unified outcome every
+// protocol package exposes. A prover that cannot label the instance
+// surfaces as ProverFailed (the verifier rejects missing labels), not
+// as an error; context aborts still propagate as errors.
+func Run(g *graph.Graph, pos []int, rng *rand.Rand, opts ...dip.RunOption) (*dip.Outcome, error) {
+	p, err := NewParams(g.N())
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{G: g, Pos: pos}
+	res, err := Protocol(inst, p).RunOnce(dip.NewInstance(g), rng, opts...)
+	if err != nil {
+		if dip.Aborted(err) {
+			return nil, err
+		}
+		return &dip.Outcome{Rounds: Rounds, ProverFailed: true}, nil
+	}
+	return dip.OutcomeOf(res, Rounds), nil
+}

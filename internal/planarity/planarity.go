@@ -35,34 +35,25 @@ func ProofSizeBound(n, delta int) int {
 	return b + 2*5*bitio.BitsFor(delta)
 }
 
-// Result summarizes a planarity execution.
-type Result struct {
-	Accepted bool
-	Rounds   int
-	// MaxLabelBits includes the O(log Δ) rotation-shipping term.
-	MaxLabelBits int
-	// RotationBits is just the shipping term, reported separately so the
-	// Δ-sweep experiment can show the additive structure.
-	RotationBits int
-	ProverFailed bool
-	Embedding    *embedding.Result
-}
-
 // Run executes the planarity DIP. The prover uses hint as its embedding
 // when non-nil (generators provide known rotations; adversaries provide
 // crafted ones); otherwise it runs the DMP embedder, and fails — which
-// the verifier treats as rejection — when the graph is not planar.
-func Run(g *graph.Graph, hint *planar.Rotation, rng *rand.Rand, opts ...dip.RunOption) (res *Result, err error) {
+// the verifier treats as rejection — when the graph is not planar. The
+// outcome's RotationBits reports the O(log Δ) shipping term separately
+// (it is included in ProofSizeBits) so the Δ-sweep experiment can show
+// the additive structure; rejections of the nested embedding stages
+// surface under the embedding keys ("tree", "nesting", "corner").
+func Run(g *graph.Graph, hint *planar.Rotation, rng *rand.Rand, opts ...dip.RunOption) (res *dip.Outcome, err error) {
 	cfg := dip.NewRunConfig(opts...)
 	endRun := cfg.CompositeSpan("planarity", g.N(), Rounds)
 	defer func() {
 		if res != nil {
-			endRun(res.Accepted, res.MaxLabelBits)
+			endRun(res.Accepted, res.ProofSizeBits)
 		} else {
 			endRun(false, 0)
 		}
 	}()
-	res = &Result{Rounds: Rounds}
+	res = &dip.Outcome{Rounds: Rounds}
 	if g.N() < 2 {
 		return nil, errors.New("planarity: need n >= 2")
 	}
@@ -79,10 +70,12 @@ func Run(g *graph.Graph, hint *planar.Rotation, rng *rand.Rand, opts ...dip.RunO
 	if err != nil {
 		return nil, err
 	}
-	res.Embedding = emb
+	res.Rejections = emb.Rejections
+	res.ProverFailed = emb.ProverFailed
 	res.Accepted = emb.Accepted && !emb.ProverFailed
 	res.RotationBits = shippingBits(g)
-	res.MaxLabelBits = emb.MaxLabelBits + res.RotationBits
+	res.ProofSizeBits = emb.ProofSizeBits + res.RotationBits
+	res.TotalLabelBits = emb.TotalLabelBits + res.RotationBits*g.N()
 	return res, nil
 }
 

@@ -1,0 +1,25 @@
+package pls
+
+import (
+	"math/rand"
+
+	"repro/internal/dip"
+	"repro/internal/graph"
+)
+
+// Run executes the proof-labeling-scheme baseline once on g with the
+// Hamiltonian-path witness pos, returning the unified outcome every
+// protocol package exposes. A prover that cannot label the instance
+// surfaces as ProverFailed, not as an error; context aborts still
+// propagate as errors.
+func Run(g *graph.Graph, pos []int, rng *rand.Rand, opts ...dip.RunOption) (*dip.Outcome, error) {
+	p := NewParams(g.N())
+	res, err := Protocol(g, pos, p).RunOnce(dip.NewInstance(g), rng, opts...)
+	if err != nil {
+		if dip.Aborted(err) {
+			return nil, err
+		}
+		return &dip.Outcome{Rounds: Rounds, ProverFailed: true}, nil
+	}
+	return dip.OutcomeOf(res, Rounds), nil
+}

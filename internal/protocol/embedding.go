@@ -15,6 +15,7 @@ func init() {
 		Suite:          "E3",
 		Summary:        "planar-embedding verification of a given rotation system",
 		Family:         "triangulation",
+		NoFamily:       "twisted",
 		Witness:        WitnessRotation,
 		Rounds:         embedding.Rounds,
 		BoundExpr:      "O(log log n)",
@@ -42,14 +43,5 @@ func runEmbedding(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*Outcome
 	if !ok {
 		return &Outcome{Rounds: embedding.Rounds, ProverFailed: true}, nil
 	}
-	res, err := embedding.Run(in.G, rot, rng, opts...)
-	if err != nil {
-		return nil, err
-	}
-	return &Outcome{
-		Accepted:      res.Accepted && !res.ProverFailed,
-		ProverFailed:  res.ProverFailed,
-		Rounds:        res.Rounds,
-		ProofSizeBits: res.MaxLabelBits,
-	}, nil
+	return embedding.Run(in.G, rot, rng, opts...)
 }

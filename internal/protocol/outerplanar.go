@@ -14,6 +14,7 @@ func init() {
 		Suite:          "E2",
 		Summary:        "outerplanarity via block decomposition over pathouter",
 		Family:         "outerplanar",
+		NoFamily:       "k4planted",
 		Witness:        WitnessNone,
 		Rounds:         outerplanar.Rounds,
 		BoundExpr:      "O(log log n)",
@@ -23,14 +24,5 @@ func init() {
 }
 
 func runOuterplanar(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*Outcome, error) {
-	res, err := outerplanar.Run(in.G, nil, rng, opts...)
-	if err != nil {
-		return nil, err
-	}
-	return &Outcome{
-		Accepted:      res.Accepted && !res.ProverFailed,
-		ProverFailed:  res.ProverFailed,
-		Rounds:        res.Rounds,
-		ProofSizeBits: res.MaxLabelBits,
-	}, nil
+	return outerplanar.Run(in.G, nil, rng, opts...)
 }

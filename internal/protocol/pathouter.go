@@ -15,6 +15,7 @@ func init() {
 		Suite:          "E1",
 		Summary:        "path-outerplanarity with O(log log n)-bit proofs",
 		Family:         "pathouter",
+		NoFamily:       "k4planted",
 		Witness:        WitnessPath,
 		Rounds:         pathouter.Rounds,
 		BoundExpr:      "O(log log n)",
@@ -38,28 +39,9 @@ func pathWitness(in *Instance) ([]int, bool) {
 }
 
 func runPathOuter(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*Outcome, error) {
-	g := in.G
 	pos, ok := pathWitness(in)
 	if !ok {
 		return &Outcome{Rounds: pathouter.Rounds, ProverFailed: true}, nil
 	}
-	p, err := pathouter.NewParams(g.N())
-	if err != nil {
-		return nil, err
-	}
-	inst := &pathouter.Instance{G: g, Pos: pos}
-	res, err := pathouter.Protocol(inst, p).RunOnce(dip.NewInstance(g), rng, opts...)
-	if err != nil {
-		if dip.Aborted(err) {
-			return nil, err
-		}
-		return &Outcome{Rounds: pathouter.Rounds, ProverFailed: true}, nil
-	}
-	return &Outcome{
-		Accepted:       res.Accepted,
-		Rounds:         pathouter.Rounds,
-		ProofSizeBits:  res.Stats.MaxLabelBits,
-		TotalLabelBits: res.Stats.TotalLabelBits,
-		MaxCoinBits:    res.Stats.MaxCoinBits,
-	}, nil
+	return pathouter.Run(in.G, pos, rng, opts...)
 }

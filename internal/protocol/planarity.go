@@ -14,6 +14,7 @@ func init() {
 		Suite:          "E4",
 		Summary:        "planarity with prover-shipped embedding, O(log log n + log Δ)",
 		Family:         "triangulation",
+		NoFamily:       "k5sub",
 		Witness:        WitnessRotation,
 		Rounds:         planarity.Rounds,
 		BoundExpr:      "O(log log n + log Δ)",
@@ -23,14 +24,5 @@ func init() {
 }
 
 func runPlanarity(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*Outcome, error) {
-	res, err := planarity.Run(in.G, in.Rotation, rng, opts...)
-	if err != nil {
-		return nil, err
-	}
-	return &Outcome{
-		Accepted:      res.Accepted && !res.ProverFailed,
-		ProverFailed:  res.ProverFailed,
-		Rounds:        res.Rounds,
-		ProofSizeBits: res.MaxLabelBits,
-	}, nil
+	return planarity.Run(in.G, in.Rotation, rng, opts...)
 }

@@ -14,6 +14,7 @@ func init() {
 		Suite:          "E11",
 		Summary:        "one-round Θ(log n) proof labeling scheme baseline",
 		Family:         "pathouter",
+		NoFamily:       "k4planted",
 		Witness:        WitnessPath,
 		Rounds:         pls.Rounds,
 		BoundExpr:      "Θ(log n)",
@@ -23,24 +24,9 @@ func init() {
 }
 
 func runPLS(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*Outcome, error) {
-	g := in.G
 	pos, ok := pathWitness(in)
 	if !ok {
 		return &Outcome{Rounds: pls.Rounds, ProverFailed: true}, nil
 	}
-	p := pls.NewParams(g.N())
-	res, err := pls.Protocol(g, pos, p).RunOnce(dip.NewInstance(g), rng, opts...)
-	if err != nil {
-		if dip.Aborted(err) {
-			return nil, err
-		}
-		return &Outcome{Rounds: pls.Rounds, ProverFailed: true}, nil
-	}
-	return &Outcome{
-		Accepted:       res.Accepted,
-		Rounds:         pls.Rounds,
-		ProofSizeBits:  res.Stats.MaxLabelBits,
-		TotalLabelBits: res.Stats.TotalLabelBits,
-		MaxCoinBits:    res.Stats.MaxCoinBits,
-	}, nil
+	return pls.Run(in.G, pos, rng, opts...)
 }

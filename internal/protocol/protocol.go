@@ -36,18 +36,11 @@ type Instance struct {
 	Rotation *planar.Rotation
 }
 
-// Outcome is the protocol-level result of one certification run, the
-// uniform shape every registered protocol reports.
-type Outcome struct {
-	Accepted bool
-	// ProverFailed records that the honest prover could not construct a
-	// witness (a rejected no-instance), not an execution fault.
-	ProverFailed   bool
-	Rounds         int
-	ProofSizeBits  int
-	TotalLabelBits int
-	MaxCoinBits    int
-}
+// Outcome is the protocol-level result of one certification run. It is
+// the unified dip.Outcome every protocol package's Run returns
+// directly, so the registry adapters pass results through instead of
+// remapping per-package structs.
+type Outcome = dip.Outcome
 
 // WitnessKind names what a protocol's honest prover consumes from the
 // Instance, for wire-level metadata (/protocolz) and docs.
@@ -83,6 +76,11 @@ type Descriptor struct {
 	// protocol naturally certifies; the conformance tests and dipbench
 	// sweeps build their instances from it.
 	Family string
+	// NoFamily is the internal/gen generator family of matched
+	// no-instances: inputs just outside the protocol's promise that its
+	// soundness should reject. The Monte-Carlo soundness estimator
+	// sweeps it per strategy.
+	NoFamily string
 	// Witness is what the honest prover consumes from the Instance.
 	Witness WitnessKind
 
@@ -143,7 +141,7 @@ func Register(d Descriptor) {
 	switch {
 	case d.Name == "":
 		panic("protocol: Register: empty name")
-	case d.Theorem == "" || d.Family == "" || d.BoundExpr == "":
+	case d.Theorem == "" || d.Family == "" || d.NoFamily == "" || d.BoundExpr == "":
 		panic("protocol: Register: " + d.Name + ": missing metadata")
 	case d.Rounds < 1:
 		panic("protocol: Register: " + d.Name + ": invalid round count")

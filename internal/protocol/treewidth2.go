@@ -14,6 +14,7 @@ func init() {
 		Suite:          "E6",
 		Summary:        "treewidth ≤ 2 via biconnected-component series-parallel runs",
 		Family:         "treewidth2",
+		NoFamily:       "k4sub",
 		Witness:        WitnessNone,
 		Rounds:         treewidth2.Rounds,
 		BoundExpr:      "O(log log n)",
@@ -23,14 +24,5 @@ func init() {
 }
 
 func runTreewidth2(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*Outcome, error) {
-	res, err := treewidth2.Run(in.G, nil, rng, opts...)
-	if err != nil {
-		return nil, err
-	}
-	return &Outcome{
-		Accepted:      res.Accepted && !res.ProverFailed,
-		ProverFailed:  res.ProverFailed,
-		Rounds:        res.Rounds,
-		ProofSizeBits: res.MaxLabelBits,
-	}, nil
+	return treewidth2.Run(in.G, nil, rng, opts...)
 }

@@ -26,33 +26,24 @@ func ProofSizeBound(n, delta int) int {
 	return 48 * p.L
 }
 
-// Result summarizes a composite series-parallel execution.
-type Result struct {
-	Accepted           bool
-	Rounds             int
-	MaxLabelBits       int
-	ProverFailed       bool
-	StructuralRejected bool
-	NestingRejections  int
-	// NodeBits[r][v] is the per-node per-prover-round label size after
-	// merging, for composite protocols layering on top (Theorem 1.7).
-	NodeBits [][]int
-}
-
 // Run executes the composed series-parallel DIP on g. A nil plan invokes
 // the honest prover (SP decomposition via graph reduction); cheating
-// provers supply their own plans.
-func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res *Result, err error) {
+// provers supply their own plans. Rejecting stages surface in the
+// outcome's Rejections map under "structural" and "nesting" (one count
+// per rejecting ear sub-run); the outcome's NodeBits carry the merged
+// per-node per-round accounting for composites layering on top
+// (Theorem 1.7).
+func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res *dip.Outcome, err error) {
 	cfg := dip.NewRunConfig(opts...)
 	endRun := cfg.CompositeSpan("seriesparallel", g.N(), Rounds)
 	defer func() {
 		if res != nil {
-			endRun(res.Accepted, res.MaxLabelBits)
+			endRun(res.Accepted, res.ProofSizeBits)
 		} else {
 			endRun(false, 0)
 		}
 	}()
-	res = &Result{Rounds: Rounds}
+	res = &dip.Outcome{Rounds: Rounds}
 	if plan == nil {
 		plan, err = HonestPlan(g)
 		if err != nil {
@@ -67,7 +58,10 @@ func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res
 	if err != nil {
 		return nil, fmt.Errorf("seriesparallel: structural stage: %w", err)
 	}
-	res.StructuralRejected = !structRes.Accepted
+	if !structRes.Accepted {
+		res.Reject("structural")
+	}
+	res.TotalLabelBits = structRes.Stats.TotalLabelBits
 
 	merged := make([][]int, 3)
 	for r := range merged {
@@ -92,22 +86,23 @@ func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res
 			if dip.Aborted(err) {
 				return nil, err
 			}
-			res.NestingRejections++
+			res.Reject("nesting")
 			accepted = false
 			continue
 		}
 		if !sres.Accepted {
-			res.NestingRejections++
+			res.Reject("nesting")
 			accepted = false
 		}
+		res.TotalLabelBits += sres.Stats.TotalLabelBits
 		mergeEarBits(merged, sres.Stats.LabelBits, ni, plan)
 	}
 	res.Accepted = accepted
 	res.NodeBits = merged
 	for _, row := range merged {
 		for _, bits := range row {
-			if bits > res.MaxLabelBits {
-				res.MaxLabelBits = bits
+			if bits > res.ProofSizeBits {
+				res.ProofSizeBits = bits
 			}
 		}
 	}

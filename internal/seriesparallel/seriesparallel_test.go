@@ -44,7 +44,7 @@ func TestCompleteness(t *testing.T) {
 			}
 			if !res.Accepted {
 				t.Fatalf("trial %d rep %d (n=%d): rejected (structural=%v nesting=%d)",
-					trial, rep, inst.G.N(), res.StructuralRejected, res.NestingRejections)
+					trial, rep, inst.G.N(), res.Rejected("structural"), res.RejectionCount("nesting"))
 			}
 			if res.Rounds != 5 {
 				t.Fatalf("rounds %d", res.Rounds)
@@ -80,7 +80,7 @@ func TestCompletenessSmallShapes(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !res.Accepted {
-		t.Fatalf("theta rejected (structural=%v nesting=%d)", res.StructuralRejected, res.NestingRejections)
+		t.Fatalf("theta rejected (structural=%v nesting=%d)", res.Rejected("structural"), res.RejectionCount("nesting"))
 	}
 	// Bare path.
 	p := graph.New(6)
@@ -219,7 +219,7 @@ func TestProofSizeDoublyLogarithmic(t *testing.T) {
 		if !res.Accepted {
 			t.Fatalf("n=%d rejected", n)
 		}
-		sizes = append(sizes, res.MaxLabelBits)
+		sizes = append(sizes, res.ProofSizeBits)
 	}
 	if sizes[2] >= 2*sizes[0] {
 		t.Fatalf("proof size growth too fast: %v", sizes)

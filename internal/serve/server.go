@@ -167,15 +167,37 @@ func New(cfg Config) *Server {
 		reg:   cfg.Registry,
 		mux:   http.NewServeMux(),
 	}
-	s.mux.HandleFunc("/certify", s.handleCertify)
+	// The versioned surface is canonical; the unversioned legacy paths
+	// serve the same handlers but advertise their successor via the
+	// Deprecation / Link headers (RFC 8594 style). /healthz stays
+	// unversioned-friendly without deprecation: probes don't migrate.
+	s.mux.HandleFunc("/v1/certify", s.handleCertify)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("/v1/protocolz", s.handleProtocolz)
+	s.mux.HandleFunc("/v1/soundness", s.handleSoundness)
+	s.mux.HandleFunc("/certify", s.deprecated("/certify", s.handleCertify))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
-	s.mux.HandleFunc("/protocolz", s.handleProtocolz)
+	s.mux.HandleFunc("/metricsz", s.deprecated("/metricsz", s.handleMetricsz))
+	s.mux.HandleFunc("/protocolz", s.deprecated("/protocolz", s.handleProtocolz))
 	return s
 }
 
-// Handler returns the HTTP handler serving /certify, /healthz,
-// /metricsz, and /protocolz.
+// deprecated wraps a legacy unversioned route: same behavior, plus the
+// standard deprecation headers pointing at the /v1 successor, and a
+// counter so operators can watch legacy traffic drain before removal.
+func (s *Server) deprecated(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", path))
+		s.reg.Add("deprecated_requests_total{path="+path+"}", 1)
+		h(w, r)
+	}
+}
+
+// Handler returns the HTTP handler serving the /v1 API (certify,
+// healthz, metricsz, protocolz, soundness) plus the deprecated
+// unversioned aliases.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Registry returns the counter registry backing /metricsz.

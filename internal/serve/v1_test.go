@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestV1Paths: every endpoint is reachable under its canonical /v1
+// path with no deprecation headers.
+func TestV1Paths(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/certify", "application/json", strings.NewReader(k4Req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/certify status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "" {
+		t.Fatal("/v1/certify carries a Deprecation header")
+	}
+	var out Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Fatalf("K4 planarity via /v1 must accept: %+v", out)
+	}
+	for _, path := range []string{"/v1/healthz", "/v1/metricsz", "/v1/protocolz"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("%s status %d", path, r.StatusCode)
+		}
+		if r.Header.Get("Deprecation") != "" {
+			t.Errorf("%s carries a Deprecation header", path)
+		}
+	}
+}
+
+// TestLegacyPathsDeprecated: the unversioned routes still work but
+// advertise their /v1 successor via Deprecation + Link headers.
+func TestLegacyPathsDeprecated(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, out := postCertify(t, ts, k4Req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/certify status %d", resp.StatusCode)
+	}
+	if !out.Accepted {
+		t.Fatal("legacy /certify no longer certifies")
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Error("/certify missing Deprecation header")
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, "</v1/certify>") || !strings.Contains(link, `rel="successor-version"`) {
+		t.Errorf("/certify Link header %q does not point at the successor", link)
+	}
+	for _, path := range []string{"/metricsz", "/protocolz"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("%s status %d", path, r.StatusCode)
+		}
+		if r.Header.Get("Deprecation") != "true" {
+			t.Errorf("%s missing Deprecation header", path)
+		}
+		if !strings.Contains(r.Header.Get("Link"), "</v1"+path+">") {
+			t.Errorf("%s Link header %q does not point at /v1%s", path, r.Header.Get("Link"), path)
+		}
+	}
+	// /healthz is a probe path: unversioned remains first-class.
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.Header.Get("Deprecation") != "" {
+		t.Error("/healthz must not be deprecated")
+	}
+}
+
+func postSoundness(t *testing.T, ts *httptest.Server, body string) (*http.Response, *SoundnessResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/soundness", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out SoundnessResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode 200 body: %v", err)
+		}
+	}
+	return resp, &out
+}
+
+// TestSoundnessSweep: a small bounded sweep runs and reports the
+// expected grid with sane estimates.
+func TestSoundnessSweep(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, out := postSoundness(t, ts,
+		`{"protocols":["pathouter"],"strategies":["honest","crash-accept"],"sizes":[16],"runs":5,"seed":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out.Rows) != 3 { // completeness + 2 strategies × 1 size
+		t.Fatalf("got %d rows, want 3: %+v", len(out.Rows), out.Rows)
+	}
+	for _, r := range out.Rows {
+		if r.Protocol != "pathouter" || r.Runs != 5 {
+			t.Errorf("unexpected row %+v", r)
+		}
+		switch r.Kind {
+		case "completeness":
+			if r.Rejects != 0 {
+				t.Errorf("completeness cell rejected %d yes-instances", r.Rejects)
+			}
+		case "soundness":
+			if r.Strategy == "honest" && r.Rate < 0.9 {
+				t.Errorf("honest-strategy rejection rate %.2f < 0.9", r.Rate)
+			}
+		}
+	}
+}
+
+// TestSoundnessCaps: oversize sweeps and bad names are client errors.
+func TestSoundnessCaps(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, body := range map[string]string{
+		"unknown protocol": `{"protocols":["bogus"]}`,
+		"unknown strategy": `{"strategies":["bogus"]}`,
+		"oversize n":       `{"sizes":[4096]}`,
+		"tiny n":           `{"sizes":[2]}`,
+		"too many runs":    `{"runs":1000}`,
+		"too many cells":   `{"runs":100,"sizes":[16,24,32,48]}`,
+		"unknown field":    `{"nope":1}`,
+	} {
+		resp, _ := postSoundness(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/soundness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestSoundnessDeterministic: same request body, same rows — the
+// endpoint is a pure function of (config, seed).
+func TestSoundnessDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const body = `{"protocols":["pls"],"strategies":["withhold"],"sizes":[16],"runs":4,"seed":11}`
+	_, a := postSoundness(t, ts, body)
+	_, b := postSoundness(t, ts, body)
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Errorf("row %d differs: %+v vs %+v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package soundness
+
+import "math/rand"
+
+// newRand is the one construction site of derived rngs, kept separate
+// so the derivation stays greppable.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

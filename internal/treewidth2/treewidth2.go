@@ -484,30 +484,22 @@ func ProofSizeBound(n, delta int) int {
 	return b + b/2
 }
 
-// Result summarizes a composite treewidth-2 execution.
-type Result struct {
-	Accepted           bool
-	Rounds             int
-	MaxLabelBits       int
-	ProverFailed       bool
-	StructuralRejected bool
-	BlockRejections    int
-}
-
 // Run executes the composed treewidth-2 DIP. Options attach a tracer;
 // the structural stage and every per-block series-parallel sub-run nest
-// under the composite's span.
-func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res *Result, err error) {
+// under the composite's span. Rejecting stages surface in the outcome's
+// Rejections map under "structural" and "block" (one count per
+// rejecting block sub-run).
+func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res *dip.Outcome, err error) {
 	cfg := dip.NewRunConfig(opts...)
 	endRun := cfg.CompositeSpan("treewidth2", g.N(), Rounds)
 	defer func() {
 		if res != nil {
-			endRun(res.Accepted, res.MaxLabelBits)
+			endRun(res.Accepted, res.ProofSizeBits)
 		} else {
 			endRun(false, 0)
 		}
 	}()
-	res = &Result{Rounds: Rounds}
+	res = &dip.Outcome{Rounds: Rounds}
 	if plan == nil {
 		plan, err = HonestPlan(g)
 		if err != nil {
@@ -521,7 +513,10 @@ func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res
 	if err != nil {
 		return nil, fmt.Errorf("treewidth2: structural stage: %w", err)
 	}
-	res.StructuralRejected = !structRes.Accepted
+	if !structRes.Accepted {
+		res.Reject("structural")
+	}
+	res.TotalLabelBits = structRes.Stats.TotalLabelBits
 
 	merged := make([][]int, 3)
 	for r := range merged {
@@ -557,10 +552,11 @@ func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res
 			return nil, err
 		}
 		if sres.ProverFailed || !sres.Accepted {
-			res.BlockRejections++
+			res.Reject("block")
 			accepted = false
 			continue
 		}
+		res.TotalLabelBits += sres.TotalLabelBits
 		// Merge: block members carry their own labels; the separating
 		// vertex's labels are deferred to the block leader.
 		for r, row := range sres.NodeBits {
@@ -580,8 +576,8 @@ func Run(g *graph.Graph, plan *Plan, rng *rand.Rand, opts ...dip.RunOption) (res
 	res.Accepted = accepted
 	for _, row := range merged {
 		for _, bits := range row {
-			if bits > res.MaxLabelBits {
-				res.MaxLabelBits = bits
+			if bits > res.ProofSizeBits {
+				res.ProofSizeBits = bits
 			}
 		}
 	}

@@ -39,7 +39,7 @@ func TestCompleteness(t *testing.T) {
 			}
 			if !res.Accepted {
 				t.Fatalf("trial %d rep %d (n=%d): rejected (structural=%v blocks=%d)",
-					trial, rep, n, res.StructuralRejected, res.BlockRejections)
+					trial, rep, n, res.Rejected("structural"), res.RejectionCount("block"))
 			}
 			if res.Rounds != 5 {
 				t.Fatalf("rounds %d", res.Rounds)
@@ -56,7 +56,7 @@ func TestCompletenessPureSP(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !res.Accepted {
-		t.Fatalf("SP graph rejected (structural=%v blocks=%d)", res.StructuralRejected, res.BlockRejections)
+		t.Fatalf("SP graph rejected (structural=%v blocks=%d)", res.Rejected("structural"), res.RejectionCount("block"))
 	}
 }
 
@@ -91,7 +91,7 @@ func TestSoundnessK4Block(t *testing.T) {
 		if res.Accepted {
 			t.Fatalf("trial %d: K4 block accepted", trial)
 		}
-		if res.BlockRejections == 0 && !res.StructuralRejected {
+		if res.RejectionCount("block") == 0 && !res.Rejected("structural") {
 			t.Fatalf("trial %d: rejected for no recorded reason", trial)
 		}
 	}
@@ -110,7 +110,7 @@ func TestProofSizeDoublyLogarithmic(t *testing.T) {
 		if !res.Accepted {
 			t.Fatalf("n=%d rejected", n)
 		}
-		sizes = append(sizes, res.MaxLabelBits)
+		sizes = append(sizes, res.ProofSizeBits)
 	}
 	if sizes[2] >= 2*sizes[0] {
 		t.Fatalf("proof size growth too fast: %v", sizes)

@@ -158,7 +158,7 @@ func VerifyOuterplanarity(gr *Graph, opts ...Option) (*Report, error) {
 	return &Report{
 		Accepted:      res.Accepted && !res.ProverFailed,
 		Rounds:        res.Rounds,
-		ProofSizeBits: res.MaxLabelBits,
+		ProofSizeBits: res.ProofSizeBits,
 		ProverFailed:  res.ProverFailed,
 	}, nil
 }
@@ -177,7 +177,7 @@ func VerifyEmbedding(gr *Graph, rot *Rotation, opts ...Option) (*Report, error) 
 	return &Report{
 		Accepted:      res.Accepted && !res.ProverFailed,
 		Rounds:        res.Rounds,
-		ProofSizeBits: res.MaxLabelBits,
+		ProofSizeBits: res.ProofSizeBits,
 		ProverFailed:  res.ProverFailed,
 	}, nil
 }
@@ -198,7 +198,7 @@ func VerifyPlanarity(gr *Graph, hint *Rotation, opts ...Option) (*Report, error)
 	return &Report{
 		Accepted:      res.Accepted && !res.ProverFailed,
 		Rounds:        res.Rounds,
-		ProofSizeBits: res.MaxLabelBits,
+		ProofSizeBits: res.ProofSizeBits,
 		ProverFailed:  res.ProverFailed,
 	}, nil
 }
@@ -214,7 +214,7 @@ func VerifySeriesParallel(gr *Graph, opts ...Option) (*Report, error) {
 	return &Report{
 		Accepted:      res.Accepted && !res.ProverFailed,
 		Rounds:        res.Rounds,
-		ProofSizeBits: res.MaxLabelBits,
+		ProofSizeBits: res.ProofSizeBits,
 		ProverFailed:  res.ProverFailed,
 	}, nil
 }
@@ -229,7 +229,7 @@ func VerifyTreewidth2(gr *Graph, opts ...Option) (*Report, error) {
 	return &Report{
 		Accepted:      res.Accepted && !res.ProverFailed,
 		Rounds:        res.Rounds,
-		ProofSizeBits: res.MaxLabelBits,
+		ProofSizeBits: res.ProofSizeBits,
 		ProverFailed:  res.ProverFailed,
 	}, nil
 }
