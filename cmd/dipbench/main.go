@@ -13,7 +13,9 @@
 //	-hotpath FILE    run only the engine hot-path + service throughput
 //	                 benchmarks and merge the numbers into FILE
 //	                 (BENCH_dip.json); the first write freezes the
-//	                 baseline, later writes replace the current section
+//	                 baseline, later writes replace the current section;
+//	                 a run at a different GOMAXPROCS than the baseline
+//	                 is refused unless -force is given
 //
 // Every sweep point runs on its own child seed derived from (-seed,
 // sweep name, n), so a single row is reproducible in isolation and a
@@ -50,10 +52,11 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memProfile := flag.String("memprofile", "", "write heap profile to file")
 	hotPath := flag.String("hotpath", "", "run only the hot-path benchmarks and merge numbers into this JSON file")
+	force := flag.Bool("force", false, "with -hotpath: overwrite current even when GOMAXPROCS differs from the baseline")
 	soundnessSweep := flag.Bool("soundness", false, "run only the Monte-Carlo soundness estimator sweep (E-S)")
 	flag.Parse()
 	if *hotPath != "" {
-		if err := runHotPath(*hotPath, *jsonOut); err != nil {
+		if err := runHotPath(*hotPath, *jsonOut, *force); err != nil {
 			fmt.Fprintln(os.Stderr, "dipbench:", err)
 			os.Exit(1)
 		}
@@ -76,7 +79,7 @@ func main() {
 // (the workloads behind BenchmarkRunnerHotPath / BenchmarkServeThroughput)
 // and merges the numbers into file, preserving the first-ever snapshot as
 // the baseline so the file always holds the before/after pair.
-func runHotPath(file string, jsonOut bool) error {
+func runHotPath(file string, jsonOut, force bool) error {
 	results, err := benchkit.HotPath()
 	if err != nil {
 		return err
@@ -97,7 +100,7 @@ func runHotPath(file string, jsonOut bool) error {
 			fmt.Printf("%-28s %10d %14d %14d %14d\n", r.Name, r.Iterations, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 		}
 	}
-	return benchkit.WriteFile(file, "cmd/dipbench -hotpath", results)
+	return benchkit.WriteFile(file, "cmd/dipbench -hotpath", results, force)
 }
 
 // runSoundness runs the registry-wide Monte-Carlo soundness sweep

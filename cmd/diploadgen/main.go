@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -176,7 +177,56 @@ func run(w io.Writer, addr string, qps float64, conc int, dur time.Duration, see
 	row := total.row(elapsed)
 	row["type"] = "loadgen_summary"
 	row["target_qps"], row["concurrency"], row["seeds"] = qps, conc, seeds
-	return enc.Encode(row)
+	if err := enc.Encode(row); err != nil {
+		return err
+	}
+	// Final row: the server's own view of the run, scraped from
+	// /v1/metricsz, so the client-side latency report and the
+	// server-side counters (cache hits, shed requests, per-protocol
+	// runs) land in one artifact. A scrape failure is reported in the
+	// row rather than failing the whole run: the client-side report
+	// above is still valid.
+	counters, gauges, err := scrapeCounters(client, strings.TrimRight(base, "/")+"/v1/metricsz")
+	sc := map[string]any{"type": "server_counters", "counters": counters, "gauges": gauges}
+	if err != nil {
+		sc["error"] = err.Error()
+	}
+	return enc.Encode(sc)
+}
+
+// scrapeCounters pulls the counter and gauge rows of one NDJSON
+// /v1/metricsz snapshot (histogram rows are skipped: the client
+// measured its own latency distribution).
+func scrapeCounters(client *http.Client, url string) (counters, gauges map[string]int64, err error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	counters, gauges = map[string]int64{}, map[string]int64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		var row struct {
+			Type  string `json:"type"`
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			return nil, nil, fmt.Errorf("metricsz line %q: %w", sc.Text(), err)
+		}
+		switch row.Type {
+		case "counter":
+			counters[row.Name] = row.Value
+		case "gauge":
+			gauges[row.Name] = row.Value
+		}
+	}
+	return counters, gauges, sc.Err()
 }
 
 // stats accumulates completed-request samples for one reporting bucket.
@@ -226,6 +276,8 @@ func (st *stats) row(elapsed time.Duration) map[string]any {
 		"p50_ms":       percentile(st.walls, 0.50),
 		"p90_ms":       percentile(st.walls, 0.90),
 		"p99_ms":       percentile(st.walls, 0.99),
+		"p999_ms":      percentile(st.walls, 0.999),
+		"max_ms":       percentile(st.walls, 1),
 	}
 }
 

@@ -36,12 +36,12 @@ func TestRunAgainstServer(t *testing.T) {
 		}
 		rows = append(rows, row)
 	}
-	if len(rows) != 3 {
-		t.Fatalf("got %d rows, want 2 mix + 1 summary:\n%s", len(rows), buf.String())
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 2 mix + summary + server_counters:\n%s", len(rows), buf.String())
 	}
 	sum := rows[2]
 	if sum["type"] != "loadgen_summary" {
-		t.Fatalf("last row is %v, want loadgen_summary", sum["type"])
+		t.Fatalf("third row is %v, want loadgen_summary", sum["type"])
 	}
 	if sent := sum["sent"].(float64); sent < 4 {
 		t.Fatalf("sent %v requests, want a few dozen", sent)
@@ -56,6 +56,29 @@ func TestRunAgainstServer(t *testing.T) {
 	}
 	if sum["p99_ms"].(float64) <= 0 {
 		t.Fatalf("p99 missing: %v", sum)
+	}
+	if sum["p999_ms"].(float64) < sum["p99_ms"].(float64) {
+		t.Fatalf("p999 %v < p99 %v", sum["p999_ms"], sum["p99_ms"])
+	}
+	if sum["max_ms"].(float64) < sum["p999_ms"].(float64) {
+		t.Fatalf("max %v < p999 %v", sum["max_ms"], sum["p999_ms"])
+	}
+
+	// The final row is the server's own counters, scraped after the run:
+	// its requests_total must cover everything this client sent.
+	srv := rows[3]
+	if srv["type"] != "server_counters" {
+		t.Fatalf("last row is %v, want server_counters", srv["type"])
+	}
+	if srv["error"] != nil {
+		t.Fatalf("server_counters scrape error: %v", srv["error"])
+	}
+	counters := srv["counters"].(map[string]any)
+	if counters["requests_total"].(float64) < sum["sent"].(float64) {
+		t.Fatalf("server requests_total %v < client sent %v", counters["requests_total"], sum["sent"])
+	}
+	if _, ok := srv["gauges"].(map[string]any); !ok {
+		t.Fatalf("server_counters missing gauges: %v", srv)
 	}
 }
 

@@ -4,14 +4,22 @@
 // emits compatible bodies) and responds with the verdict, per-round
 // proof-size stats, and the deterministic trace fingerprint. POST
 // /v1/soundness runs a bounded Monte-Carlo soundness sweep. GET
-// /healthz reports liveness; GET /v1/metricsz streams the counter
-// registry as NDJSON (schema in SERVICE.md and OBSERVABILITY.md).
-// Unversioned legacy paths still serve with Deprecation headers.
+// /healthz reports liveness, GET /v1/readyz queue-headroom readiness;
+// GET /v1/metricsz streams counters, gauges, and latency histograms as
+// NDJSON or Prometheus text exposition (?format=prometheus; schema in
+// SERVICE.md and OBSERVABILITY.md). Unversioned legacy paths still
+// serve with Deprecation headers.
 //
 // Requests are dispatched onto a sharded bounded-queue worker pool —
 // full queues answer 429 instead of growing memory — behind an LRU
 // result cache with singleflight deduplication. SIGINT/SIGTERM drain
 // in-flight requests and exit 0.
+//
+// Observability flags: -accesslog FILE writes one NDJSON row per
+// request ("-" for stderr); -pprof ADDR mounts net/http/pprof on a
+// separate side listener (never on the serving port), so profiles can
+// be pulled from a live server: go tool pprof
+// http://ADDR/debug/pprof/profile?seconds=5
 package main
 
 import (
@@ -19,8 +27,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,22 +47,73 @@ func main() {
 	queue := flag.Int("queue", 0, "pending jobs per shard before 429 (0 = default 64)")
 	cacheCap := flag.Int("cache", 0, "result-cache entries, negative disables (0 = default 1024)")
 	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = 30s)")
+	accessLog := flag.String("accesslog", "", "write NDJSON access log to this file (\"-\" = stderr)")
+	pprofAddr := flag.String("pprof", "", "mount net/http/pprof on this side address (e.g. 127.0.0.1:6060; empty disables)")
+	pprofAddrFile := flag.String("pprofaddrfile", "", "write the bound pprof address to this file once listening")
 	flag.Parse()
-	if err := run(*addr, *addrFile, serve.Config{
+
+	cfg := serve.Config{
 		Shards:          *shards,
 		WorkersPerShard: *workers,
 		QueueLen:        *queue,
 		CacheCapacity:   *cacheCap,
 		DefaultTimeout:  *timeout,
-	}); err != nil {
+	}
+	switch *accessLog {
+	case "":
+	case "-":
+		cfg.AccessLog = os.Stderr
+	default:
+		f, err := os.Create(*accessLog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dipserve:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.AccessLog = f
+	}
+	if err := run(*addr, *addrFile, *pprofAddr, *pprofAddrFile, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dipserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, addrFile string, cfg serve.Config) error {
+// servePprof mounts the pprof handlers on their own mux and listener,
+// so profiling traffic can be firewalled separately from the API and a
+// runaway profile pull cannot occupy an API connection.
+func servePprof(addr, addrFile string) (io.Closer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dipserve: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	go http.Serve(ln, mux)
+	return ln, nil
+}
+
+func run(addr, addrFile, pprofAddr, pprofAddrFile string, cfg serve.Config) error {
 	s := serve.New(cfg)
 	defer s.Close()
+
+	if pprofAddr != "" {
+		closer, err := servePprof(pprofAddr, pprofAddrFile)
+		if err != nil {
+			return err
+		}
+		defer closer.Close()
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

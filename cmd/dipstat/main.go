@@ -1,0 +1,263 @@
+// Command dipstat is a live terminal monitor for a running dipserve:
+// it polls GET /v1/metricsz (NDJSON) on an interval and renders one
+// table row per tick with the *rates* derived from counter deltas and
+// the *interval* latency percentiles derived from histogram bucket
+// deltas — not lifetime aggregates, so a traffic change shows up in the
+// next row, vmstat-style.
+//
+//	go run ./cmd/dipstat -addr 127.0.0.1:8080 -interval 1s
+//
+// Columns: req/s (requests_total delta), p50/p90/p99 ms (per-request
+// latency over the interval, merged across the certify paths), inflt
+// (in_flight gauge), queue (queue_depth gauge), hit% (cache hits /
+// lookups this interval), shed/s (429s), and per-protocol run deltas.
+// -n bounds the number of rows (0 = until interrupted); the header
+// reprints every 20 rows.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "dipserve address (host:port or URL)")
+	interval := flag.Duration("interval", time.Second, "polling interval")
+	n := flag.Int("n", 0, "rows to print before exiting (0 = run until interrupted)")
+	flag.Parse()
+	if err := run(os.Stdout, *addr, *interval, *n); err != nil {
+		fmt.Fprintln(os.Stderr, "dipstat:", err)
+		os.Exit(1)
+	}
+}
+
+// bucket is one cumulative histogram bucket from the wire.
+type bucket struct {
+	le    float64
+	count uint64
+}
+
+// snapshot is one parsed /v1/metricsz scrape.
+type snapshot struct {
+	at       time.Time
+	counters map[string]int64
+	gauges   map[string]int64
+	hists    map[string][]bucket
+}
+
+// scrape fetches and parses one metrics snapshot.
+func scrape(client *http.Client, url string) (*snapshot, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	snap := &snapshot{
+		at:       time.Now(),
+		counters: map[string]int64{},
+		gauges:   map[string]int64{},
+		hists:    map[string][]bucket{},
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		var row struct {
+			Type    string `json:"type"`
+			Name    string `json:"name"`
+			Value   int64  `json:"value"`
+			Buckets []struct {
+				LE    string `json:"le"`
+				Count uint64 `json:"count"`
+			} `json:"buckets"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			return nil, fmt.Errorf("metricsz line %q: %w", sc.Text(), err)
+		}
+		switch row.Type {
+		case "counter":
+			snap.counters[row.Name] = row.Value
+		case "gauge":
+			snap.gauges[row.Name] = row.Value
+		case "histogram":
+			bs := make([]bucket, 0, len(row.Buckets))
+			for _, b := range row.Buckets {
+				le := math.Inf(1)
+				if b.LE != "+Inf" {
+					v, err := strconv.ParseFloat(b.LE, 64)
+					if err != nil {
+						return nil, fmt.Errorf("histogram %s: bad le %q", row.Name, b.LE)
+					}
+					le = v
+				}
+				bs = append(bs, bucket{le: le, count: b.Count})
+			}
+			snap.hists[row.Name] = bs
+		}
+	}
+	return snap, sc.Err()
+}
+
+// deltaBuckets converts two cumulative scrapes of (possibly several)
+// histograms into one merged per-interval distribution, summing the
+// named histograms and subtracting the previous scrape. Counts are
+// per-bucket (non-cumulative) in the result, keyed by upper bound.
+func deltaBuckets(prev, cur *snapshot, names []string) (map[float64]uint64, uint64) {
+	cum := func(s *snapshot) map[float64]uint64 {
+		out := map[float64]uint64{}
+		for _, name := range names {
+			var last uint64
+			for _, b := range s.hists[name] {
+				out[b.le] += b.count - last
+				last = b.count
+			}
+		}
+		return out
+	}
+	curN, prevN := cum(cur), cum(prev)
+	delta := map[float64]uint64{}
+	var total uint64
+	for le, c := range curN {
+		d := c - prevN[le]
+		if d > 0 {
+			delta[le] = d
+			total += d
+		}
+	}
+	return delta, total
+}
+
+// quantileOf estimates the q-quantile of a per-bucket delta
+// distribution by interpolating inside the bucket holding the target
+// rank (the +Inf bucket reports its finite lower bound).
+func quantileOf(delta map[float64]uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	les := make([]float64, 0, len(delta))
+	for le := range delta {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	rank := q * float64(total)
+	var cum, lo float64
+	for _, le := range les {
+		n := float64(delta[le])
+		if cum+n >= rank {
+			if math.IsInf(le, 1) {
+				return lo
+			}
+			return lo + (rank-cum)/n*(le-lo)
+		}
+		cum += n
+		lo = le
+	}
+	return lo
+}
+
+const header = "    time     req/s    p50ms    p90ms    p99ms  inflt  queue   hit%  shed/s  runs{protocol}"
+
+// row renders one interval delta line.
+func row(prev, cur *snapshot) string {
+	dt := cur.at.Sub(prev.at).Seconds()
+	if dt <= 0 {
+		dt = 1
+	}
+	dc := func(name string) int64 { return cur.counters[name] - prev.counters[name] }
+
+	delta, total := deltaBuckets(prev, cur, []string{
+		"http_request_duration_ns{path=/v1/certify}",
+		"http_request_duration_ns{path=/certify}",
+	})
+	ms := func(q float64) float64 { return quantileOf(delta, total, q) / 1e6 }
+
+	lookups := dc("cache_hits_total") + dc("cache_misses_total") + dc("singleflight_shared_total")
+	hitPct := math.NaN()
+	if lookups > 0 {
+		hitPct = 100 * float64(dc("cache_hits_total")) / float64(lookups)
+	}
+
+	// Per-protocol run deltas, busiest first.
+	type pc struct {
+		name string
+		d    int64
+	}
+	var protos []pc
+	for name, v := range cur.counters {
+		const prefix = "runs_total{protocol="
+		if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, "}") {
+			if d := v - prev.counters[name]; d > 0 {
+				protos = append(protos, pc{name[len(prefix) : len(name)-1], d})
+			}
+		}
+	}
+	sort.Slice(protos, func(i, j int) bool {
+		if protos[i].d != protos[j].d {
+			return protos[i].d > protos[j].d
+		}
+		return protos[i].name < protos[j].name
+	})
+	parts := make([]string, 0, len(protos))
+	for _, p := range protos {
+		parts = append(parts, fmt.Sprintf("%s:%d", p.name, p.d))
+	}
+	protoCol := strings.Join(parts, " ")
+	if protoCol == "" {
+		protoCol = "-"
+	}
+	hitCol := "    -"
+	if !math.IsNaN(hitPct) {
+		hitCol = fmt.Sprintf("%5.1f", hitPct)
+	}
+	return fmt.Sprintf("%s %9.1f %8.2f %8.2f %8.2f %6d %6d  %s %7.1f  %s",
+		cur.at.Format("15:04:05"),
+		float64(dc("requests_total"))/dt,
+		ms(0.50), ms(0.90), ms(0.99),
+		cur.gauges["in_flight"], cur.gauges["queue_depth"],
+		hitCol,
+		float64(dc("requests_outcome_total{class=shed_429}"))/dt,
+		protoCol)
+}
+
+func run(w io.Writer, addr string, interval time.Duration, n int) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	url := strings.TrimRight(base, "/") + "/v1/metricsz"
+	client := &http.Client{Timeout: 10 * time.Second}
+	if interval <= 0 {
+		interval = time.Second
+	}
+
+	prev, err := scrape(client, url)
+	if err != nil {
+		return err
+	}
+	for i := 0; n == 0 || i < n; i++ {
+		time.Sleep(interval)
+		cur, err := scrape(client, url)
+		if err != nil {
+			return err
+		}
+		if i%20 == 0 {
+			fmt.Fprintln(w, header)
+		}
+		fmt.Fprintln(w, row(prev, cur))
+		prev = cur
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestRunRendersDeltas drives the poll loop against a synthetic
+// /v1/metricsz that advances its registry by a fixed amount on every
+// scrape, so each rendered row reflects one deterministic delta.
+func TestRunRendersDeltas(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetGauge("in_flight", 3)
+	reg.SetGauge("queue_depth", 7)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/metricsz", func(w http.ResponseWriter, r *http.Request) {
+		// Advance before serving: the delta between consecutive scrapes
+		// is exactly one batch.
+		reg.Add("requests_total", 50)
+		reg.Add("cache_hits_total", 10)
+		reg.Add("cache_misses_total", 10)
+		reg.Add("runs_total{protocol=planarity}", 5)
+		reg.Add("runs_total{protocol=pathouter}", 2)
+		for i := 0; i < 50; i++ {
+			reg.Observe("http_request_duration_ns{path=/v1/certify}", 2_000_000) // 2ms
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		reg.WriteNDJSON(w)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	if err := run(&buf, ts.URL, 10*time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 data rows
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "req/s") || !strings.Contains(lines[0], "p99ms") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		f := strings.Fields(line)
+		// time req/s p50 p90 p99 inflt queue hit% shed/s runs...
+		if len(f) < 10 {
+			t.Fatalf("short row %q", line)
+		}
+		qps, err := strconv.ParseFloat(f[1], 64)
+		if err != nil || qps <= 0 {
+			t.Errorf("req/s %q not positive: %v", f[1], err)
+		}
+		p50, err := strconv.ParseFloat(f[2], 64)
+		if err != nil || p50 < 1.0 || p50 > 2.2 {
+			// All observations are 2ms; factor-2 buckets put the
+			// interpolated p50 inside (1.05ms, 2.1ms].
+			t.Errorf("p50 %q outside the 2ms bucket: %v", f[2], err)
+		}
+		p99, _ := strconv.ParseFloat(f[4], 64)
+		if p99 < p50 {
+			t.Errorf("p99 %g < p50 %g", p99, p50)
+		}
+		if f[5] != "3" || f[6] != "7" {
+			t.Errorf("gauges inflt=%q queue=%q, want 3 and 7", f[5], f[6])
+		}
+		if f[7] != "50.0" {
+			t.Errorf("hit%% = %q, want 50.0", f[7])
+		}
+		if !strings.Contains(line, "planarity:5") || !strings.Contains(line, "pathouter:2") {
+			t.Errorf("per-protocol run deltas missing: %q", line)
+		}
+	}
+}
+
+// TestQuantileOf pins the interpolation on a hand-built delta.
+func TestQuantileOf(t *testing.T) {
+	delta := map[float64]uint64{1024: 10, 4096: 10}
+	if got := quantileOf(delta, 20, 0.25); got != 512 {
+		t.Errorf("q0.25 = %g, want 512", got)
+	}
+	// Rank 15 falls in the second bucket: 1024 + (15-10)/10 * (4096-1024).
+	if got := quantileOf(delta, 20, 0.75); got != 1024+0.5*(4096-1024) {
+		t.Errorf("q0.75 = %g", got)
+	}
+	inf := map[float64]uint64{2048: 1, math.Inf(1): 1}
+	if got := quantileOf(inf, 2, 0.99); got != 2048 {
+		t.Errorf("+Inf bucket q0.99 = %g, want finite lower bound 2048", got)
+	}
+	if got := quantileOf(nil, 0, 0.5); got != 0 {
+		t.Errorf("empty q = %g, want 0", got)
+	}
+}
+
+// TestScrapeRejectsBadServer: non-200 and malformed NDJSON surface as
+// errors instead of rendering garbage deltas.
+func TestScrapeRejectsBadServer(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	if err := run(&bytes.Buffer{}, bad.URL, time.Millisecond, 1); err == nil {
+		t.Fatal("500 metricsz did not error")
+	}
+	garbled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not json\n"))
+	}))
+	defer garbled.Close()
+	if err := run(&bytes.Buffer{}, garbled.URL, time.Millisecond, 1); err == nil {
+		t.Fatal("garbled metricsz did not error")
+	}
+}

@@ -229,8 +229,11 @@ func serveThroughput() ([]Result, error) {
 // WriteFile merges a suite run into path: the first write freezes the
 // snapshot as both baseline and current; later writes keep the existing
 // baseline and replace current, so the file always carries the
-// before/after pair for the perf gate.
-func WriteFile(path, note string, results []Result) error {
+// before/after pair for the perf gate. A current measured at a
+// different GOMAXPROCS than the baseline is not comparable — the
+// throughput workloads scale with P — so the write is refused unless
+// force is set.
+func WriteFile(path, note string, results []Result, force bool) error {
 	snap := &Snapshot{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -244,6 +247,11 @@ func WriteFile(path, note string, results []Result) error {
 			return fmt.Errorf("benchkit: %s exists but is not valid bench JSON: %w", path, err)
 		}
 		doc.Baseline = prev.Baseline
+		if doc.Baseline != nil && doc.Baseline.GOMAXPROCS != snap.GOMAXPROCS && !force {
+			return fmt.Errorf(
+				"benchkit: refusing to overwrite current in %s: baseline was measured at GOMAXPROCS=%d, this run at %d (use -force to override)",
+				path, doc.Baseline.GOMAXPROCS, snap.GOMAXPROCS)
+		}
 	}
 	if doc.Baseline == nil {
 		doc.Baseline = snap

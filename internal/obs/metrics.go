@@ -202,16 +202,28 @@ func (c *CollectTracer) Reset() {
 	c.stack, c.done = nil, nil
 }
 
-// Registry is a minimal named-counter registry: monotonically increasing
-// int64 counters keyed by name (optionally with a "{k=v}" suffix for
-// per-protocol breakdowns). It is safe for concurrent use.
+// Registry is the named-metric registry: monotonically increasing
+// int64 counters, point-in-time gauges (stored or callback-backed),
+// and log-spaced-bucket latency histograms (registry.go), all keyed by
+// name (optionally with a "{k=v}" suffix for per-label breakdowns).
+// It is safe for concurrent use.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]int64
+	gauges   map[string]int64
+	gaugeFns map[string]func() int64
+	hists    map[string]*histogram
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{counters: map[string]int64{}} }
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]int64{},
+		gauges:   map[string]int64{},
+		gaugeFns: map[string]func() int64{},
+		hists:    map[string]*histogram{},
+	}
+}
 
 // Add increments counter name by delta.
 func (r *Registry) Add(name string, delta int64) {

@@ -2,8 +2,10 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -126,31 +128,131 @@ func (t *NDJSONTracer) Err() error {
 	return t.err
 }
 
-// counterJSON is the wire form of one registry counter in an NDJSON
-// snapshot: the same row shape dipbench's summary row flattens, one
-// counter per line so streams stay greppable.
+// counterJSON is the wire form of one registry counter or gauge in an
+// NDJSON snapshot: the same row shape dipbench's summary row flattens,
+// one metric per line so streams stay greppable.
 type counterJSON struct {
 	Type  string `json:"type"`
 	Name  string `json:"name"`
 	Value int64  `json:"value"`
 }
 
-// WriteNDJSON writes a point-in-time snapshot of all counters to w as
-// NDJSON, one {"type":"counter","name":...,"value":...} object per line
-// in sorted name order. The snapshot is atomic with respect to
-// concurrent Adds (it copies under the registry lock first).
+// histBucketJSON is one cumulative bucket of a histogram row. LE is a
+// string so the +Inf bucket serializes uniformly ("1024" ... "+Inf").
+type histBucketJSON struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// histRowJSON is the wire form of one histogram in an NDJSON snapshot:
+// totals, interpolated percentiles (nanoseconds), and cumulative
+// buckets (empty finite buckets elided).
+type histRowJSON struct {
+	Type    string           `json:"type"`
+	Name    string           `json:"name"`
+	Count   uint64           `json:"count"`
+	Sum     int64            `json:"sum"`
+	Max     int64            `json:"max"`
+	P50     float64          `json:"p50"`
+	P90     float64          `json:"p90"`
+	P99     float64          `json:"p99"`
+	Buckets []histBucketJSON `json:"buckets"`
+}
+
+// WriteNDJSON writes a point-in-time snapshot of the registry to w as
+// NDJSON: one {"type":"counter",...} line per counter, then one
+// {"type":"gauge",...} line per gauge (callback gauges evaluated at
+// snapshot time), then one {"type":"histogram",...} line per histogram,
+// each group in sorted name order. Counter and gauge snapshots are
+// atomic with respect to concurrent writers (copied under the registry
+// lock first).
 func (r *Registry) WriteNDJSON(w io.Writer) error {
-	snap := r.Snapshot()
-	names := make([]string, 0, len(snap))
-	for k := range snap {
-		names = append(names, k)
-	}
-	sort.Strings(names)
 	enc := json.NewEncoder(w)
-	for _, name := range names {
+	snap := r.Snapshot()
+	for _, name := range sortedKeys(snap) {
 		if err := enc.Encode(counterJSON{Type: "counter", Name: name, Value: snap[name]}); err != nil {
 			return err
 		}
 	}
+	gauges := r.Gauges()
+	for _, name := range sortedKeys(gauges) {
+		if err := enc.Encode(counterJSON{Type: "gauge", Name: name, Value: gauges[name]}); err != nil {
+			return err
+		}
+	}
+	for _, h := range r.Histograms() {
+		row := histRowJSON{
+			Type: "histogram", Name: h.Name, Count: h.Count, Sum: h.Sum, Max: h.Max,
+			P50: h.P50, P90: h.P90, P99: h.P99,
+		}
+		for _, b := range h.Buckets {
+			row.Buckets = append(row.Buckets, histBucketJSON{LE: formatLE(b.LE), Count: b.Count})
+		}
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+func sortedKeys(m map[string]int64) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WritePrometheus writes the registry snapshot to w in the Prometheus
+// text exposition format (version 0.0.4). The registry's "base{k=v}"
+// naming convention maps to Prometheus labels; histograms expose the
+// standard cumulative _bucket{le=...}/_sum/_count triple plus
+// interpolated quantile gauges under the base name with a "quantile"
+// label. A # TYPE header is emitted once per base metric name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	typed := map[string]bool{}
+	header := func(base, kind string) string {
+		if typed[base] {
+			return ""
+		}
+		typed[base] = true
+		return "# TYPE " + base + " " + kind + "\n"
+	}
+	var b strings.Builder
+
+	snap := r.Snapshot()
+	for _, name := range sortedKeys(snap) {
+		base, labels := splitName(name)
+		b.WriteString(header(base, "counter"))
+		fmt.Fprintf(&b, "%s%s %d\n", base, promLabels(labels), snap[name])
+	}
+	gauges := r.Gauges()
+	for _, name := range sortedKeys(gauges) {
+		base, labels := splitName(name)
+		b.WriteString(header(base, "gauge"))
+		fmt.Fprintf(&b, "%s%s %d\n", base, promLabels(labels), gauges[name])
+	}
+	for _, h := range r.Histograms() {
+		base, labels := splitName(h.Name)
+		b.WriteString(header(base, "histogram"))
+		for _, bkt := range h.Buckets {
+			fmt.Fprintf(&b, "%s_bucket%s %d\n",
+				base, promLabels(labels, [2]string{"le", formatLE(bkt.LE)}), bkt.Count)
+		}
+		fmt.Fprintf(&b, "%s_sum%s %d\n", base, promLabels(labels), h.Sum)
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, promLabels(labels), h.Count)
+		// Interpolated percentiles ride along as sibling gauge families
+		// (a histogram family itself may only carry _bucket/_sum/_count);
+		// Prometheus proper would use histogram_quantile over _bucket.
+		for _, q := range [...]struct {
+			suffix string
+			v      float64
+		}{{"_p50", h.P50}, {"_p90", h.P90}, {"_p99", h.P99}} {
+			b.WriteString(header(base+q.suffix, "gauge"))
+			fmt.Fprintf(&b, "%s%s%s %g\n", base, q.suffix, promLabels(labels), q.v)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }

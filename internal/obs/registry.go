@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file extends Registry (metrics.go) from a counter bag into a
+// small metrics system: point-in-time gauges (set or callback-backed)
+// and fixed log-spaced-bucket latency histograms with interpolated
+// percentile snapshots. Names follow the counter convention — a bare
+// metric name, optionally suffixed with "{k=v}" (or "{k=v,k2=v2}") for
+// per-label breakdowns — and everything is exposed in both the NDJSON
+// row format (ndjson.go) and the Prometheus text exposition format
+// (WritePrometheus).
+
+// Histogram bucket layout: upper bounds are powers of two in
+// nanoseconds from 2^histMinExp (1.024 µs) through 2^histMaxExp
+// (~68.7 s), plus a final +Inf bucket. Factor-2 spacing bounds the
+// percentile error at 2x before interpolation; with the linear
+// interpolation in quantile() it is far tighter in practice.
+const (
+	histMinExp   = 10
+	histMaxExp   = 36
+	histNBuckets = histMaxExp - histMinExp + 2 // finite buckets + (+Inf)
+)
+
+// histBound returns the upper bound of finite bucket i (0-based);
+// the last bucket (index histNBuckets-1) is +Inf.
+func histBound(i int) int64 { return int64(1) << (histMinExp + i) }
+
+// histogram is one named latency distribution. Counts are per-bucket
+// (not cumulative); snapshots cumulate for exposition.
+type histogram struct {
+	count   uint64
+	sum     int64
+	max     int64
+	buckets [histNBuckets]uint64
+}
+
+func (h *histogram) observe(v int64) {
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	for i := 0; i < histNBuckets-1; i++ {
+		if v <= histBound(i) {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets[histNBuckets-1]++
+}
+
+// quantile estimates the q-quantile (0 < q < 1) in nanoseconds by
+// locating the bucket containing the target rank and interpolating
+// linearly between its bounds. The +Inf bucket reports the observed max.
+func (h *histogram) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i := 0; i < histNBuckets; i++ {
+		n := float64(h.buckets[i])
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			if i == histNBuckets-1 {
+				return float64(h.max)
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = float64(histBound(i - 1))
+			}
+			hi := float64(histBound(i))
+			frac := (rank - cum) / n
+			v := lo + frac*(hi-lo)
+			if m := float64(h.max); v > m {
+				v = m // a part-full top bucket cannot exceed the observed max
+			}
+			return v
+		}
+		cum += n
+	}
+	return float64(h.max)
+}
+
+// HistBucket is one cumulative exposition bucket: the count of
+// observations <= LE nanoseconds. The +Inf bucket has LE = +Inf.
+type HistBucket struct {
+	LE    float64
+	Count uint64
+}
+
+// HistSnapshot is the point-in-time view of one histogram: totals,
+// interpolated percentiles, and the cumulative bucket counts (empty
+// leading buckets elided, +Inf always present).
+type HistSnapshot struct {
+	Name    string
+	Count   uint64
+	Sum     int64
+	Max     int64
+	P50     float64
+	P90     float64
+	P99     float64
+	Buckets []HistBucket
+}
+
+func (h *histogram) snapshot(name string) HistSnapshot {
+	s := HistSnapshot{
+		Name: name, Count: h.count, Sum: h.sum, Max: h.max,
+		P50: h.quantile(0.50), P90: h.quantile(0.90), P99: h.quantile(0.99),
+	}
+	var cum uint64
+	for i := 0; i < histNBuckets; i++ {
+		cum += h.buckets[i]
+		if h.buckets[i] == 0 && i < histNBuckets-1 {
+			continue // elide empty finite buckets; cumulation is preserved
+		}
+		le := math.Inf(1)
+		if i < histNBuckets-1 {
+			le = float64(histBound(i))
+		}
+		s.Buckets = append(s.Buckets, HistBucket{LE: le, Count: cum})
+	}
+	return s
+}
+
+// ensureExtended lazily allocates the gauge/histogram maps (Registry
+// zero values created before this file existed stay valid).
+func (r *Registry) ensureExtended() {
+	if r.gauges == nil {
+		r.gauges = map[string]int64{}
+	}
+	if r.gaugeFns == nil {
+		r.gaugeFns = map[string]func() int64{}
+	}
+	if r.hists == nil {
+		r.hists = map[string]*histogram{}
+	}
+}
+
+// SetGauge sets gauge name to v.
+func (r *Registry) SetGauge(name string, v int64) {
+	r.mu.Lock()
+	r.ensureExtended()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// AddGauge moves gauge name by delta (use +1/-1 for Inc/Dec).
+func (r *Registry) AddGauge(name string, delta int64) {
+	r.mu.Lock()
+	r.ensureExtended()
+	r.gauges[name] += delta
+	r.mu.Unlock()
+}
+
+// SetGaugeFunc registers a callback gauge: fn is evaluated at snapshot
+// time (Gauge, Gauges, WriteNDJSON, WritePrometheus), so scrape-time
+// state — queue depths, cache sizes — needs no bookkeeping writes.
+// The callback must be safe for concurrent use and must not call back
+// into the registry.
+func (r *Registry) SetGaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	r.ensureExtended()
+	r.gaugeFns[name] = fn
+	r.mu.Unlock()
+}
+
+// Gauge returns the current value of gauge name (0 if never set),
+// evaluating a callback gauge if one is registered under the name.
+func (r *Registry) Gauge(name string) int64 {
+	r.mu.Lock()
+	fn := r.gaugeFns[name]
+	v, ok := r.gauges[name]
+	r.mu.Unlock()
+	if fn != nil && !ok {
+		return fn()
+	}
+	return v
+}
+
+// Gauges returns all gauges — stored and callback-backed — by name.
+// Callbacks are evaluated outside the registry lock.
+func (r *Registry) Gauges() map[string]int64 {
+	r.mu.Lock()
+	out := make(map[string]int64, len(r.gauges)+len(r.gaugeFns))
+	for k, v := range r.gauges {
+		out[k] = v
+	}
+	fns := make(map[string]func() int64, len(r.gaugeFns))
+	for k, fn := range r.gaugeFns {
+		fns[k] = fn
+	}
+	r.mu.Unlock()
+	for k, fn := range fns {
+		if _, stored := out[k]; !stored {
+			out[k] = fn()
+		}
+	}
+	return out
+}
+
+// Observe records one value (nanoseconds, by convention) into
+// histogram name, creating it on first use.
+func (r *Registry) Observe(name string, v int64) {
+	if v < 0 {
+		v = 0
+	}
+	r.mu.Lock()
+	r.ensureExtended()
+	h := r.hists[name]
+	if h == nil {
+		h = &histogram{}
+		r.hists[name] = h
+	}
+	h.observe(v)
+	r.mu.Unlock()
+}
+
+// Histogram returns the snapshot of histogram name; ok is false if it
+// was never observed.
+func (r *Registry) Histogram(name string) (HistSnapshot, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		return HistSnapshot{}, false
+	}
+	return h.snapshot(name), true
+}
+
+// Histograms returns snapshots of all histograms in sorted name order.
+func (r *Registry) Histograms() []HistSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.hists))
+	for k := range r.hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([]HistSnapshot, 0, len(names))
+	for _, k := range names {
+		out = append(out, r.hists[k].snapshot(k))
+	}
+	return out
+}
+
+// splitName splits the registry naming convention "base{k=v,k2=v2}"
+// into the base metric name and label pairs. A name with no suffix (or
+// a malformed one) returns it verbatim with no labels.
+func splitName(name string) (base string, labels [][2]string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	base = name[:i]
+	for _, pair := range strings.Split(name[i+1:len(name)-1], ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return name, nil
+		}
+		labels = append(labels, [2]string{k, v})
+	}
+	return base, labels
+}
+
+// promLabels renders label pairs (plus optional extra pairs) in
+// Prometheus form: {k="v",k2="v2"}. Empty input renders as "".
+func promLabels(labels [][2]string, extra ...[2]string) string {
+	all := append(append([][2]string(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[0])
+		b.WriteString(`="`)
+		b.WriteString(strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(kv[1]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatLE renders a bucket bound for the Prometheus le label.
+func formatLE(le float64) string {
+	if math.IsInf(le, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(le, 'f', -1, 64)
+}

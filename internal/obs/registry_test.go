@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestGauges(t *testing.T) {
+	r := NewRegistry()
+	r.SetGauge("depth", 7)
+	r.AddGauge("depth", -2)
+	r.AddGauge("in_flight", 1)
+	r.AddGauge("in_flight", 1)
+	r.AddGauge("in_flight", -2)
+	if got := r.Gauge("depth"); got != 5 {
+		t.Fatalf("depth = %d, want 5", got)
+	}
+	if got := r.Gauge("in_flight"); got != 0 {
+		t.Fatalf("in_flight = %d, want 0", got)
+	}
+	if got := r.Gauge("missing"); got != 0 {
+		t.Fatalf("missing gauge = %d, want 0", got)
+	}
+	r.SetGaugeFunc("cache_entries", func() int64 { return 42 })
+	if got := r.Gauge("cache_entries"); got != 42 {
+		t.Fatalf("callback gauge = %d, want 42", got)
+	}
+	all := r.Gauges()
+	if all["depth"] != 5 || all["cache_entries"] != 42 {
+		t.Fatalf("Gauges() = %v", all)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	r := NewRegistry()
+	// 1..1000 µs uniformly: p50 ≈ 500µs, p99 ≈ 990µs. Factor-2 buckets
+	// with interpolation must land within a bucket of the true value.
+	for i := 1; i <= 1000; i++ {
+		r.Observe("lat_ns", int64(i)*1000)
+	}
+	h, ok := r.Histogram("lat_ns")
+	if !ok {
+		t.Fatal("histogram missing")
+	}
+	if h.Count != 1000 || h.Max != 1000000 {
+		t.Fatalf("count=%d max=%d", h.Count, h.Max)
+	}
+	if h.Sum != 1000*1001/2*1000 {
+		t.Fatalf("sum=%d", h.Sum)
+	}
+	if h.P50 < 250e3 || h.P50 > 1e6 {
+		t.Fatalf("p50 = %g, want ~5e5 within a factor-2 bucket", h.P50)
+	}
+	if h.P99 < h.P50 || h.P99 > 1e6 {
+		t.Fatalf("p99 = %g out of order (p50 %g, max %d)", h.P99, h.P50, h.Max)
+	}
+	// Bucket counts must cumulate to the total, ending at +Inf.
+	last := h.Buckets[len(h.Buckets)-1]
+	if !math.IsInf(last.LE, 1) || last.Count != h.Count {
+		t.Fatalf("last bucket %+v, want +Inf cumulating to %d", last, h.Count)
+	}
+	for i := 1; i < len(h.Buckets); i++ {
+		if h.Buckets[i].Count < h.Buckets[i-1].Count {
+			t.Fatalf("bucket counts not cumulative: %+v", h.Buckets)
+		}
+	}
+	// An observation beyond the largest finite bound lands in +Inf and
+	// caps the quantiles at the observed max.
+	r.Observe("big_ns", int64(1)<<40)
+	big, _ := r.Histogram("big_ns")
+	if big.P99 != float64(int64(1)<<40) {
+		t.Fatalf("overflow p99 = %g, want observed max", big.P99)
+	}
+}
+
+// TestRegistryConcurrency hammers all three metric kinds from parallel
+// goroutines; run with -race this is the concurrency-safety test.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	r.SetGaugeFunc("fn", func() int64 { return 1 })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add("c", 1)
+				r.AddGauge("g", 1)
+				r.AddGauge("g", -1)
+				r.Observe("h", int64(i)*100)
+				if i%100 == 0 {
+					r.Gauges()
+					r.Histograms()
+					var buf bytes.Buffer
+					r.WriteNDJSON(&buf)
+					r.WritePrometheus(&buf)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Get("c") != 8000 {
+		t.Fatalf("c = %d, want 8000", r.Get("c"))
+	}
+	if r.Gauge("g") != 0 {
+		t.Fatalf("g = %d, want 0", r.Gauge("g"))
+	}
+	h, _ := r.Histogram("h")
+	if h.Count != 8000 {
+		t.Fatalf("h count = %d, want 8000", h.Count)
+	}
+}
+
+// TestWriteNDJSONRoundTrip: every exposition line is valid JSON with a
+// known type discriminator, and the values survive the round trip.
+func TestWriteNDJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Add("requests_total", 3)
+	r.Add("runs_total{protocol=planarity}", 2)
+	r.SetGauge("queue_depth{shard=0}", 5)
+	r.SetGaugeFunc("cache_entries", func() int64 { return 9 })
+	r.Observe("certify_stage_ns{stage=run}", 2048)
+	r.Observe("certify_stage_ns{stage=run}", 4096)
+
+	var buf bytes.Buffer
+	if err := r.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	counters, gauges := map[string]int64{}, map[string]int64{}
+	hists := map[string]histRowJSON{}
+	order := []string{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var probe struct {
+			Type string `json:"type"`
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("line %q not JSON: %v", sc.Text(), err)
+		}
+		order = append(order, probe.Type)
+		switch probe.Type {
+		case "counter", "gauge":
+			var row counterJSON
+			if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+				t.Fatal(err)
+			}
+			if probe.Type == "counter" {
+				counters[row.Name] = row.Value
+			} else {
+				gauges[row.Name] = row.Value
+			}
+		case "histogram":
+			var row histRowJSON
+			if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+				t.Fatal(err)
+			}
+			hists[row.Name] = row
+		default:
+			t.Fatalf("unknown row type %q in %q", probe.Type, sc.Text())
+		}
+	}
+	if counters["requests_total"] != 3 || counters["runs_total{protocol=planarity}"] != 2 {
+		t.Fatalf("counters: %v", counters)
+	}
+	if gauges["queue_depth{shard=0}"] != 5 || gauges["cache_entries"] != 9 {
+		t.Fatalf("gauges: %v", gauges)
+	}
+	h := hists["certify_stage_ns{stage=run}"]
+	if h.Count != 2 || h.Sum != 6144 || h.Max != 4096 {
+		t.Fatalf("histogram row: %+v", h)
+	}
+	if len(h.Buckets) == 0 || h.Buckets[len(h.Buckets)-1].LE != "+Inf" {
+		t.Fatalf("buckets must end at +Inf: %+v", h.Buckets)
+	}
+	// Counters come first, then gauges, then histograms.
+	if !strings.HasPrefix(strings.Join(order, ","), "counter,counter,gauge,gauge,histogram") {
+		t.Fatalf("row order: %v", order)
+	}
+}
+
+// TestWritePrometheusGolden pins the text exposition byte-for-byte on a
+// fixed registry: TYPE headers, label quoting, cumulative buckets,
+// sibling percentile gauges.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Add("requests_total", 4)
+	r.Add("requests_total{protocol=planarity}", 3)
+	r.SetGauge("in_flight", 2)
+	r.Observe("stage_ns{stage=run}", 1000) // first finite bucket (le=1024)
+	r.Observe("stage_ns{stage=run}", 3000) // le=4096
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# TYPE requests_total counter`,
+		`requests_total 4`,
+		`requests_total{protocol="planarity"} 3`,
+		`# TYPE in_flight gauge`,
+		`in_flight 2`,
+		`# TYPE stage_ns histogram`,
+		`stage_ns_bucket{stage="run",le="1024"} 1`,
+		`stage_ns_bucket{stage="run",le="4096"} 2`,
+		`stage_ns_bucket{stage="run",le="+Inf"} 2`,
+		`stage_ns_sum{stage="run"} 4000`,
+		`stage_ns_count{stage="run"} 2`,
+		`# TYPE stage_ns_p50 gauge`,
+		`stage_ns_p50{stage="run"} 1024`,
+		`# TYPE stage_ns_p90 gauge`,
+		`stage_ns_p90{stage="run"} 3000`,
+		`# TYPE stage_ns_p99 gauge`,
+		`stage_ns_p99{stage="run"} 3000`,
+		``,
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("prometheus exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

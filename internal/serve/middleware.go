@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Per-request observability: every request through Server.Handler gets
+// a monotonic request id (echoed as X-Request-Id), a latency
+// observation into http_request_duration_ns{path=...}, an outcome
+// counter by class, and — when Config.AccessLog is set — one NDJSON
+// access-log row. Handlers record named stage timings (admission,
+// queue_wait, run, encode) into the request's stageTrack; each stage
+// feeds certify_stage_ns{stage=...} and rides along in the log row.
+
+// stageSpan is one named timing inside a request.
+type stageSpan struct {
+	Name string
+	Dur  time.Duration
+}
+
+// stageTrack accumulates the stage timings of one request. It is
+// carried via context so pool workers (other goroutines) can append.
+type stageTrack struct {
+	mu     sync.Mutex
+	stages []stageSpan
+}
+
+type stageKey struct{}
+
+// recordStage appends a stage timing to the request owning ctx (no-op
+// outside the instrumented handler chain) and observes it into the
+// certify_stage_ns{stage=name} histogram.
+func (s *Server) recordStage(ctx context.Context, name string, d time.Duration) {
+	s.reg.Observe("certify_stage_ns{stage="+name+"}", d.Nanoseconds())
+	st, _ := ctx.Value(stageKey{}).(*stageTrack)
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.stages = append(st.stages, stageSpan{Name: name, Dur: d})
+	st.mu.Unlock()
+}
+
+// statusRecorder captures the response status and size for the access
+// log and the outcome counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// outcomeClass maps a response status to the outcome counter label:
+// ok (2xx), bad_request (4xx client mistakes), shed_429 (backpressure),
+// deadline (504), rejected (5xx the server chose not to serve).
+func outcomeClass(status int) string {
+	switch {
+	case status == http.StatusTooManyRequests:
+		return "shed_429"
+	case status == http.StatusGatewayTimeout:
+		return "deadline"
+	case status >= 200 && status < 300:
+		return "ok"
+	case status >= 400 && status < 500:
+		return "bad_request"
+	default:
+		return "rejected"
+	}
+}
+
+// accessRow is one NDJSON access-log line.
+type accessRow struct {
+	Type   string  `json:"type"`
+	TS     string  `json:"ts"`
+	ID     uint64  `json:"id"`
+	Method string  `json:"method"`
+	Path   string  `json:"path"`
+	Status int     `json:"status"`
+	Bytes  int64   `json:"bytes"`
+	DurMS  float64 `json:"dur_ms"`
+	// Stages breaks the request wall time into the instrumented
+	// phases (milliseconds); absent stages (e.g. a cache hit never
+	// queues or runs) are simply missing.
+	Stages map[string]float64 `json:"stages,omitempty"`
+}
+
+// accessLogger serializes NDJSON rows onto one writer.
+type accessLogger struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func newAccessLogger(w io.Writer) *accessLogger {
+	if w == nil {
+		return nil
+	}
+	return &accessLogger{enc: json.NewEncoder(w)}
+}
+
+func (l *accessLogger) log(row accessRow) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.enc.Encode(row)
+	l.mu.Unlock()
+}
+
+// instrument wraps the route mux with the per-request middleware. The
+// metric path label is the mux pattern that matched (bounded
+// cardinality); unmatched requests are labeled "unmatched".
+func (s *Server) instrument(next *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := s.nextReqID.Add(1)
+		w.Header().Set("X-Request-Id", strconv.FormatUint(id, 10))
+
+		st := &stageTrack{}
+		r = r.WithContext(context.WithValue(r.Context(), stageKey{}, st))
+
+		pattern := "unmatched"
+		if _, p := next.Handler(r); p != "" {
+			pattern = p
+		}
+
+		sr := &statusRecorder{ResponseWriter: w}
+		s.reg.AddGauge("http_in_flight", 1)
+		next.ServeHTTP(sr, r)
+		s.reg.AddGauge("http_in_flight", -1)
+		if sr.status == 0 {
+			sr.status = http.StatusOK
+		}
+		dur := time.Since(start)
+		s.reg.Observe("http_request_duration_ns{path="+pattern+"}", dur.Nanoseconds())
+		s.reg.Add("requests_outcome_total{class="+outcomeClass(sr.status)+"}", 1)
+
+		if s.access != nil {
+			st.mu.Lock()
+			var stages map[string]float64
+			if len(st.stages) > 0 {
+				stages = make(map[string]float64, len(st.stages))
+				for _, sp := range st.stages {
+					stages[sp.Name] += float64(sp.Dur) / float64(time.Millisecond)
+				}
+			}
+			st.mu.Unlock()
+			s.access.log(accessRow{
+				Type:   "access",
+				TS:     start.UTC().Format(time.RFC3339Nano),
+				ID:     id,
+				Method: r.Method,
+				Path:   r.URL.Path,
+				Status: sr.status,
+				Bytes:  sr.bytes,
+				DurMS:  float64(dur) / float64(time.Millisecond),
+				Stages: stages,
+			})
+		}
+	})
+}

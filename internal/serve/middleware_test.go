@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe io.Writer for capturing the access log.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestStageHistogramsAndInFlightDrain: a burst of distinct-seed
+// requests must populate the queue_wait and run stage histograms, and
+// the in_flight gauge must return to 0 once the burst drains.
+func TestStageHistogramsAndInFlightDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{Shards: 2, WorkersPerShard: 1})
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"protocol":"pathouter","seed":%d,"gen":{"family":"pathouter","n":24,"seed":%d}}`, i, i)
+			resp, out := postCertify(t, ts, body)
+			if resp.StatusCode != http.StatusOK || !out.Accepted {
+				t.Errorf("req %d: status %d, %+v", i, resp.StatusCode, out)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for _, stage := range []string{"admission", "queue_wait", "run", "encode"} {
+		h, ok := s.Registry().Histogram("certify_stage_ns{stage=" + stage + "}")
+		if !ok {
+			t.Fatalf("stage histogram %q never observed", stage)
+		}
+		if h.Count != n {
+			t.Errorf("stage %q count = %d, want %d", stage, h.Count, n)
+		}
+		if h.P99 < h.P50 {
+			t.Errorf("stage %q p99 %g < p50 %g", stage, h.P99, h.P50)
+		}
+	}
+	h, _ := s.Registry().Histogram("http_request_duration_ns{path=/certify}")
+	if h.Count != n {
+		t.Errorf("http_request_duration_ns count = %d, want %d", h.Count, n)
+	}
+
+	// Workers decrement in_flight just after the job's done-channel
+	// closes, so give the drain a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Registry().Gauge("in_flight") != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.Registry().Gauge("in_flight"); got != 0 {
+		t.Errorf("in_flight = %d after drain, want 0", got)
+	}
+	if got := s.Registry().Gauge("queue_depth"); got != 0 {
+		t.Errorf("queue_depth = %d after drain, want 0", got)
+	}
+	if got := s.Registry().Get("requests_outcome_total{class=ok}"); got != n {
+		t.Errorf("ok outcomes = %d, want %d", got, n)
+	}
+}
+
+// TestRequestIDsMonotonic: every response carries a strictly
+// increasing X-Request-Id.
+func TestRequestIDsMonotonic(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var prev uint64
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		id, err := strconv.ParseUint(resp.Header.Get("X-Request-Id"), 10, 64)
+		if err != nil {
+			t.Fatalf("X-Request-Id %q: %v", resp.Header.Get("X-Request-Id"), err)
+		}
+		if id <= prev {
+			t.Fatalf("request id %d not monotonic after %d", id, prev)
+		}
+		prev = id
+	}
+}
+
+// TestAccessLog: with Config.AccessLog set, every request produces one
+// valid NDJSON row, and certify rows carry the stage split.
+func TestAccessLog(t *testing.T) {
+	var logBuf syncBuffer
+	_, ts := newTestServer(t, Config{AccessLog: &logBuf})
+	postCertify(t, ts, k4Req)
+	http.Get(ts.URL + "/healthz")
+
+	// The middleware writes the row after the handler returns; the
+	// client can observe the response first. Poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for strings.Count(logBuf.String(), "\n") < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	var rows []accessRow
+	sc := bufio.NewScanner(strings.NewReader(logBuf.String()))
+	for sc.Scan() {
+		var row accessRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("access log line %q: %v", sc.Text(), err)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d access rows, want 2:\n%s", len(rows), logBuf.String())
+	}
+	certify := rows[0]
+	if certify.Type != "access" || certify.Method != "POST" || certify.Path != "/certify" ||
+		certify.Status != 200 || certify.ID == 0 || certify.Bytes == 0 || certify.DurMS <= 0 {
+		t.Fatalf("certify access row: %+v", certify)
+	}
+	for _, stage := range []string{"admission", "queue_wait", "run", "encode"} {
+		if _, ok := certify.Stages[stage]; !ok {
+			t.Errorf("certify row missing stage %q: %+v", stage, certify.Stages)
+		}
+	}
+	if rows[1].Path != "/healthz" || len(rows[1].Stages) != 0 {
+		t.Fatalf("healthz access row: %+v", rows[1])
+	}
+}
+
+// TestMetricszPrometheus: ?format=prometheus (and Accept: text/plain)
+// serve the text exposition with parseable histogram lines.
+func TestMetricszPrometheus(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postCertify(t, ts, k4Req)
+
+	resp, err := http.Get(ts.URL + "/v1/metricsz?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	bucketLine := regexp.MustCompile(`(?m)^certify_stage_ns_bucket\{stage="run",le="\+Inf"\} [1-9]\d*$`)
+	if !bucketLine.MatchString(body) {
+		t.Fatalf("no run-stage +Inf bucket line in exposition:\n%s", body)
+	}
+	for _, want := range []string{
+		"# TYPE requests_total counter",
+		"# TYPE certify_stage_ns histogram",
+		"# TYPE in_flight gauge",
+		`requests_total{protocol="planarity"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Accept-header negotiation reaches the same format.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/metricsz", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Accept negotiation: content type %q", ct)
+	}
+
+	// Unknown formats are a 400, not silent NDJSON.
+	resp3, err := http.Get(ts.URL + "/v1/metricsz?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("format=xml status %d, want 400", resp3.StatusCode)
+	}
+}
+
+// TestReadyz: ready while queues have headroom, 503 once the fullest
+// shard crosses the saturation threshold.
+func TestReadyz(t *testing.T) {
+	s, ts := newTestServer(t, Config{Shards: 1, WorkersPerShard: 1, QueueLen: 2})
+	get := func() (int, map[string]any) {
+		resp, err := http.Get(ts.URL + "/v1/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+	code, body := get()
+	if code != http.StatusOK || body["ready"] != true {
+		t.Fatalf("idle readyz: %d %+v", code, body)
+	}
+
+	// Block the single worker and fill the queue to saturation.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := s.pool.Submit(RequestKey("block"), func() { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	for i := 0; i < 2; i++ {
+		if err := s.pool.Submit(RequestKey(fmt.Sprintf("fill%d", i)), func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code, body = get()
+	close(release)
+	if code != http.StatusServiceUnavailable || body["ready"] != false {
+		t.Fatalf("saturated readyz: %d %+v", code, body)
+	}
+	if sat := body["queue_saturation"].(float64); sat < 0.9 {
+		t.Fatalf("queue_saturation = %v, want >= 0.9", sat)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrQueueFull is returned by Pool.Submit when the target shard's
@@ -22,6 +23,10 @@ var ErrPoolClosed = errors.New("serve: pool closed")
 type Pool struct {
 	shards []chan func()
 	wg     sync.WaitGroup
+
+	// inFlight counts jobs currently executing on a worker (not jobs
+	// still queued); it feeds the in_flight gauge.
+	inFlight atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -49,7 +54,9 @@ func NewPool(shards, workersPerShard, queueLen int) *Pool {
 			go func() {
 				defer p.wg.Done()
 				for job := range q {
+					p.inFlight.Add(1)
 					job()
+					p.inFlight.Add(-1)
 				}
 			}()
 		}
@@ -59,6 +66,28 @@ func NewPool(shards, workersPerShard, queueLen int) *Pool {
 
 // Shards returns the shard count.
 func (p *Pool) Shards() int { return len(p.shards) }
+
+// InFlight returns the number of jobs currently executing on workers.
+func (p *Pool) InFlight() int64 { return p.inFlight.Load() }
+
+// QueueDepth returns the number of jobs waiting (not yet started) in
+// shard s's queue.
+func (p *Pool) QueueDepth(s int) int { return len(p.shards[s]) }
+
+// QueueCap returns the per-shard queue capacity.
+func (p *Pool) QueueCap() int { return cap(p.shards[0]) }
+
+// Saturation returns the fullest shard's queue occupancy in [0, 1] —
+// the readiness signal: a value near 1 means new work is about to 429.
+func (p *Pool) Saturation() float64 {
+	var worst float64
+	for _, q := range p.shards {
+		if s := float64(len(q)) / float64(cap(q)); s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
 
 // Submit enqueues job on the shard owning key without blocking. It
 // returns ErrQueueFull when that shard's queue is at capacity and

@@ -349,6 +349,7 @@ func TestMetricszNDJSON(t *testing.T) {
 	var buf bytes.Buffer
 	buf.ReadFrom(resp.Body)
 	counters := map[string]int64{}
+	histograms := map[string]bool{}
 	sc := bufio.NewScanner(&buf)
 	for sc.Scan() {
 		var row struct {
@@ -359,10 +360,14 @@ func TestMetricszNDJSON(t *testing.T) {
 		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
 			t.Fatalf("invalid NDJSON line %q: %v", sc.Text(), err)
 		}
-		if row.Type != "counter" && row.Type != "gauge" {
+		switch row.Type {
+		case "counter", "gauge":
+			counters[row.Name] = row.Value
+		case "histogram":
+			histograms[row.Name] = true
+		default:
 			t.Fatalf("unexpected row type %q", row.Type)
 		}
-		counters[row.Name] = row.Value
 	}
 	for name, want := range map[string]int64{
 		"requests_total":                     2,
@@ -381,5 +386,14 @@ func TestMetricszNDJSON(t *testing.T) {
 	}
 	if counters["cache_entries"] != 1 {
 		t.Errorf("cache_entries gauge = %d, want 1", counters["cache_entries"])
+	}
+	for _, name := range []string{
+		"certify_stage_ns{stage=run}",
+		"certify_stage_ns{stage=queue_wait}",
+		"http_request_duration_ns{path=/certify}",
+	} {
+		if !histograms[name] {
+			t.Errorf("histogram %s missing from /metricsz (have %v)", name, histograms)
+		}
 	}
 }

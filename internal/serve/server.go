@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"runtime"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dip"
@@ -42,6 +45,12 @@ type Config struct {
 	// Registry receives service and run counters; nil allocates a
 	// private one (exposed at /metricsz either way).
 	Registry *obs.Registry
+	// AccessLog receives one NDJSON row per request (schema in
+	// SERVICE.md); nil disables access logging.
+	AccessLog io.Writer
+	// ReadySaturation is the fullest-shard queue occupancy in (0, 1]
+	// above which /v1/readyz reports not-ready (default 0.9).
+	ReadySaturation float64
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +83,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
+	}
+	if c.ReadySaturation <= 0 || c.ReadySaturation > 1 {
+		c.ReadySaturation = 0.9
 	}
 	return c
 }
@@ -150,11 +162,14 @@ type errorJSON struct {
 // Server is the certification service. Create with New, expose via
 // Handler, release with Close.
 type Server struct {
-	cfg   Config
-	pool  *Pool
-	cache *Cache
-	reg   *obs.Registry
-	mux   *http.ServeMux
+	cfg       Config
+	pool      *Pool
+	cache     *Cache
+	reg       *obs.Registry
+	mux       *http.ServeMux
+	handler   http.Handler // mux wrapped in the per-request middleware
+	access    *accessLogger
+	nextReqID atomic.Uint64
 }
 
 // New starts the worker pool and returns a ready server.
@@ -173,13 +188,35 @@ func New(cfg Config) *Server {
 	// unversioned-friendly without deprecation: probes don't migrate.
 	s.mux.HandleFunc("/v1/certify", s.handleCertify)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/v1/metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("/v1/protocolz", s.handleProtocolz)
 	s.mux.HandleFunc("/v1/soundness", s.handleSoundness)
 	s.mux.HandleFunc("/certify", s.deprecated("/certify", s.handleCertify))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metricsz", s.deprecated("/metricsz", s.handleMetricsz))
 	s.mux.HandleFunc("/protocolz", s.deprecated("/protocolz", s.handleProtocolz))
+	s.handler = s.instrument(s.mux)
+	s.access = newAccessLogger(cfg.AccessLog)
+
+	// Scrape-time gauges: pool and cache state is read at snapshot time
+	// via callbacks, so the serving hot path never writes them.
+	s.reg.SetGaugeFunc("in_flight", s.pool.InFlight)
+	s.reg.SetGaugeFunc("cache_entries", func() int64 { return int64(s.cache.Len()) })
+	s.reg.SetGauge("pool_shards", int64(s.pool.Shards()))
+	s.reg.SetGaugeFunc("queue_depth", func() int64 {
+		var total int64
+		for sh := 0; sh < s.pool.Shards(); sh++ {
+			total += int64(s.pool.QueueDepth(sh))
+		}
+		return total
+	})
+	for sh := 0; sh < s.pool.Shards(); sh++ {
+		sh := sh
+		s.reg.SetGaugeFunc(fmt.Sprintf("queue_depth{shard=%d}", sh),
+			func() int64 { return int64(s.pool.QueueDepth(sh)) })
+	}
 	return s
 }
 
@@ -196,9 +233,10 @@ func (s *Server) deprecated(path string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 // Handler returns the HTTP handler serving the /v1 API (certify,
-// healthz, metricsz, protocolz, soundness) plus the deprecated
-// unversioned aliases.
-func (s *Server) Handler() http.Handler { return s.mux }
+// healthz, readyz, metricsz, protocolz, soundness) plus the deprecated
+// unversioned aliases, wrapped in the per-request middleware (request
+// ids, latency histograms, outcome counters, optional access log).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Registry returns the counter registry backing /metricsz.
 func (s *Server) Registry() *obs.Registry { return s.reg }
@@ -214,22 +252,51 @@ func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...an
 	json.NewEncoder(w).Encode(errorJSON{Error: fmt.Sprintf(format, args...)})
 }
 
+// handleHealthz is pure liveness: the process is up and serving. Probes
+// that should stop routing traffic under load belong on /v1/readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
-// handleMetricsz streams the registry snapshot as NDJSON counter rows
-// (same row shape as the dipbench summary counters; schema in
-// SERVICE.md), followed by gauge rows for point-in-time state.
-func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	if err := s.reg.WriteNDJSON(w); err != nil {
-		return
+// handleReadyz is readiness: 200 while the worker queues have headroom,
+// 503 once the fullest shard passes Config.ReadySaturation (new work is
+// about to be shed with 429) — load balancers should drain, liveness
+// probes should NOT use this path.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	sat := s.pool.Saturation()
+	ready := sat < s.cfg.ReadySaturation
+	w.Header().Set("Content-Type", "application/json")
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
 	}
-	enc := json.NewEncoder(w)
-	enc.Encode(map[string]any{"type": "gauge", "name": "cache_entries", "value": s.cache.Len()})
-	enc.Encode(map[string]any{"type": "gauge", "name": "pool_shards", "value": s.pool.Shards()})
+	json.NewEncoder(w).Encode(map[string]any{
+		"ready":            ready,
+		"queue_saturation": sat,
+		"in_flight":        s.pool.InFlight(),
+	})
+}
+
+// handleMetricsz streams the registry snapshot — counters, gauges, and
+// latency histograms with p50/p90/p99 — as NDJSON rows (the dipbench
+// summary row shape; schema in OBSERVABILITY.md), or as Prometheus text
+// exposition when the client asks via ?format=prometheus or an Accept
+// header preferring text/plain.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		format = "prometheus"
+	}
+	switch format {
+	case "", "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		s.reg.WriteNDJSON(w)
+	case "prometheus", "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+	default:
+		s.fail(w, http.StatusBadRequest, "unknown format %q (have ndjson, prometheus)", format)
+	}
 }
 
 // ProtocolInfoJSON is one row of the /protocolz response: a registered
@@ -365,6 +432,9 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reg.Add("requests_total{protocol="+req.Protocol+"}", 1)
+	// Admission: parse, validate, size-check — everything before the
+	// request is allowed to contend for cache or workers.
+	s.recordStage(r.Context(), "admission", time.Since(start))
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
@@ -382,13 +452,19 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 	resp, outcome, err := s.cache.Do(key, func() (*Response, error) {
 		var res *RunResult
 		var runErr error
+		submitted := time.Now()
 		if perr := s.pool.Run(key, func() {
+			// Queue wait: submission to worker pickup. Measured on the
+			// worker so a job that never starts never reports.
+			s.recordStage(ctx, "queue_wait", time.Since(submitted))
 			// The deadline may have expired while the job sat queued;
 			// skip the run instead of starting a doomed interaction.
 			if runErr = ctx.Err(); runErr != nil {
 				return
 			}
+			runStart := time.Now()
 			res, runErr = RunProtocol(ctx, req.Protocol, inst, req.Seed, s.reg)
+			s.recordStage(ctx, "run", time.Since(runStart))
 		}); perr != nil {
 			return nil, perr
 		}
@@ -447,5 +523,7 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 	out.WallNS = time.Since(start).Nanoseconds()
 	s.reg.Add("responses_total{code=200}", 1)
 	w.Header().Set("Content-Type", "application/json")
+	encStart := time.Now()
 	json.NewEncoder(w).Encode(&out)
+	s.recordStage(r.Context(), "encode", time.Since(encStart))
 }
