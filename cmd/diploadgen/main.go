@@ -7,6 +7,18 @@
 // per mix entry plus a run-wide row — same stream shape as dipbench
 // -json, with "type" discriminators — reporting achieved throughput,
 // latency percentiles, and per-status counts.
+//
+// Multi-tenant and async modes: -tenants N spreads requests over
+// tenants t0..t{N-1} via the X-Tenant header, skewed by -zipf s
+// (weight of tenant i ∝ 1/(i+1)^s; 0 = uniform round-robin). With
+// -zipf > 0 the mix entry of each request is drawn from the same
+// skewed distribution, so hot protocols and hot tenants coincide the
+// way real traffic does. -async switches from synchronous /v1/certify
+// to batch submission: each ticket becomes one POST /v1/certify/batch
+// of -batch items, long-polled on /v1/jobs/{id} to completion; the
+// recorded wall time is submit→job-terminal. The summary row always
+// carries per-tenant sent/completed counts with p50/p99 latencies and
+// the completion fairness spread (max/min per-tenant completed).
 package main
 
 import (
@@ -15,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -29,18 +43,37 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8080", "dipserve address (host:port or URL)")
-	qps := flag.Float64("qps", 500, "target requests per second (0 = unthrottled)")
-	conc := flag.Int("c", 16, "concurrent workers")
-	dur := flag.Duration("duration", 10*time.Second, "run length")
-	seeds := flag.Int("seeds", 8, "distinct verifier seeds to cycle (controls cache-hit ratio)")
-	mix := flag.String("mix", "planarity:triangulation:64,pathouter:pathouter:64,outerplanar:outerplanar:48",
+	o := options{}
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "dipserve address (host:port or URL)")
+	flag.Float64Var(&o.qps, "qps", 500, "target requests per second (0 = unthrottled)")
+	flag.IntVar(&o.conc, "c", 16, "concurrent workers")
+	flag.DurationVar(&o.dur, "duration", 10*time.Second, "run length")
+	flag.IntVar(&o.seeds, "seeds", 8, "distinct verifier seeds to cycle (controls cache-hit ratio)")
+	flag.StringVar(&o.mix, "mix", "planarity:triangulation:64,pathouter:pathouter:64,outerplanar:outerplanar:48",
 		"comma-separated protocol:family:n request mix")
+	flag.IntVar(&o.tenants, "tenants", 1, "distinct tenants to spread load over (X-Tenant: t0..tN-1)")
+	flag.Float64Var(&o.zipf, "zipf", 0, "Zipf skew exponent for tenant and mix choice (0 = uniform)")
+	flag.BoolVar(&o.async, "async", false, "submit async batches via /v1/certify/batch and long-poll jobs")
+	flag.IntVar(&o.batch, "batch", 16, "items per async batch (with -async)")
 	flag.Parse()
-	if err := run(os.Stdout, *addr, *qps, *conc, *dur, *seeds, *mix); err != nil {
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "diploadgen:", err)
 		os.Exit(1)
 	}
+}
+
+// options are the knobs of one load-generation run.
+type options struct {
+	addr    string
+	qps     float64
+	conc    int
+	dur     time.Duration
+	seeds   int
+	mix     string
+	tenants int
+	zipf    float64
+	async   bool
+	batch   int
 }
 
 // mixEntry is one slot of the request mix: a protocol certified on a
@@ -74,33 +107,72 @@ func parseMix(spec string) ([]mixEntry, error) {
 	return mix, nil
 }
 
-// sample is one completed request's accounting.
+// zipfCum returns the cumulative distribution over n slots with weight
+// of slot i ∝ 1/(i+1)^s (s = 0 is uniform).
+func zipfCum(n int, s float64) []float64 {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return cum
+}
+
+// pickIdx samples one slot from the cumulative distribution.
+func pickIdx(cum []float64, rng *rand.Rand) int {
+	return sort.SearchFloat64s(cum, rng.Float64())
+}
+
+// sample is one completed request's accounting. Sync requests fill the
+// scalar fields; async batch submissions additionally carry per-item
+// tallies (items > 0 marks a batch sample).
 type sample struct {
-	mix     int
+	mix     int // -1 for batch samples (a batch spans mix entries)
+	tenant  int
 	code    int
 	wall    time.Duration
 	hit     bool
 	shared  bool
 	failure bool // transport error, not an HTTP status
+
+	items         int
+	itemsDone     int
+	itemsErr      int
+	itemsCanceled int
+	itemHits      int
+	itemShared    int
 }
 
-func run(w io.Writer, addr string, qps float64, conc int, dur time.Duration, seeds int, mixSpec string) error {
-	mix, err := parseMix(mixSpec)
+func run(w io.Writer, o options) error {
+	mix, err := parseMix(o.mix)
 	if err != nil {
 		return err
 	}
-	if conc < 1 {
-		conc = 1
+	if o.conc < 1 {
+		o.conc = 1
 	}
-	if seeds < 1 {
-		seeds = 1
+	if o.seeds < 1 {
+		o.seeds = 1
 	}
-	base := addr
+	if o.tenants < 1 {
+		o.tenants = 1
+	}
+	if o.batch < 1 {
+		o.batch = 1
+	}
+	base := o.addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	url := strings.TrimRight(base, "/") + "/v1/certify"
+	base = strings.TrimRight(base, "/")
 	client := &http.Client{Timeout: 30 * time.Second}
+
+	tenantCum := zipfCum(o.tenants, o.zipf)
+	mixCum := zipfCum(len(mix), o.zipf)
 
 	// Closed-loop pacing: workers pull monotonically increasing tickets
 	// from a shared counter; ticket i is due at start + i/qps, so the
@@ -108,18 +180,20 @@ func run(w io.Writer, addr string, qps float64, conc int, dur time.Duration, see
 	// slow (the loop is closed per worker, paced globally).
 	var ticket atomic.Int64
 	start := time.Now()
-	deadline := start.Add(dur)
+	deadline := start.Add(o.dur)
 	results := make(chan sample, 4096)
 
 	var wg sync.WaitGroup
-	for wkr := 0; wkr < conc; wkr++ {
+	for wkr := 0; wkr < o.conc; wkr++ {
+		wkr := wkr
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(wkr)*7919 + 1))
 			for {
 				i := ticket.Add(1) - 1
-				if qps > 0 {
-					due := start.Add(time.Duration(float64(i) / qps * float64(time.Second)))
+				if o.qps > 0 {
+					due := start.Add(time.Duration(float64(i) / o.qps * float64(time.Second)))
 					if sleep := time.Until(due); sleep > 0 {
 						time.Sleep(sleep)
 					}
@@ -127,56 +201,62 @@ func run(w io.Writer, addr string, qps float64, conc int, dur time.Duration, see
 				if time.Now().After(deadline) {
 					return
 				}
-				m := int(i) % len(mix)
-				e := mix[m]
-				body := fmt.Sprintf(
-					`{"protocol":%q,"seed":%d,"gen":{"family":%q,"n":%d,"seed":%d}}`,
-					e.protocol, i%int64(seeds), e.family, e.n, i%int64(seeds))
-				s := sample{mix: m}
-				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", strings.NewReader(body))
-				s.wall = time.Since(t0)
-				if err != nil {
-					s.failure = true
-					results <- s
-					continue
+				tn := 0
+				if o.tenants > 1 {
+					tn = pickIdx(tenantCum, rng)
 				}
-				s.code = resp.StatusCode
-				if resp.StatusCode == http.StatusOK {
-					var out serve.Response
-					if json.NewDecoder(resp.Body).Decode(&out) == nil {
-						s.hit, s.shared = out.CacheHit, out.Shared
-					}
+				if o.async {
+					results <- o.batchSample(client, base, mix, mixCum, rng, tn, i)
 				} else {
-					io.Copy(io.Discard, resp.Body)
+					results <- o.syncSample(client, base, mix, mixCum, rng, tn, i)
 				}
-				resp.Body.Close()
-				results <- s
 			}
 		}()
 	}
 	go func() { wg.Wait(); close(results) }()
 
 	perMix := make([]stats, len(mix))
+	perTenant := make([]stats, o.tenants)
 	var total stats
 	for s := range results {
-		perMix[s.mix].add(s)
+		if s.mix >= 0 {
+			perMix[s.mix].add(s)
+		}
+		perTenant[s.tenant].add(s)
 		total.add(s)
 	}
 	elapsed := time.Since(start)
 
 	enc := json.NewEncoder(w)
-	for i, e := range mix {
-		row := perMix[i].row(elapsed)
-		row["type"] = "loadgen_mix"
-		row["protocol"], row["family"], row["n"] = e.protocol, e.family, e.n
-		if err := enc.Encode(row); err != nil {
-			return err
+	if !o.async {
+		// Per-mix latency rows only make sense when one request is one
+		// mix entry; a batch spans entries.
+		for i, e := range mix {
+			row := perMix[i].row(elapsed)
+			row["type"] = "loadgen_mix"
+			row["protocol"], row["family"], row["n"] = e.protocol, e.family, e.n
+			if err := enc.Encode(row); err != nil {
+				return err
+			}
 		}
 	}
 	row := total.row(elapsed)
 	row["type"] = "loadgen_summary"
-	row["target_qps"], row["concurrency"], row["seeds"] = qps, conc, seeds
+	row["target_qps"], row["concurrency"], row["seeds"] = o.qps, o.conc, o.seeds
+	if o.async {
+		row["mode"] = "async"
+		row["batch"] = o.batch
+	} else {
+		row["mode"] = "sync"
+	}
+	if o.zipf > 0 {
+		row["zipf"] = o.zipf
+	}
+	tenantRows, spread := tenantReport(perTenant)
+	row["tenants"] = tenantRows
+	if spread > 0 {
+		row["fairness_spread"] = spread
+	}
 	if err := enc.Encode(row); err != nil {
 		return err
 	}
@@ -186,12 +266,169 @@ func run(w io.Writer, addr string, qps float64, conc int, dur time.Duration, see
 	// runs) land in one artifact. A scrape failure is reported in the
 	// row rather than failing the whole run: the client-side report
 	// above is still valid.
-	counters, gauges, err := scrapeCounters(client, strings.TrimRight(base, "/")+"/v1/metricsz")
+	counters, gauges, err := scrapeCounters(client, base+"/v1/metricsz")
 	sc := map[string]any{"type": "server_counters", "counters": counters, "gauges": gauges}
 	if err != nil {
 		sc["error"] = err.Error()
 	}
 	return enc.Encode(sc)
+}
+
+// syncSample issues one synchronous /v1/certify request.
+func (o options) syncSample(client *http.Client, base string, mix []mixEntry, mixCum []float64, rng *rand.Rand, tn int, i int64) sample {
+	m := int(i) % len(mix)
+	if o.zipf > 0 {
+		m = pickIdx(mixCum, rng)
+	}
+	e := mix[m]
+	seed := i % int64(o.seeds)
+	body := fmt.Sprintf(
+		`{"protocol":%q,"seed":%d,"gen":{"family":%q,"n":%d,"seed":%d}}`,
+		e.protocol, seed, e.family, e.n, seed)
+	s := sample{mix: m, tenant: tn}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/certify", strings.NewReader(body))
+	if err != nil {
+		s.failure = true
+		return s
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", "t"+strconv.Itoa(tn))
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	s.wall = time.Since(t0)
+	if err != nil {
+		s.failure = true
+		return s
+	}
+	defer resp.Body.Close()
+	s.code = resp.StatusCode
+	if resp.StatusCode == http.StatusOK {
+		var out serve.Response
+		if json.NewDecoder(resp.Body).Decode(&out) == nil {
+			s.hit, s.shared = out.CacheHit, out.Shared
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return s
+}
+
+// batchSample submits one async batch of o.batch items and long-polls
+// its job to a terminal state; the sample's wall time covers
+// submit→terminal and the per-item tallies come from the final
+// snapshot.
+func (o options) batchSample(client *http.Client, base string, mix []mixEntry, mixCum []float64, rng *rand.Rand, tn int, i int64) sample {
+	items := make([]string, o.batch)
+	for k := range items {
+		m := (int(i) + k) % len(mix)
+		if o.zipf > 0 {
+			m = pickIdx(mixCum, rng)
+		}
+		e := mix[m]
+		seed := (i*int64(o.batch) + int64(k)) % int64(o.seeds)
+		items[k] = fmt.Sprintf(
+			`{"protocol":%q,"seed":%d,"gen":{"family":%q,"n":%d,"seed":%d}}`,
+			e.protocol, seed, e.family, e.n, seed)
+	}
+	body := `{"items":[` + strings.Join(items, ",") + `]}`
+	s := sample{mix: -1, tenant: tn, items: o.batch}
+
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/certify/batch", strings.NewReader(body))
+	if err != nil {
+		s.failure = true
+		return s
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", "t"+strconv.Itoa(tn))
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		s.wall = time.Since(t0)
+		s.failure = true
+		return s
+	}
+	s.code = resp.StatusCode
+	var acc serve.BatchAccepted
+	decodeErr := json.NewDecoder(resp.Body).Decode(&acc)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || decodeErr != nil || acc.JobID == "" {
+		s.wall = time.Since(t0)
+		return s
+	}
+
+	// Long-poll to a terminal state, bounded so one stuck job cannot
+	// hang the worker past the run.
+	jobURL := base + "/v1/jobs/" + acc.JobID + "?wait=2s"
+	pollDeadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(pollDeadline) {
+		jr, err := client.Get(jobURL)
+		if err != nil {
+			s.failure = true
+			break
+		}
+		var job serve.JobJSON
+		decodeErr := json.NewDecoder(jr.Body).Decode(&job)
+		jr.Body.Close()
+		if jr.StatusCode != http.StatusOK || decodeErr != nil {
+			s.failure = true
+			break
+		}
+		if job.State == "running" {
+			continue
+		}
+		s.itemsDone = job.Done
+		s.itemsErr = job.Errors
+		s.itemsCanceled = job.Canceled
+		for _, it := range job.Items {
+			if it.Result != nil {
+				if it.Result.CacheHit {
+					s.itemHits++
+				}
+				if it.Result.Shared {
+					s.itemShared++
+				}
+			}
+		}
+		break
+	}
+	s.wall = time.Since(t0)
+	return s
+}
+
+// tenantReport builds the per-tenant summary block plus the completion
+// fairness spread: max over min per-tenant completed work (1.0 =
+// perfectly even; 0 when fewer than two tenants completed anything).
+func tenantReport(perTenant []stats) (map[string]any, float64) {
+	rows := make(map[string]any, len(perTenant))
+	var completions []float64
+	for tn := range perTenant {
+		st := &perTenant[tn]
+		if st.sent == 0 {
+			continue
+		}
+		completed := st.codes[http.StatusOK]
+		if st.items > 0 {
+			completed = st.itemsDone
+		}
+		rows["t"+strconv.Itoa(tn)] = map[string]any{
+			"sent":      st.sent,
+			"completed": completed,
+			"p50_ms":    percentile(st.walls, 0.50),
+			"p99_ms":    percentile(st.walls, 0.99),
+		}
+		if completed > 0 {
+			completions = append(completions, float64(completed))
+		}
+	}
+	if len(completions) < 2 {
+		return rows, 0
+	}
+	minC, maxC := completions[0], completions[0]
+	for _, c := range completions[1:] {
+		minC = math.Min(minC, c)
+		maxC = math.Max(maxC, c)
+	}
+	return rows, maxC / minC
 }
 
 // scrapeCounters pulls the counter and gauge rows of one NDJSON
@@ -236,6 +473,10 @@ type stats struct {
 	hits, shared     int64
 	failures, netErr int64
 	sent             int64
+
+	// Async-batch tallies (zero in sync mode).
+	items, itemsDone        int64
+	itemsErr, itemsCanceled int64
 }
 
 func (st *stats) add(s sample) {
@@ -249,6 +490,18 @@ func (st *stats) add(s sample) {
 	}
 	st.codes[s.code]++
 	st.walls = append(st.walls, s.wall)
+	if s.items > 0 {
+		st.items += int64(s.items)
+		st.itemsDone += int64(s.itemsDone)
+		st.itemsErr += int64(s.itemsErr)
+		st.itemsCanceled += int64(s.itemsCanceled)
+		st.hits += int64(s.itemHits)
+		st.shared += int64(s.itemShared)
+		if s.code != http.StatusAccepted {
+			st.failures++
+		}
+		return
+	}
 	if s.code != http.StatusOK {
 		st.failures++
 	}
@@ -265,7 +518,7 @@ func (st *stats) row(elapsed time.Duration) map[string]any {
 	for c, n := range st.codes {
 		codes[strconv.Itoa(c)] = n
 	}
-	return map[string]any{
+	row := map[string]any{
 		"sent":         st.sent,
 		"elapsed_s":    elapsed.Seconds(),
 		"achieved_qps": float64(st.sent) / elapsed.Seconds(),
@@ -279,6 +532,13 @@ func (st *stats) row(elapsed time.Duration) map[string]any {
 		"p999_ms":      percentile(st.walls, 0.999),
 		"max_ms":       percentile(st.walls, 1),
 	}
+	if st.items > 0 {
+		row["items"] = st.items
+		row["items_done"] = st.itemsDone
+		row["items_errors"] = st.itemsErr
+		row["items_canceled"] = st.itemsCanceled
+	}
+	return row
 }
 
 // percentile returns the q-quantile of walls in milliseconds

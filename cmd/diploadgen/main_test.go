@@ -21,8 +21,10 @@ func TestRunAgainstServer(t *testing.T) {
 	defer ts.Close()
 
 	var buf bytes.Buffer
-	err := run(&buf, ts.URL, 200, 4, 400*time.Millisecond, 2,
-		"planarity:k4sub:8,pathouter:pathouter:16")
+	err := run(&buf, options{
+		addr: ts.URL, qps: 200, conc: 4, dur: 400 * time.Millisecond, seeds: 2,
+		mix: "planarity:k4sub:8,pathouter:pathouter:16",
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,6 +81,95 @@ func TestRunAgainstServer(t *testing.T) {
 	}
 	if _, ok := srv["gauges"].(map[string]any); !ok {
 		t.Fatalf("server_counters missing gauges: %v", srv)
+	}
+}
+
+// TestRunAsyncTenants drives the async batch mode with a skewed
+// 3-tenant split and checks the summary: batches were accepted and
+// completed, per-tenant rows carry latency percentiles, and the
+// fairness spread is reported when at least two tenants finished work.
+func TestRunAsyncTenants(t *testing.T) {
+	s := serve.New(serve.Config{BatchEpochInterval: 2 * time.Millisecond})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	err := run(&buf, options{
+		addr: ts.URL, qps: 100, conc: 4, dur: 500 * time.Millisecond, seeds: 4,
+		mix:     "planarity:k4sub:8,pathouter:pathouter:16",
+		tenants: 3, zipf: 1.2, async: true, batch: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rows []map[string]any
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var row map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("invalid NDJSON line %q: %v", sc.Text(), err)
+		}
+		rows = append(rows, row)
+	}
+	// Async mode skips per-mix rows: summary + server_counters only.
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want summary + server_counters:\n%s", len(rows), buf.String())
+	}
+	sum := rows[0]
+	if sum["type"] != "loadgen_summary" || sum["mode"] != "async" {
+		t.Fatalf("bad summary row: %v", sum)
+	}
+	status := sum["status"].(map[string]any)
+	if status["202"] == nil || status["202"].(float64) == 0 {
+		t.Fatalf("no batches accepted: %v", sum)
+	}
+	if items := sum["items"].(float64); items == 0 || sum["items_done"].(float64) != items {
+		t.Fatalf("items %v done %v, want all done", sum["items"], sum["items_done"])
+	}
+	tenants := sum["tenants"].(map[string]any)
+	if len(tenants) == 0 {
+		t.Fatalf("summary missing per-tenant rows: %v", sum)
+	}
+	// Zipf weight makes t0 the hot tenant: it must have been sampled.
+	t0 := tenants["t0"].(map[string]any)
+	if t0["completed"].(float64) == 0 || t0["p99_ms"].(float64) <= 0 {
+		t.Fatalf("hot tenant t0 report implausible: %v", t0)
+	}
+	if len(tenants) >= 2 {
+		if spread := sum["fairness_spread"].(float64); spread < 1 {
+			t.Fatalf("fairness_spread %v < 1", spread)
+		}
+	}
+
+	srv := rows[1]
+	if srv["type"] != "server_counters" || srv["error"] != nil {
+		t.Fatalf("bad server_counters row: %v", srv)
+	}
+	counters := srv["counters"].(map[string]any)
+	if v, _ := counters["jobs_submitted_total"].(float64); v == 0 {
+		t.Fatalf("server saw no jobs: %v", counters)
+	}
+	if v, _ := counters["batch_items_total{tenant=t0}"].(float64); v == 0 {
+		t.Fatalf("server saw no t0 items: %v", counters)
+	}
+}
+
+func TestZipfCum(t *testing.T) {
+	// s = 0 is uniform.
+	cum := zipfCum(4, 0)
+	for i, want := range []float64{0.25, 0.5, 0.75, 1} {
+		if diff := cum[i] - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("uniform cum[%d] = %v, want %v", i, cum[i], want)
+		}
+	}
+	// Positive skew front-loads mass: slot 0 outweighs uniform.
+	if cum = zipfCum(4, 1.5); cum[0] <= 0.25 {
+		t.Fatalf("zipf(1.5) cum[0] = %v, want > 0.25", cum[0])
+	}
+	if cum[3] != 1 {
+		t.Fatalf("cum must end at 1, got %v", cum[3])
 	}
 }
 

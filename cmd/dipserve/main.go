@@ -48,16 +48,34 @@ func main() {
 	cacheCap := flag.Int("cache", 0, "result-cache entries, negative disables (0 = default 1024)")
 	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = 30s)")
 	accessLog := flag.String("accesslog", "", "write NDJSON access log to this file (\"-\" = stderr)")
+	epoch := flag.Duration("epoch", 0, "batch admission epoch interval (0 = 25ms)")
+	batchMax := flag.Int("epochitems", 0, "max items admitted per epoch / early-flush threshold (0 = 256)")
+	quantum := flag.Int("quantum", 0, "deficit-round-robin credit per tenant per round (0 = 8)")
+	tenantInFlight := flag.Int("tenant-inflight", 0, "per-tenant concurrently admitted items (0 = 16)")
+	tenantQueue := flag.Int("tenant-queue", 0, "per-tenant queued-item bound before 429 (0 = 4096)")
+	maxBatch := flag.Int("maxbatch", 0, "max items per batch request (0 = 512)")
+	retention := flag.Duration("retention", 0, "finished-job retention before eviction (0 = 5m)")
+	maxJobs := flag.Int("maxjobs", 0, "max tracked jobs, running plus retained (0 = 1024)")
+	maxWait := flag.Duration("maxwait", 0, "cap on /v1/jobs long-poll ?wait= (0 = 30s)")
 	pprofAddr := flag.String("pprof", "", "mount net/http/pprof on this side address (e.g. 127.0.0.1:6060; empty disables)")
 	pprofAddrFile := flag.String("pprofaddrfile", "", "write the bound pprof address to this file once listening")
 	flag.Parse()
 
 	cfg := serve.Config{
-		Shards:          *shards,
-		WorkersPerShard: *workers,
-		QueueLen:        *queue,
-		CacheCapacity:   *cacheCap,
-		DefaultTimeout:  *timeout,
+		Shards:             *shards,
+		WorkersPerShard:    *workers,
+		QueueLen:           *queue,
+		CacheCapacity:      *cacheCap,
+		DefaultTimeout:     *timeout,
+		BatchEpochInterval: *epoch,
+		BatchMaxItems:      *batchMax,
+		BatchQuantum:       *quantum,
+		TenantInFlight:     *tenantInFlight,
+		TenantQueueCap:     *tenantQueue,
+		MaxBatchItems:      *maxBatch,
+		JobRetention:       *retention,
+		MaxJobs:            *maxJobs,
+		MaxWait:            *maxWait,
 	}
 	switch *accessLog {
 	case "":

@@ -1,0 +1,188 @@
+// Package batch is the asynchronous job layer of the certification
+// service: a job manager (submit a list of work items, get a job id,
+// poll or long-poll for per-item results, bounded retention with TTL
+// eviction), an epoch coordinator that admits queued work in phases and
+// groups compatible items per epoch so cache keys and frozen instances
+// are shared within a batch, and a per-tenant fair scheduler (deficit
+// round robin across per-tenant FIFO queues with per-tenant in-flight
+// caps) so one hot tenant degrades gracefully instead of starving the
+// rest of the pool.
+//
+// The package is generic in the item result type and knows nothing
+// about HTTP or protocols: internal/serve instantiates Manager[*serve.Response]
+// and supplies each item's Run closure (which routes through the
+// existing worker pool, LRU cache, and singleflight group). SERVICE.md
+// documents the wire API layered on top; OBSERVABILITY.md documents
+// the jobs_*/tenant_*/epoch_* metrics this package emits.
+package batch
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Status is the lifecycle state of one work item.
+type Status string
+
+const (
+	// StatusQueued: accepted, waiting in its tenant's queue for epoch
+	// admission.
+	StatusQueued Status = "queued"
+	// StatusRunning: admitted by the epoch coordinator and executing
+	// (or dispatched and about to).
+	StatusRunning Status = "running"
+	// StatusDone: Run returned a result.
+	StatusDone Status = "done"
+	// StatusError: Run returned an error unrelated to cancellation.
+	StatusError Status = "error"
+	// StatusCanceled: the job's deadline fired, the job was canceled,
+	// or the submitting client abandoned it before the item ran.
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether s is a final state.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusError || s == StatusCanceled
+}
+
+// Job-level states. A job is running until every item is terminal.
+const (
+	JobRunning  = "running"
+	JobDone     = "done"
+	JobCanceled = "canceled"
+)
+
+// Item is one unit of submitted work.
+type Item[R any] struct {
+	// Class groups compatible items (same protocol/family/size class)
+	// within an epoch: the coordinator dispatches a phase's admissions
+	// class by class, so identical cache keys and shared frozen
+	// instances land together. Empty is a valid (shared) class.
+	Class string
+	// Cost is the item's deficit-round-robin charge (clamped to >= 1).
+	// Leave zero for uniform per-item fairness.
+	Cost int
+	// Run performs the work. ctx is a child of the job context: it is
+	// canceled when the job's deadline fires, the job is canceled, or
+	// the submitting client abandons it. Run must return promptly once
+	// ctx is done.
+	Run func(ctx context.Context) (R, error)
+}
+
+// ItemState is the observable state of one item.
+type ItemState[R any] struct {
+	Status Status
+	Result R      // zero until StatusDone
+	Err    string // set for StatusError / StatusCanceled
+}
+
+// Snapshot is a point-in-time view of one job.
+type Snapshot[R any] struct {
+	ID       string
+	Tenant   string
+	State    string // JobRunning | JobDone | JobCanceled
+	Created  time.Time
+	Finished time.Time // zero while running
+	Total    int
+	Done     int // items in StatusDone
+	Errors   int
+	Canceled int
+	Items    []ItemState[R]
+}
+
+// SubmitOptions tune one job.
+type SubmitOptions struct {
+	// Timeout bounds the whole job; 0 means Config.DefaultTimeout.
+	// When it fires every still-pending item is canceled.
+	Timeout time.Duration
+	// CancelOnAbandon cancels the job when the last long-poll watcher
+	// disconnects (Wait's ctx errors with watchers at zero). A job that
+	// was never watched is not considered abandoned.
+	CancelOnAbandon bool
+}
+
+// Config sizes a Manager. Zero values take the documented defaults.
+type Config struct {
+	// EpochInterval is the coordinator's admission period (default
+	// 10ms): queued work waits at most one interval before the next
+	// admission phase considers it.
+	EpochInterval time.Duration
+	// EpochMaxItems caps one epoch's admissions and is the early-flush
+	// threshold: when at least this many items are queued, the next
+	// epoch starts immediately instead of waiting out the interval
+	// (flush on size or deadline). Default 256.
+	EpochMaxItems int
+	// Quantum is the deficit-round-robin credit each active tenant
+	// earns per admission round (default 8 cost units).
+	Quantum int
+	// TenantInFlight caps one tenant's concurrently admitted items
+	// (default 16): a tenant at its cap keeps queueing but stops
+	// admitting, leaving the pool to the others.
+	TenantInFlight int
+	// TenantQueueCap bounds one tenant's queued (unadmitted) items;
+	// submissions beyond it fail with ErrTenantQueueFull (default 4096).
+	TenantQueueCap int
+	// DefaultTimeout bounds jobs that name no timeout (default 2m).
+	DefaultTimeout time.Duration
+	// Retention is how long a finished job stays pollable before TTL
+	// eviction (default 5m).
+	Retention time.Duration
+	// MaxJobs bounds tracked jobs, running plus retained (default
+	// 1024). Submit evicts the oldest finished job to make room and
+	// fails with ErrTooManyJobs when every slot is running.
+	MaxJobs int
+	// Registry receives the jobs_*/tenant_*/epoch_* metrics; nil
+	// disables them.
+	Registry *obs.Registry
+	// Dispatch executes one admitted item's work function, e.g. on a
+	// worker pool; it must not block the caller for the duration of the
+	// work. nil means `go fn()`.
+	Dispatch func(fn func())
+}
+
+func (c Config) withDefaults() Config {
+	if c.EpochInterval <= 0 {
+		c.EpochInterval = 10 * time.Millisecond
+	}
+	if c.EpochMaxItems <= 0 {
+		c.EpochMaxItems = 256
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 8
+	}
+	if c.TenantInFlight <= 0 {
+		c.TenantInFlight = 16
+	}
+	if c.TenantQueueCap <= 0 {
+		c.TenantQueueCap = 4096
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.Retention <= 0 {
+		c.Retention = 5 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.Dispatch == nil {
+		c.Dispatch = func(fn func()) { go fn() }
+	}
+	return c
+}
+
+// Submission and lookup errors.
+var (
+	// ErrClosed: the manager is shut down.
+	ErrClosed = errors.New("batch: manager closed")
+	// ErrNoItems: a job needs at least one item.
+	ErrNoItems = errors.New("batch: job has no items")
+	// ErrTenantQueueFull: the tenant's queued-item bound would be
+	// exceeded; the client should back off and retry (HTTP 429).
+	ErrTenantQueueFull = errors.New("batch: tenant queue full")
+	// ErrTooManyJobs: every job slot holds a still-running job.
+	ErrTooManyJobs = errors.New("batch: too many active jobs")
+)

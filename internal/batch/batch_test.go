@@ -1,0 +1,427 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// waitFor polls cond up to 5s; fails the test on timeout.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// okItem returns an item that immediately succeeds with v.
+func okItem(v int) Item[int] {
+	return Item[int]{Run: func(context.Context) (int, error) { return v, nil }}
+}
+
+// blockItem returns an item that blocks until its context dies.
+func blockItem() Item[int] {
+	return Item[int]{Run: func(ctx context.Context) (int, error) {
+		<-ctx.Done()
+		return 0, ctx.Err()
+	}}
+}
+
+func TestJobLifecycleAndSnapshot(t *testing.T) {
+	m := NewManager[int](Config{EpochInterval: time.Millisecond})
+	defer m.Close()
+
+	id, err := m.Submit("acme", []Item[int]{okItem(10), okItem(11), okItem(12)}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := m.Wait(context.Background(), id, 5*time.Second)
+	if !ok {
+		t.Fatalf("job %s vanished", id)
+	}
+	if snap.State != JobDone || snap.Done != 3 || snap.Errors != 0 || snap.Canceled != 0 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	for i, it := range snap.Items {
+		if it.Status != StatusDone || it.Result != 10+i {
+			t.Fatalf("item %d: %+v", i, it)
+		}
+	}
+	if snap.Finished.Before(snap.Created) {
+		t.Fatalf("finished %v before created %v", snap.Finished, snap.Created)
+	}
+	// Get returns the same terminal view.
+	again, ok := m.Get(id)
+	if !ok || again.State != JobDone || again.Done != 3 {
+		t.Fatalf("Get after done: %v %+v", ok, again)
+	}
+}
+
+func TestItemErrorsAreIsolated(t *testing.T) {
+	m := NewManager[int](Config{EpochInterval: time.Millisecond})
+	defer m.Close()
+
+	boom := Item[int]{Run: func(context.Context) (int, error) { return 0, errors.New("boom") }}
+	id, err := m.Submit("acme", []Item[int]{okItem(1), boom, okItem(3)}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := m.Wait(context.Background(), id, 5*time.Second)
+	if snap.State != JobDone || snap.Done != 2 || snap.Errors != 1 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if snap.Items[1].Status != StatusError || snap.Items[1].Err != "boom" {
+		t.Fatalf("failed item %+v", snap.Items[1])
+	}
+}
+
+// TestDRRFairness: three tenants, one with a 4x backlog, single-file
+// execution. Until the small tenants drain, completions must track the
+// equal DRR weights — no tenant's share of the first 90 completions may
+// deviate from 30 by more than 2x.
+func TestDRRFairness(t *testing.T) {
+	var mu sync.Mutex
+	completed := []string{}
+	mkItem := func(tenant string) Item[int] {
+		return Item[int]{Run: func(context.Context) (int, error) {
+			mu.Lock()
+			completed = append(completed, tenant)
+			mu.Unlock()
+			return 0, nil
+		}}
+	}
+	m := NewManager[int](Config{
+		EpochInterval:  time.Millisecond,
+		Quantum:        2,
+		TenantInFlight: 4,
+		// Inline dispatch: items execute serially inside the epoch
+		// loop, so the completion order is exactly the admission order.
+		Dispatch: func(fn func()) { fn() },
+	})
+	defer m.Close()
+
+	ids := map[string]string{}
+	for tenant, count := range map[string]int{"heavy": 120, "b": 30, "c": 30} {
+		items := make([]Item[int], count)
+		for i := range items {
+			items[i] = mkItem(tenant)
+		}
+		id, err := m.Submit(tenant, items, SubmitOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[tenant] = id
+	}
+	for _, id := range ids {
+		if snap, ok := m.Wait(context.Background(), id, 10*time.Second); !ok || snap.State != JobDone {
+			t.Fatalf("job %s: %+v", id, snap)
+		}
+	}
+
+	counts := map[string]int{}
+	for _, tenant := range completed[:90] {
+		counts[tenant]++
+	}
+	for tenant, n := range counts {
+		if n < 15 || n > 60 {
+			t.Errorf("tenant %s completed %d of the first 90 (fair share 30, 2x band [15,60])", tenant, n)
+		}
+	}
+	if len(completed) != 180 {
+		t.Fatalf("completed %d items, want 180", len(completed))
+	}
+}
+
+// TestEpochGroupsByClass: items of interleaved classes admitted in one
+// epoch must dispatch grouped class by class, in stable FIFO order
+// within each class.
+func TestEpochGroupsByClass(t *testing.T) {
+	var mu sync.Mutex
+	order := []string{}
+	mkItem := func(class, tag string) Item[int] {
+		return Item[int]{Class: class, Run: func(context.Context) (int, error) {
+			mu.Lock()
+			order = append(order, tag)
+			mu.Unlock()
+			return 0, nil
+		}}
+	}
+	reg := obs.NewRegistry()
+	m := NewManager[int](Config{
+		EpochInterval:  50 * time.Millisecond, // one tick admits everything
+		Quantum:        16,
+		TenantInFlight: 16,
+		Registry:       reg,
+		Dispatch:       func(fn func()) { fn() },
+	})
+	defer m.Close()
+
+	id, err := m.Submit("acme", []Item[int]{
+		mkItem("b", "b0"), mkItem("a", "a0"), mkItem("b", "b1"),
+		mkItem("a", "a1"), mkItem("b", "b2"), mkItem("a", "a2"),
+	}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap, _ := m.Wait(context.Background(), id, 5*time.Second); snap.State != JobDone {
+		t.Fatalf("job: %+v", snap)
+	}
+	mu.Lock()
+	got := fmt.Sprint(order)
+	mu.Unlock()
+	if want := "[a0 a1 a2 b0 b1 b2]"; got != want {
+		t.Fatalf("dispatch order %s, want %s (grouped by class, FIFO within)", got, want)
+	}
+
+	if reg.Get("epochs_total") == 0 {
+		t.Error("epochs_total never incremented")
+	}
+	if h, ok := reg.Histogram("epoch_batch_groups"); !ok || h.Max != 2 {
+		t.Errorf("epoch_batch_groups histogram = %+v, want max 2", h)
+	}
+	if _, ok := reg.Histogram("epoch_admit_ns"); !ok {
+		t.Error("epoch_admit_ns histogram never observed")
+	}
+}
+
+// TestJobDeadlineCancelsItems: the job deadline must cancel running
+// items (via their child contexts) and queued items (at admission), and
+// the job must reach the canceled state.
+func TestJobDeadlineCancelsItems(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewManager[int](Config{
+		EpochInterval:  time.Millisecond,
+		TenantInFlight: 1, // only one item admitted; the rest die queued
+		Registry:       reg,
+	})
+	defer m.Close()
+
+	items := []Item[int]{blockItem(), blockItem(), blockItem(), blockItem()}
+	id, err := m.Submit("acme", items, SubmitOptions{Timeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := m.Wait(context.Background(), id, 5*time.Second)
+	if !ok || snap.State != JobCanceled {
+		t.Fatalf("job after deadline: %v %+v", ok, snap)
+	}
+	if snap.Canceled != len(items) {
+		t.Fatalf("canceled %d of %d items: %+v", snap.Canceled, len(items), snap)
+	}
+	// Every admitted slot must be released: no zombie in-flight work.
+	waitFor(t, "batch_running to drain", func() bool { return reg.Gauge("batch_running") == 0 })
+}
+
+// TestAbandonmentStopsWork: when the last long-poll watcher of a
+// cancel_on_abandon job disconnects, the job is canceled and its items
+// stop consuming workers.
+func TestAbandonmentStopsWork(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewManager[int](Config{EpochInterval: time.Millisecond, Registry: reg})
+	defer m.Close()
+
+	id, err := m.Submit("acme", []Item[int]{blockItem(), blockItem()},
+		SubmitOptions{CancelOnAbandon: true, Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until both items are actually running (consuming workers).
+	waitFor(t, "items to start", func() bool { return reg.Gauge("batch_running") == 2 })
+
+	// A long-poll watcher attaches, then its connection dies.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	snap, ok := m.Wait(ctx, id, time.Minute)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	_ = snap // the disconnect-time snapshot may still show running items
+
+	waitFor(t, "abandoned job to stop consuming workers", func() bool {
+		return reg.Gauge("batch_running") == 0
+	})
+	final, _ := m.Get(id)
+	if final.State != JobCanceled || final.Canceled != 2 {
+		t.Fatalf("abandoned job: %+v", final)
+	}
+	if reg.Get("jobs_abandoned_total") != 1 {
+		t.Fatalf("jobs_abandoned_total = %d, want 1", reg.Get("jobs_abandoned_total"))
+	}
+
+	// A watcher that merely times out does NOT abandon the job.
+	id2, err := m.Submit("acme", []Item[int]{okItem(1)}, SubmitOptions{CancelOnAbandon: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap, _ := m.Wait(context.Background(), id2, 2*time.Second); snap.State != JobDone {
+		t.Fatalf("timed-out watcher killed the job: %+v", snap)
+	}
+}
+
+// TestRetentionEviction: finished jobs expire after the TTL; running
+// jobs never do.
+func TestRetentionEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewManager[int](Config{
+		EpochInterval: time.Millisecond,
+		Retention:     20 * time.Millisecond,
+		Registry:      reg,
+	})
+	defer m.Close()
+
+	id, err := m.Submit("acme", []Item[int]{okItem(1)}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap, _ := m.Wait(context.Background(), id, 5*time.Second); snap.State != JobDone {
+		t.Fatalf("job: %+v", snap)
+	}
+	waitFor(t, "TTL eviction", func() bool { _, ok := m.Get(id); return !ok })
+	if reg.Get("jobs_evicted_total") == 0 {
+		t.Fatal("jobs_evicted_total never incremented")
+	}
+}
+
+func TestSubmitBounds(t *testing.T) {
+	m := NewManager[int](Config{
+		EpochInterval:  time.Hour, // nothing admits during this test
+		TenantQueueCap: 2,
+		MaxJobs:        1,
+	})
+	defer m.Close()
+
+	if _, err := m.Submit("acme", nil, SubmitOptions{}); !errors.Is(err, ErrNoItems) {
+		t.Fatalf("empty submit: %v", err)
+	}
+	if _, err := m.Submit("acme", []Item[int]{okItem(1), okItem(2), okItem(3)}, SubmitOptions{}); !errors.Is(err, ErrTenantQueueFull) {
+		t.Fatalf("over-cap submit: %v", err)
+	}
+	if _, err := m.Submit("acme", []Item[int]{okItem(1)}, SubmitOptions{}); err != nil {
+		t.Fatalf("first job: %v", err)
+	}
+	// The one job slot is running (nothing admits): a second job must be
+	// refused, from any tenant.
+	if _, err := m.Submit("other", []Item[int]{okItem(1)}, SubmitOptions{}); !errors.Is(err, ErrTooManyJobs) {
+		t.Fatalf("over-MaxJobs submit: %v", err)
+	}
+}
+
+// TestEarlyFlushOnSize: queued work at EpochMaxItems must trigger an
+// epoch immediately instead of waiting out a long interval.
+func TestEarlyFlushOnSize(t *testing.T) {
+	m := NewManager[int](Config{
+		EpochInterval: time.Minute,
+		EpochMaxItems: 4,
+	})
+	defer m.Close()
+
+	id, err := m.Submit("acme", []Item[int]{okItem(1), okItem(2), okItem(3), okItem(4)}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := m.Wait(context.Background(), id, 5*time.Second)
+	if !ok || snap.State != JobDone {
+		t.Fatalf("size-triggered flush never ran the job: %+v", snap)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	m := NewManager[int](Config{EpochInterval: time.Millisecond})
+	defer m.Close()
+
+	id, err := m.Submit("acme", []Item[int]{blockItem()}, SubmitOptions{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Cancel(id) {
+		t.Fatal("Cancel reported unknown job")
+	}
+	snap, _ := m.Wait(context.Background(), id, 5*time.Second)
+	if snap.State != JobCanceled {
+		t.Fatalf("after Cancel: %+v", snap)
+	}
+	if m.Cancel("nope") {
+		t.Fatal("Cancel invented a job")
+	}
+}
+
+// TestCloseUnblocksEverything: Close must cancel running jobs, drain
+// queued items, and unblock watchers; Submit afterwards fails.
+func TestCloseUnblocksEverything(t *testing.T) {
+	m := NewManager[int](Config{EpochInterval: time.Millisecond, TenantInFlight: 1})
+
+	id, err := m.Submit("acme", []Item[int]{blockItem(), blockItem(), blockItem()},
+		SubmitOptions{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone := make(chan Snapshot[int], 1)
+	go func() {
+		snap, _ := m.Wait(context.Background(), id, time.Minute)
+		waitDone <- snap
+	}()
+	time.Sleep(5 * time.Millisecond)
+	m.Close()
+
+	select {
+	case snap := <-waitDone:
+		if snap.State != JobCanceled {
+			t.Fatalf("after Close: %+v", snap)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher still blocked after Close")
+	}
+	if _, err := m.Submit("acme", []Item[int]{okItem(1)}, SubmitOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v", err)
+	}
+	m.Close() // idempotent
+}
+
+// TestConcurrentSubmitters hammers the manager from many goroutines
+// (exercised under -race in CI).
+func TestConcurrentSubmitters(t *testing.T) {
+	m := NewManager[int](Config{EpochInterval: time.Millisecond, Quantum: 4})
+	defer m.Close()
+
+	const tenants, jobsPer, itemsPer = 4, 8, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants*jobsPer)
+	for tnt := 0; tnt < tenants; tnt++ {
+		for j := 0; j < jobsPer; j++ {
+			wg.Add(1)
+			go func(tnt, j int) {
+				defer wg.Done()
+				items := make([]Item[int], itemsPer)
+				for i := range items {
+					items[i] = okItem(i)
+				}
+				id, err := m.Submit(fmt.Sprintf("t%d", tnt), items, SubmitOptions{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				snap, ok := m.Wait(context.Background(), id, 10*time.Second)
+				if !ok || snap.State != JobDone || snap.Done != itemsPer {
+					errs <- fmt.Errorf("job %s: ok=%v %+v", id, ok, snap)
+				}
+			}(tnt, j)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

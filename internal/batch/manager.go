@@ -1,0 +1,368 @@
+package batch
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// item is the internal state of one submitted work unit.
+type item[R any] struct {
+	job      *job[R]
+	idx      int
+	class    string
+	cost     int
+	run      func(ctx context.Context) (R, error)
+	enqueued time.Time
+
+	status Status
+	result R
+	err    string
+}
+
+// job is the internal state of one submitted job.
+type job[R any] struct {
+	id     string
+	tenant string
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	created         time.Time
+	finished        time.Time
+	cancelOnAbandon bool
+
+	items     []*item[R]
+	remaining int
+	state     string
+	doneCh    chan struct{} // closed when the job reaches a terminal state
+
+	// watchers counts in-progress Wait calls; abandonment fires when a
+	// canceled watcher leaves the count at zero.
+	watchers int
+}
+
+// Manager owns the job table, the per-tenant scheduler, and the epoch
+// coordinator goroutine. Create with NewManager, release with Close.
+type Manager[R any] struct {
+	cfg Config
+	reg *obs.Registry // nil disables metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*job[R]
+	finished []*job[R] // retention order: oldest finished first
+	sched    *sched[R]
+	running  int // admitted items not yet terminal
+	seq      uint64
+	closed   bool
+
+	wake    chan struct{} // size-triggered early epoch flush
+	closeCh chan struct{}
+	loopWG  sync.WaitGroup
+}
+
+// NewManager starts the epoch coordinator and returns a ready manager.
+func NewManager[R any](cfg Config) *Manager[R] {
+	cfg = cfg.withDefaults()
+	m := &Manager[R]{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		jobs:    map[string]*job[R]{},
+		sched:   newSched[R](),
+		wake:    make(chan struct{}, 1),
+		closeCh: make(chan struct{}),
+	}
+	if m.reg != nil {
+		m.reg.SetGaugeFunc("jobs_active", func() int64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return int64(len(m.jobs) - len(m.finished))
+		})
+		m.reg.SetGaugeFunc("jobs_retained", func() int64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return int64(len(m.finished))
+		})
+		m.reg.SetGaugeFunc("batch_pending", func() int64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return int64(m.sched.pending())
+		})
+		m.reg.SetGaugeFunc("batch_running", func() int64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return int64(m.running)
+		})
+	}
+	m.loopWG.Add(1)
+	go m.loop()
+	return m
+}
+
+// add is a nil-safe counter bump.
+func (m *Manager[R]) add(name string, delta int64) {
+	if m.reg != nil {
+		m.reg.Add(name, delta)
+	}
+}
+
+// observe is a nil-safe histogram observation.
+func (m *Manager[R]) observe(name string, v int64) {
+	if m.reg != nil {
+		m.reg.Observe(name, v)
+	}
+}
+
+// newJobID mints a collision-resistant job id: a monotonic sequence
+// number (stable ordering, cheap logs) plus random suffix (unguessable
+// across restarts).
+func (m *Manager[R]) newJobID() string {
+	m.seq++
+	var b [6]byte
+	rand.Read(b[:])
+	return fmt.Sprintf("j%06d-%s", m.seq, hex.EncodeToString(b[:]))
+}
+
+// Submit accepts a job of items for tenant and returns its id. The job
+// runs asynchronously: items enter the tenant's queue and are admitted
+// by the epoch coordinator under deficit-round-robin fairness. Errors:
+// ErrNoItems, ErrTenantQueueFull (back off and retry), ErrTooManyJobs,
+// ErrClosed.
+func (m *Manager[R]) Submit(tenant string, items []Item[R], opts SubmitOptions) (string, error) {
+	if len(items) == 0 {
+		return "", ErrNoItems
+	}
+	for i, it := range items {
+		if it.Run == nil {
+			return "", fmt.Errorf("batch: item %d has no Run function", i)
+		}
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = m.cfg.DefaultTimeout
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return "", ErrClosed
+	}
+	if m.sched.tenant(tenant).queued()+len(items) > m.cfg.TenantQueueCap {
+		m.mu.Unlock()
+		m.add("tenant_rejected_total{tenant="+tenant+"}", 1)
+		return "", ErrTenantQueueFull
+	}
+	// Job-table bound: evict the oldest finished job to make room; if
+	// every slot holds a running job, refuse.
+	for len(m.jobs) >= m.cfg.MaxJobs && len(m.finished) > 0 {
+		m.evictLocked(m.finished[0])
+	}
+	if len(m.jobs) >= m.cfg.MaxJobs {
+		m.mu.Unlock()
+		return "", ErrTooManyJobs
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	j := &job[R]{
+		id:              m.newJobID(),
+		tenant:          tenant,
+		ctx:             ctx,
+		cancel:          cancel,
+		created:         time.Now(),
+		cancelOnAbandon: opts.CancelOnAbandon,
+		state:           JobRunning,
+		remaining:       len(items),
+		doneCh:          make(chan struct{}),
+	}
+	now := time.Now()
+	its := make([]*item[R], len(items))
+	for i, spec := range items {
+		cost := spec.Cost
+		if cost < 1 {
+			cost = 1
+		}
+		its[i] = &item[R]{
+			job: j, idx: i, class: spec.Class, cost: cost,
+			run: spec.Run, enqueued: now, status: StatusQueued,
+		}
+	}
+	j.items = its
+	m.jobs[j.id] = j
+	m.sched.push(tenant, its)
+	flush := m.sched.pending() >= m.cfg.EpochMaxItems
+	m.mu.Unlock()
+
+	m.add("jobs_submitted_total", 1)
+	m.add("batch_items_total{tenant="+tenant+"}", int64(len(items)))
+	if flush {
+		// Size-triggered flush: enough work is queued to fill an epoch,
+		// start one now instead of waiting out the interval.
+		m.poke()
+	}
+	return j.id, nil
+}
+
+// poke schedules an immediate epoch (non-blocking; coalesces).
+func (m *Manager[R]) poke() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Get returns the current snapshot of job id.
+func (m *Manager[R]) Get(id string) (Snapshot[R], bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return Snapshot[R]{}, false
+	}
+	return j.snapshotLocked(), true
+}
+
+// Wait long-polls job id: it returns as soon as the job is terminal,
+// or after timeout with the then-current snapshot. A canceled ctx
+// (client disconnect) returns immediately — and when the job was
+// submitted with CancelOnAbandon and this was its last watcher, the
+// job is canceled: an abandoned job must stop consuming workers.
+func (m *Manager[R]) Wait(ctx context.Context, id string, timeout time.Duration) (Snapshot[R], bool) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	if j == nil {
+		m.mu.Unlock()
+		return Snapshot[R]{}, false
+	}
+	if j.state != JobRunning {
+		snap := j.snapshotLocked()
+		m.mu.Unlock()
+		return snap, true
+	}
+	j.watchers++
+	done := j.doneCh
+	m.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+
+	m.mu.Lock()
+	j.watchers--
+	abandoned := j.cancelOnAbandon && ctx.Err() != nil &&
+		j.watchers == 0 && j.state == JobRunning
+	snap := j.snapshotLocked()
+	m.mu.Unlock()
+	if abandoned {
+		m.add("jobs_abandoned_total", 1)
+		j.cancel() // queued items die at admission, running items via their child ctx
+		m.poke()   // finalize still-queued items now, not at the next tick
+	}
+	return snap, true
+}
+
+// Cancel cancels job id: running items see their contexts die, queued
+// items are canceled at their next admission. Idempotent; reports
+// whether the job exists.
+func (m *Manager[R]) Cancel(id string) bool {
+	m.mu.Lock()
+	j := m.jobs[id]
+	m.mu.Unlock()
+	if j == nil {
+		return false
+	}
+	j.cancel()
+	m.poke() // finalize still-queued items now, not at the next tick
+	return true
+}
+
+// Close cancels every job, stops the coordinator, and waits for it to
+// exit. Items already dispatched finish on their own goroutines (their
+// contexts are canceled, so promptly).
+func (m *Manager[R]) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	jobs := make([]*job[R], 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
+	close(m.closeCh)
+	m.loopWG.Wait()
+}
+
+// snapshotLocked builds the observable view; caller holds m.mu.
+func (j *job[R]) snapshotLocked() Snapshot[R] {
+	s := Snapshot[R]{
+		ID: j.id, Tenant: j.tenant, State: j.state,
+		Created: j.created, Finished: j.finished,
+		Total: len(j.items),
+		Items: make([]ItemState[R], len(j.items)),
+	}
+	for i, it := range j.items {
+		s.Items[i] = ItemState[R]{Status: it.status, Result: it.result, Err: it.err}
+		switch it.status {
+		case StatusDone:
+			s.Done++
+		case StatusError:
+			s.Errors++
+		case StatusCanceled:
+			s.Canceled++
+		}
+	}
+	return s
+}
+
+// finishItemLocked records an item's terminal state and completes the
+// job when it was the last one; caller holds m.mu. wasAdmitted says
+// whether the item holds a scheduler in-flight slot to release.
+func (m *Manager[R]) finishItemLocked(it *item[R], st Status, errMsg string, wasAdmitted bool) {
+	if it.status.Terminal() {
+		return
+	}
+	it.status = st
+	it.err = errMsg
+	if wasAdmitted {
+		m.running--
+		m.sched.release(it.job.tenant)
+	}
+	j := it.job
+	j.remaining--
+	if j.remaining > 0 {
+		return
+	}
+	// Last item: the job is terminal.
+	j.finished = time.Now()
+	if j.ctx.Err() != nil {
+		j.state = JobCanceled
+	} else {
+		j.state = JobDone
+	}
+	j.cancel() // release the deadline timer
+	close(j.doneCh)
+	m.finished = append(m.finished, j)
+	m.add("jobs_completed_total{state="+j.state+"}", 1)
+	m.observe("job_duration_ns", j.finished.Sub(j.created).Nanoseconds())
+}
+
+// evictLocked removes a finished job from the table; caller holds m.mu
+// and guarantees j is m.finished[0].
+func (m *Manager[R]) evictLocked(j *job[R]) {
+	delete(m.jobs, j.id)
+	m.finished = m.finished[1:]
+	m.add("jobs_evicted_total", 1)
+}

@@ -1,0 +1,175 @@
+package batch
+
+// Deficit-round-robin fair scheduler: one FIFO queue per tenant, a
+// round-robin ring over tenants with queued work, and a per-tenant
+// deficit counter. Each admission round credits every active tenant
+// Quantum cost units and pops items while the tenant has deficit for
+// the head item and in-flight headroom. A tenant whose queue empties
+// forfeits its remaining deficit (classic DRR), and accumulated credit
+// is capped so a long-capped tenant cannot burst unboundedly when its
+// in-flight slots free up. All methods are called with the Manager's
+// mutex held.
+
+// deficitCapRounds bounds how many quanta of unspent credit a tenant
+// may bank while blocked on its in-flight cap.
+const deficitCapRounds = 4
+
+// tenantQueue is one tenant's scheduling state.
+type tenantQueue[R any] struct {
+	name    string
+	q       []*item[R] // FIFO; head is q[head]
+	head    int
+	deficit int
+	// inflight counts admitted-but-unfinished items; it gates
+	// admission against Config.TenantInFlight.
+	inflight int
+	ringed   bool // currently in the admission ring
+}
+
+func (t *tenantQueue[R]) empty() bool { return t.head >= len(t.q) }
+
+func (t *tenantQueue[R]) queued() int { return len(t.q) - t.head }
+
+func (t *tenantQueue[R]) pop() *item[R] {
+	it := t.q[t.head]
+	t.q[t.head] = nil // release for GC
+	t.head++
+	if t.head == len(t.q) {
+		t.q = t.q[:0]
+		t.head = 0
+	}
+	return it
+}
+
+// sched is the scheduler over all tenants.
+type sched[R any] struct {
+	tenants map[string]*tenantQueue[R]
+	ring    []*tenantQueue[R]
+	next    int // ring index the next admission round starts at
+}
+
+func newSched[R any]() *sched[R] {
+	return &sched[R]{tenants: map[string]*tenantQueue[R]{}}
+}
+
+func (s *sched[R]) tenant(name string) *tenantQueue[R] {
+	t := s.tenants[name]
+	if t == nil {
+		t = &tenantQueue[R]{name: name}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// push enqueues items for tenant name and activates it in the ring.
+func (s *sched[R]) push(name string, items []*item[R]) {
+	t := s.tenant(name)
+	t.q = append(t.q, items...)
+	if !t.ringed && !t.empty() {
+		t.ringed = true
+		s.ring = append(s.ring, t)
+	}
+}
+
+// pending returns the total queued (unadmitted) item count.
+func (s *sched[R]) pending() int {
+	n := 0
+	for _, t := range s.tenants {
+		n += t.queued()
+	}
+	return n
+}
+
+// admit runs admission rounds until maxItems are admitted or no tenant
+// can make progress, and returns the admitted items in admission order.
+// Each round visits the ring once starting after the previous round's
+// start, credits Quantum to every visited tenant with queued work, and
+// pops while deficit and in-flight headroom allow.
+func (s *sched[R]) admit(quantum, inflightCap, maxItems int) []*item[R] {
+	var out []*item[R]
+	for len(out) < maxItems && len(s.ring) > 0 {
+		progress := false
+		n := len(s.ring)
+		for k := 0; k < n && len(out) < maxItems; k++ {
+			t := s.ring[(s.next+k)%n]
+			if t.empty() {
+				continue
+			}
+			if t.deficit += quantum; t.deficit > deficitCapRounds*quantum {
+				t.deficit = deficitCapRounds * quantum
+			}
+			for !t.empty() && t.inflight < inflightCap && t.deficit >= t.q[t.head].cost && len(out) < maxItems {
+				it := t.pop()
+				t.deficit -= it.cost
+				t.inflight++
+				out = append(out, it)
+				progress = true
+			}
+			if t.empty() {
+				t.deficit = 0
+			}
+		}
+		if n > 0 {
+			s.next = (s.next + 1) % n
+		}
+		if !progress {
+			break
+		}
+	}
+	s.compactRing()
+	return out
+}
+
+// compactRing drops drained tenants from the ring and forgets tenants
+// with neither queued nor in-flight work, bounding memory under tenant
+// churn. Ring order among survivors is preserved, and the round-robin
+// cursor keeps pointing at the tenant it pointed at before (or the
+// first surviving one after it).
+func (s *sched[R]) compactRing() {
+	n := len(s.ring)
+	if n == 0 {
+		return
+	}
+	var anchor *tenantQueue[R]
+	for k := 0; k < n; k++ {
+		if t := s.ring[(s.next+k)%n]; !t.empty() {
+			anchor = t
+			break
+		}
+	}
+	kept := s.ring[:0] // in-order left shift: safe in-place compaction
+	for _, t := range s.ring {
+		if t.empty() {
+			t.ringed = false
+			if t.inflight == 0 {
+				delete(s.tenants, t.name)
+			}
+			continue
+		}
+		kept = append(kept, t)
+	}
+	for i := len(kept); i < n; i++ {
+		s.ring[i] = nil // release dropped tails for GC
+	}
+	s.ring = kept
+	s.next = 0
+	for i, t := range s.ring {
+		if t == anchor {
+			s.next = i
+			break
+		}
+	}
+}
+
+// release returns an in-flight slot to tenant name when an admitted
+// item finishes.
+func (s *sched[R]) release(name string) {
+	t := s.tenants[name]
+	if t == nil {
+		return
+	}
+	t.inflight--
+	if t.inflight == 0 && t.empty() && !t.ringed {
+		delete(s.tenants, name)
+	}
+}

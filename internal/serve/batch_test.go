@@ -1,0 +1,485 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// postBatch submits a batch body under tenant and returns the raw
+// response plus the decoded 202 payload (zero when not 202).
+func postBatch(t *testing.T, ts *httptest.Server, tenant, body string) (*http.Response, BatchAccepted) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/certify/batch", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var acc BatchAccepted
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+			t.Fatalf("decode 202 body: %v", err)
+		}
+	}
+	return resp, acc
+}
+
+// getJob fetches /v1/jobs/{id}; wait is the long-poll duration ("" for
+// a plain poll). Returns the status code and the decoded job (zero
+// unless 200).
+func getJob(t *testing.T, ts *httptest.Server, id, wait string) (int, JobJSON) {
+	t.Helper()
+	url := ts.URL + "/v1/jobs/" + id
+	if wait != "" {
+		url += "?wait=" + wait
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job JobJSON
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatalf("decode job body: %v", err)
+		}
+	}
+	return resp.StatusCode, job
+}
+
+// pollJobDone long-polls job id until it leaves JobRunning, failing the
+// test after ~15s.
+func pollJobDone(t *testing.T, ts *httptest.Server, id string) JobJSON {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		code, job := getJob(t, ts, id, "2s")
+		if code != http.StatusOK {
+			t.Fatalf("job %s: status %d", id, code)
+		}
+		if job.State != "running" {
+			return job
+		}
+	}
+	t.Fatalf("job %s still running after 15s", id)
+	return JobJSON{}
+}
+
+// mixedItems builds n certify request bodies cycling through protocols,
+// families, and sizes; base perturbs the seeds so distinct calls build
+// distinct instances.
+func mixedItems(n int, base int64) []string {
+	items := make([]string, n)
+	for i := range items {
+		seed := base + int64(i)
+		switch i % 4 {
+		case 0:
+			items[i] = fmt.Sprintf(`{"protocol":"planarity","seed":%d,"graph":{"n":4,"edges":[[0,1],[0,2],[0,3],[1,2],[1,3],[2,3]]}}`, seed)
+		case 1:
+			items[i] = fmt.Sprintf(`{"protocol":"pathouter","seed":%d,"gen":{"family":"pathouter","n":%d,"seed":%d}}`, seed, 16+(i%3)*16, seed)
+		case 2:
+			items[i] = fmt.Sprintf(`{"protocol":"planarity","seed":%d,"gen":{"family":"k4sub","n":24,"seed":%d}}`, seed, seed)
+		default:
+			items[i] = fmt.Sprintf(`{"protocol":"planarity","seed":%d,"gen":{"family":"outerplanar","n":32,"seed":%d}}`, seed, seed)
+		}
+	}
+	return items
+}
+
+func batchBody(items []string, extra string) string {
+	var b bytes.Buffer
+	b.WriteString(`{"items":[`)
+	b.WriteString(strings.Join(items, ","))
+	b.WriteString(`]`)
+	if extra != "" {
+		b.WriteString(",")
+		b.WriteString(extra)
+	}
+	b.WriteString(`}`)
+	return b.String()
+}
+
+// TestBatchMixedTenantsMatchesSync is the acceptance scenario: 100
+// mixed items split across 3 tenants complete via submit→poll, and
+// every async verdict equals the synchronous /v1/certify verdict for
+// the same request.
+func TestBatchMixedTenantsMatchesSync(t *testing.T) {
+	s, ts := newTestServer(t, Config{BatchEpochInterval: 5 * time.Millisecond})
+
+	all := mixedItems(100, 9000)
+	tenants := []string{"alpha", "beta", "gamma"}
+	split := [][]string{all[:34], all[34:67], all[67:]}
+
+	ids := make([]string, len(tenants))
+	for i, tenant := range tenants {
+		resp, acc := postBatch(t, ts, tenant, batchBody(split[i], ""))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("tenant %s: submit status %d", tenant, resp.StatusCode)
+		}
+		if acc.JobID == "" || acc.Items != len(split[i]) {
+			t.Fatalf("tenant %s: bad accept %+v", tenant, acc)
+		}
+		if resp.Header.Get("Location") != "/v1/jobs/"+acc.JobID {
+			t.Fatalf("tenant %s: Location %q", tenant, resp.Header.Get("Location"))
+		}
+		ids[i] = acc.JobID
+	}
+
+	for i, id := range ids {
+		job := pollJobDone(t, ts, id)
+		if job.State != "done" {
+			t.Fatalf("job %s: state %s (%d errors, %d canceled)", id, job.State, job.Errors, job.Canceled)
+		}
+		if job.Tenant != tenants[i] || job.Done != len(split[i]) || job.Errors != 0 || job.Canceled != 0 {
+			t.Fatalf("job %s: %+v", id, job)
+		}
+		for k, item := range job.Items {
+			if item.Status != "done" || item.Result == nil {
+				t.Fatalf("job %s item %d: %+v", id, k, item)
+			}
+			// The async verdict must equal the synchronous one.
+			resp, sync := postCertify(t, ts, split[i][k])
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("sync certify item %d: status %d", k, resp.StatusCode)
+			}
+			r := item.Result
+			if r.Accepted != sync.Accepted || r.Key != sync.Key ||
+				r.Fingerprint != sync.Fingerprint || r.ProofSizeBits != sync.ProofSizeBits {
+				t.Fatalf("item %d verdict diverged: async %+v vs sync %+v", k, r, sync)
+			}
+		}
+	}
+
+	reg := s.Registry()
+	for _, tenant := range tenants {
+		if got := reg.Get("tenant_admitted_total{tenant=" + tenant + "}"); got == 0 {
+			t.Errorf("tenant_admitted_total{tenant=%s} = 0", tenant)
+		}
+	}
+	if reg.Get("epochs_total") == 0 {
+		t.Error("epochs_total = 0, coordinator never admitted")
+	}
+	if _, ok := reg.Histogram("epoch_admit_ns"); !ok {
+		t.Error("epoch_admit_ns histogram missing")
+	}
+}
+
+// TestBatchDedupSingleEngineRun: identical items — within one batch and
+// across concurrent batches — share one engine run through the cache /
+// singleflight layer. pathouter is a single-root-span protocol, so
+// runs_total counts engine runs exactly.
+func TestBatchDedupSingleEngineRun(t *testing.T) {
+	s, ts := newTestServer(t, Config{BatchEpochInterval: 2 * time.Millisecond})
+
+	item := `{"protocol":"pathouter","seed":77,"gen":{"family":"pathouter","n":40,"seed":77}}`
+	same := make([]string, 8)
+	for i := range same {
+		same[i] = item
+	}
+	body := batchBody(same, "")
+
+	var wg sync.WaitGroup
+	ids := make([]string, 3)
+	for b := range ids {
+		b := b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, acc := postBatch(t, ts, fmt.Sprintf("t%d", b), body)
+			if resp.StatusCode != http.StatusAccepted {
+				t.Errorf("batch %d: status %d", b, resp.StatusCode)
+				return
+			}
+			ids[b] = acc.JobID
+		}()
+	}
+	wg.Wait()
+
+	computed := 0
+	for _, id := range ids {
+		if id == "" {
+			t.Fatal("a batch submission failed")
+		}
+		job := pollJobDone(t, ts, id)
+		if job.State != "done" || job.Done != len(same) {
+			t.Fatalf("job %s: %+v", id, job)
+		}
+		for _, it := range job.Items {
+			if !it.Result.CacheHit && !it.Result.Shared {
+				computed++
+			}
+		}
+	}
+	if computed != 1 {
+		t.Errorf("%d items computed, want exactly 1 (rest hits/shared)", computed)
+	}
+	if got := s.Registry().Get("runs_total"); got != 1 {
+		t.Errorf("runs_total = %d, want 1: identical keys must run the engine once", got)
+	}
+}
+
+// TestBatchJobDeadlinePropagates: a job whose deadline fires before the
+// coordinator admits its items cancels every sub-item — the job-level
+// context is the parent of each item context — and the job reaches a
+// terminal state pollable by the client.
+func TestBatchJobDeadlinePropagates(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		// Admission is slower than the job deadline, so the deadline
+		// deterministically beats every item to the worker pool.
+		BatchEpochInterval: 150 * time.Millisecond,
+	})
+
+	body := batchBody(mixedItems(10, 4000), `"timeout_ms":30`)
+	resp, acc := postBatch(t, ts, "dl", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	job := pollJobDone(t, ts, acc.JobID)
+	if job.State != "canceled" {
+		t.Fatalf("state %s, want canceled", job.State)
+	}
+	if job.Canceled != 10 || job.Done != 0 {
+		t.Fatalf("items: %+v", job)
+	}
+	for i, it := range job.Items {
+		if it.Status != "canceled" || it.Error == "" {
+			t.Fatalf("item %d: %+v", i, it)
+		}
+	}
+	if got := s.pool.InFlight(); got != 0 {
+		t.Errorf("pool in-flight %d after canceled job, want 0", got)
+	}
+	if got := s.Registry().Get("jobs_completed_total{state=canceled}"); got != 1 {
+		t.Errorf("jobs_completed_total{state=canceled} = %d, want 1", got)
+	}
+}
+
+// TestBatchAbandonmentStopsWork: when the last long-poll watcher of a
+// CancelOnAbandon job disconnects, the job is canceled before its items
+// ever reach the worker pool — an abandoned job stops consuming workers.
+func TestBatchAbandonmentStopsWork(t *testing.T) {
+	s, ts := newTestServer(t, Config{BatchEpochInterval: 300 * time.Millisecond})
+
+	body := batchBody(mixedItems(10, 6000), `"cancel_on_abandon":true`)
+	resp, acc := postBatch(t, ts, "walkaway", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	// Long-poll, then hang up well before the first admission epoch.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		ts.URL+"/v1/jobs/"+acc.JobID+"?wait=10s", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollErr := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		pollErr <- err
+	}()
+	time.Sleep(60 * time.Millisecond) // let the handler register its watcher
+	cancel()
+	if err := <-pollErr; err == nil {
+		t.Fatal("canceled long-poll returned without error")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	var job JobJSON
+	for time.Now().Before(deadline) {
+		_, job = getJob(t, ts, acc.JobID, "")
+		if job.State != "running" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if job.State != "canceled" {
+		t.Fatalf("state %s, want canceled after abandonment", job.State)
+	}
+	if job.Canceled != 10 {
+		t.Fatalf("canceled %d items, want 10: %+v", job.Canceled, job)
+	}
+	reg := s.Registry()
+	if got := reg.Get("jobs_abandoned_total"); got != 1 {
+		t.Errorf("jobs_abandoned_total = %d, want 1", got)
+	}
+	if got := s.pool.InFlight(); got != 0 {
+		t.Errorf("pool in-flight %d after abandoned job, want 0", got)
+	}
+	if got := reg.Gauge("batch_running"); got != 0 {
+		t.Errorf("batch_running = %d, want 0", got)
+	}
+
+	// A long-poll that merely times out is not abandonment: the client
+	// is still coming back.
+	resp2, acc2 := postBatch(t, ts, "patient", body)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit status %d", resp2.StatusCode)
+	}
+	if code, job := getJob(t, ts, acc2.JobID, "1ms"); code != http.StatusOK || job.State != "running" {
+		t.Fatalf("timed-out poll: code %d state %s", code, job.State)
+	}
+	if got := reg.Get("jobs_abandoned_total"); got != 1 {
+		t.Errorf("timed-out poll counted as abandonment: %d", got)
+	}
+}
+
+// TestShedRetryAfterAndTenantCounter: 429 responses carry a
+// saturation-derived Retry-After and count per tenant under
+// requests_outcome_total{class=shed_429,tenant=...}.
+func TestShedRetryAfterAndTenantCounter(t *testing.T) {
+	s, ts := newTestServer(t, Config{Shards: 1, WorkersPerShard: 1, QueueLen: 1})
+
+	var mu sync.Mutex
+	var shedHeaders []string
+	sawShed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(shedHeaders) > 0
+	}
+
+	for round := 0; round < 5 && !sawShed(); round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < 24; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				body := fmt.Sprintf(`{"protocol":"pathouter","seed":%d,"gen":{"family":"pathouter","n":64,"seed":%d}}`,
+					round*100+i, round*100+i)
+				req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/certify", strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				req.Header.Set("X-Tenant", "Loud Tenant!")
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode == http.StatusTooManyRequests {
+					mu.Lock()
+					shedHeaders = append(shedHeaders, resp.Header.Get("Retry-After"))
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if !sawShed() {
+		t.Skip("could not saturate the 1-worker pool; environment too fast")
+	}
+	for _, h := range shedHeaders {
+		secs, err := strconv.Atoi(h)
+		if err != nil || secs < 1 || secs > maxRetryAfterSecs {
+			t.Fatalf("Retry-After %q, want integer in [1,%d]", h, maxRetryAfterSecs)
+		}
+	}
+	// "Loud Tenant!" sanitizes to loudtenant.
+	if got := s.Registry().Get("requests_outcome_total{class=shed_429,tenant=loudtenant}"); got == 0 {
+		t.Error("per-tenant shed counter missing")
+	}
+	if got := s.Registry().Get("requests_outcome_total{class=shed_429}"); got == 0 {
+		t.Error("class-only shed counter missing")
+	}
+}
+
+// TestBatchValidationAllOrNothing: one bad item fails the whole
+// submission with 400 and enqueues nothing.
+func TestBatchValidationAllOrNothing(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	items := mixedItems(3, 100)
+	items = append(items, `{"protocol":"nope","seed":1,"graph":{"n":2,"edges":[[0,1]]}}`)
+	resp, _ := postBatch(t, ts, "", batchBody(items, ""))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if got := s.Registry().Get("jobs_submitted_total"); got != 0 {
+		t.Errorf("jobs_submitted_total = %d after rejected batch, want 0", got)
+	}
+
+	if r, _ := postBatch(t, ts, "", `{"items":[]}`); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", r.StatusCode)
+	}
+}
+
+// TestBatchTenantQueueShed: a tenant over its queue cap sheds with 429
+// plus Retry-After, and the rejection is counted against the tenant.
+func TestBatchTenantQueueShed(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		TenantQueueCap: 4,
+		// Nothing drains before the assertion window.
+		BatchEpochInterval: time.Minute,
+	})
+	if resp, _ := postBatch(t, ts, "greedy", batchBody(mixedItems(4, 200), "")); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first batch: status %d", resp.StatusCode)
+	}
+	resp, _ := postBatch(t, ts, "greedy", batchBody(mixedItems(1, 300), ""))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap batch: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if got := s.Registry().Get("tenant_rejected_total{tenant=greedy}"); got != 1 {
+		t.Errorf("tenant_rejected_total{tenant=greedy} = %d, want 1", got)
+	}
+	// Another tenant's queue is unaffected.
+	if r, _ := postBatch(t, ts, "modest", batchBody(mixedItems(2, 400), "")); r.StatusCode != http.StatusAccepted {
+		t.Errorf("other tenant: status %d, want 202", r.StatusCode)
+	}
+}
+
+// TestJobEndpointEdges: unknown ids 404, cancel works, bad wait 400.
+func TestJobEndpointEdges(t *testing.T) {
+	_, ts := newTestServer(t, Config{BatchEpochInterval: time.Minute})
+
+	if code, _ := getJob(t, ts, "nope", ""); code != http.StatusNotFound {
+		t.Errorf("GET unknown job: %d, want 404", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/nope", nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown job: %d, want 404", resp.StatusCode)
+	}
+
+	_, acc := postBatch(t, ts, "", batchBody(mixedItems(2, 500), ""))
+	if code, _ := getJob(t, ts, acc.JobID, "bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad wait: %d, want 400", code)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+acc.JobID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: %d, want 200", resp.StatusCode)
+	}
+	job := pollJobDone(t, ts, acc.JobID)
+	if job.State != "canceled" {
+		t.Errorf("state %s after DELETE, want canceled", job.State)
+	}
+}

@@ -18,6 +18,51 @@ import (
 // queue_wait, run, encode) into the request's stageTrack; each stage
 // feeds certify_stage_ns{stage=...} and rides along in the log row.
 
+// Tenants: multi-tenant requests identify themselves with the X-Tenant
+// header (an API-key-derived name in a real deployment). The middleware
+// sanitizes it, stores it on the request context for the batch
+// scheduler, and labels shed (429) outcomes per tenant so a hot
+// tenant's backpressure is attributable.
+
+type tenantKey struct{}
+
+// DefaultTenant is the tenant name of requests carrying no (or an
+// unusable) X-Tenant header.
+const DefaultTenant = "anon"
+
+// maxTenantLen bounds tenant names: they become metric labels, so both
+// length and alphabet must stay tame.
+const maxTenantLen = 32
+
+// sanitizeTenant lowercases name and keeps [a-z0-9._-], truncated to
+// maxTenantLen; an empty or fully invalid name maps to DefaultTenant.
+func sanitizeTenant(name string) string {
+	var b []byte
+	for i := 0; i < len(name) && len(b) < maxTenantLen; i++ {
+		c := name[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			c += 'a' - 'A'
+			fallthrough
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+			b = append(b, c)
+		}
+	}
+	if len(b) == 0 {
+		return DefaultTenant
+	}
+	return string(b)
+}
+
+// tenantOf returns the sanitized tenant of the request, stored on the
+// context by the middleware (DefaultTenant outside the handler chain).
+func tenantOf(r *http.Request) string {
+	if t, _ := r.Context().Value(tenantKey{}).(string); t != "" {
+		return t
+	}
+	return DefaultTenant
+}
+
 // stageSpan is one named timing inside a request.
 type stageSpan struct {
 	Name string
@@ -137,7 +182,10 @@ func (s *Server) instrument(next *http.ServeMux) http.Handler {
 		w.Header().Set("X-Request-Id", strconv.FormatUint(id, 10))
 
 		st := &stageTrack{}
-		r = r.WithContext(context.WithValue(r.Context(), stageKey{}, st))
+		tenant := sanitizeTenant(r.Header.Get("X-Tenant"))
+		ctx := context.WithValue(r.Context(), stageKey{}, st)
+		ctx = context.WithValue(ctx, tenantKey{}, tenant)
+		r = r.WithContext(ctx)
 
 		pattern := "unmatched"
 		if _, p := next.Handler(r); p != "" {
@@ -153,7 +201,15 @@ func (s *Server) instrument(next *http.ServeMux) http.Handler {
 		}
 		dur := time.Since(start)
 		s.reg.Observe("http_request_duration_ns{path="+pattern+"}", dur.Nanoseconds())
-		s.reg.Add("requests_outcome_total{class="+outcomeClass(sr.status)+"}", 1)
+		class := outcomeClass(sr.status)
+		s.reg.Add("requests_outcome_total{class="+class+"}", 1)
+		if class == "shed_429" {
+			// Sheds additionally count per tenant: under saturation the
+			// interesting question is WHO is being shed. Only this class
+			// gets the tenant label, keeping cardinality at
+			// O(tenants) instead of O(tenants × classes).
+			s.reg.Add("requests_outcome_total{class=shed_429,tenant="+tenant+"}", 1)
+		}
 
 		if s.access != nil {
 			st.mu.Lock()

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrQueueFull is returned by Pool.Submit when the target shard's
@@ -114,6 +116,47 @@ func (p *Pool) Submit(key RequestKey, job func()) error {
 func (p *Pool) Run(key RequestKey, job func()) error {
 	done := make(chan struct{})
 	if err := p.Submit(key, func() {
+		defer close(done)
+		job()
+	}); err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
+// submitRetryInterval paces SubmitWait's re-submission attempts while
+// the target shard's queue is full.
+const submitRetryInterval = 2 * time.Millisecond
+
+// SubmitWait enqueues job on the shard owning key, waiting for queue
+// headroom instead of failing fast: where Submit turns saturation into
+// ErrQueueFull (the interactive 429 path), SubmitWait retries until the
+// job is accepted, ctx is done, or the pool closes. Batch work uses it
+// so admitted items absorb transient saturation from interactive
+// traffic instead of erroring.
+func (p *Pool) SubmitWait(ctx context.Context, key RequestKey, job func()) error {
+	for {
+		err := p.Submit(key, job)
+		if err == nil || errors.Is(err, ErrPoolClosed) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(submitRetryInterval):
+		}
+	}
+}
+
+// RunWait submits job with SubmitWait semantics and waits for it to
+// finish. Once the job is enqueued it always runs to completion (the
+// job itself should check ctx and return early when canceled), so a
+// nil return means the job function has executed — callers may safely
+// read state the job wrote.
+func (p *Pool) RunWait(ctx context.Context, key RequestKey, job func()) error {
+	done := make(chan struct{})
+	if err := p.SubmitWait(ctx, key, func() {
 		defer close(done)
 		job()
 	}); err != nil {

@@ -9,10 +9,12 @@ import (
 	"math/rand"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/dip"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -51,6 +53,31 @@ type Config struct {
 	// ReadySaturation is the fullest-shard queue occupancy in (0, 1]
 	// above which /v1/readyz reports not-ready (default 0.9).
 	ReadySaturation float64
+
+	// Async batch settings (POST /v1/certify/batch, GET /v1/jobs/{id}).
+	// BatchEpochInterval is the epoch coordinator's admission period
+	// (default 25ms); BatchMaxItems caps one epoch's admissions and is
+	// the early-flush threshold (default 256).
+	BatchEpochInterval time.Duration
+	BatchMaxItems      int
+	// BatchQuantum is the deficit-round-robin credit per tenant per
+	// admission round (default 8); TenantInFlight caps one tenant's
+	// concurrently admitted items (default 16); TenantQueueCap bounds
+	// one tenant's queued items, beyond which submissions shed with 429
+	// (default 4096).
+	BatchQuantum   int
+	TenantInFlight int
+	TenantQueueCap int
+	// MaxBatchItems bounds the item count of one batch request
+	// (default 512).
+	MaxBatchItems int
+	// JobRetention is how long a finished job stays pollable before TTL
+	// eviction (default 5m); MaxJobs bounds tracked jobs (default 1024).
+	JobRetention time.Duration
+	MaxJobs      int
+	// MaxWait caps the ?wait= long-poll duration on /v1/jobs/{id}
+	// (default 30s).
+	MaxWait time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +113,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReadySaturation <= 0 || c.ReadySaturation > 1 {
 		c.ReadySaturation = 0.9
+	}
+	if c.BatchEpochInterval <= 0 {
+		c.BatchEpochInterval = 25 * time.Millisecond
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 512
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 5 * time.Minute
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 30 * time.Second
 	}
 	return c
 }
@@ -165,6 +204,7 @@ type Server struct {
 	cfg       Config
 	pool      *Pool
 	cache     *Cache
+	batch     *batch.Manager[*Response]
 	reg       *obs.Registry
 	mux       *http.ServeMux
 	handler   http.Handler // mux wrapped in the per-request middleware
@@ -182,11 +222,29 @@ func New(cfg Config) *Server {
 		reg:   cfg.Registry,
 		mux:   http.NewServeMux(),
 	}
+	// The batch manager coordinates async jobs; each admitted item's Run
+	// closure routes through the same cache/singleflight/pool path as
+	// synchronous certify, so batches deduplicate against interactive
+	// traffic and against each other. The job deadline defaults to
+	// MaxTimeout: a batch bounds many items, not one run.
+	s.batch = batch.NewManager[*Response](batch.Config{
+		EpochInterval:  cfg.BatchEpochInterval,
+		EpochMaxItems:  cfg.BatchMaxItems,
+		Quantum:        cfg.BatchQuantum,
+		TenantInFlight: cfg.TenantInFlight,
+		TenantQueueCap: cfg.TenantQueueCap,
+		DefaultTimeout: cfg.MaxTimeout,
+		Retention:      cfg.JobRetention,
+		MaxJobs:        cfg.MaxJobs,
+		Registry:       cfg.Registry,
+	})
 	// The versioned surface is canonical; the unversioned legacy paths
 	// serve the same handlers but advertise their successor via the
 	// Deprecation / Link headers (RFC 8594 style). /healthz stays
 	// unversioned-friendly without deprecation: probes don't migrate.
 	s.mux.HandleFunc("/v1/certify", s.handleCertify)
+	s.mux.HandleFunc("/v1/certify/batch", s.handleBatchSubmit)
+	s.mux.HandleFunc("/v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/v1/metricsz", s.handleMetricsz)
@@ -241,9 +299,53 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // Registry returns the counter registry backing /metricsz.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// Close drains the worker pool. In-flight requests finish; subsequent
-// submissions fail with ErrPoolClosed (HTTP 503).
-func (s *Server) Close() { s.pool.Close() }
+// Close shuts the batch manager (cancels outstanding jobs, unblocks
+// long-polls) and then drains the worker pool. In-flight requests
+// finish; subsequent submissions fail with ErrPoolClosed (HTTP 503).
+func (s *Server) Close() {
+	s.batch.Close()
+	s.pool.Close()
+}
+
+// maxRetryAfterSecs caps the Retry-After hint on shed responses.
+const maxRetryAfterSecs = 8
+
+// retryAfterSecs derives the Retry-After hint sent with 429 responses
+// from how saturated the service actually is: the mean queue occupancy
+// across shards plus the batch backlog scale the hint from 1s (one
+// shard briefly full) toward maxRetryAfterSecs (everything deep in
+// backlog), so clients back off proportionally instead of stampeding
+// on a fixed interval.
+func (s *Server) retryAfterSecs() int {
+	var queued float64
+	for sh := 0; sh < s.pool.Shards(); sh++ {
+		queued += float64(s.pool.QueueDepth(sh))
+	}
+	occ := queued / float64(s.pool.Shards()*s.pool.QueueCap())
+	if pending := s.reg.Gauge("batch_pending"); pending > 0 {
+		// Pending batch items drain through the same workers; a full
+		// epoch's worth of backlog weighs like a fully occupied queue.
+		extra := float64(pending) / float64(s.cfg.BatchMaxItems)
+		if extra > 1 {
+			extra = 1
+		}
+		occ += extra
+	}
+	if occ > 1 {
+		occ = 1
+	}
+	secs := 1 + int(occ*float64(maxRetryAfterSecs-1)+0.5)
+	if secs > maxRetryAfterSecs {
+		secs = maxRetryAfterSecs
+	}
+	return secs
+}
+
+// shed sends a 429 with the saturation-derived Retry-After header.
+func (s *Server) shed(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
+	s.fail(w, http.StatusTooManyRequests, format, args...)
+}
 
 func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
 	s.reg.Add(fmt.Sprintf("responses_total{code=%d}", code), 1)
@@ -496,8 +598,7 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			s.reg.Add("queue_full_total", 1)
-			w.Header().Set("Retry-After", "1")
-			s.fail(w, http.StatusTooManyRequests, "worker queues full, retry later")
+			s.shed(w, "worker queues full, retry later")
 		case errors.Is(err, ErrPoolClosed):
 			s.fail(w, http.StatusServiceUnavailable, "server shutting down")
 		case dip.Aborted(err):
