@@ -12,10 +12,19 @@
 //	-memprofile FILE write a pprof heap profile at exit
 //	-hotpath FILE    run only the engine hot-path + service throughput
 //	                 benchmarks and merge the numbers into FILE
-//	                 (BENCH_dip.json); the first write freezes the
-//	                 baseline, later writes replace the current section;
-//	                 a run at a different GOMAXPROCS than the baseline
-//	                 is refused unless -force is given
+//	                 (BENCH_dip.json); the first measurement of each row
+//	                 freezes its baseline, later writes replace the
+//	                 current value; a run at a different GOMAXPROCS than
+//	                 the baseline is refused unless -force is given
+//	-scaling FILE    run the n × GOMAXPROCS scaling table (builder-built
+//	                 grids certified through the orchestrated engine at
+//	                 n ∈ {10^4,10^5,10^6} × P ∈ {1,4}; -quick drops the
+//	                 10^6 tier) and merge the rows into FILE alongside
+//	                 the hot-path numbers
+//	-assert-speedup X  with -scaling: exit nonzero unless, for every n,
+//	                 ns/op at the highest P is <= X × ns/op at P=1 (the
+//	                 CI "parallel is not slower" smoke; use ~1.2 to
+//	                 absorb scheduler noise)
 //
 // Every sweep point runs on its own child seed derived from (-seed,
 // sweep name, n), so a single row is reproducible in isolation and a
@@ -52,11 +61,20 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memProfile := flag.String("memprofile", "", "write heap profile to file")
 	hotPath := flag.String("hotpath", "", "run only the hot-path benchmarks and merge numbers into this JSON file")
-	force := flag.Bool("force", false, "with -hotpath: overwrite current even when GOMAXPROCS differs from the baseline")
+	scaling := flag.String("scaling", "", "run only the n × GOMAXPROCS scaling table and merge rows into this JSON file")
+	assertSpeedup := flag.Float64("assert-speedup", 0, "with -scaling: fail unless parallel ns/op <= this factor × serial ns/op for every n")
+	force := flag.Bool("force", false, "with -hotpath/-scaling: overwrite current even when GOMAXPROCS differs from the baseline")
 	soundnessSweep := flag.Bool("soundness", false, "run only the Monte-Carlo soundness estimator sweep (E-S)")
 	flag.Parse()
 	if *hotPath != "" {
 		if err := runHotPath(*hotPath, *jsonOut, *force); err != nil {
+			fmt.Fprintln(os.Stderr, "dipbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scaling != "" {
+		if err := runScaling(*scaling, *quick, *jsonOut, *force, *assertSpeedup); err != nil {
 			fmt.Fprintln(os.Stderr, "dipbench:", err)
 			os.Exit(1)
 		}
@@ -101,6 +119,45 @@ func runHotPath(file string, jsonOut, force bool) error {
 		}
 	}
 	return benchkit.WriteFile(file, "cmd/dipbench -hotpath", results, force)
+}
+
+// runScaling measures the streaming bulk pipeline end to end: per grid
+// size, one Builder-built instance frozen exactly once, certified by
+// the orchestrated engine at each GOMAXPROCS column, and the rows
+// merged into the bench file next to the hot-path numbers. With
+// -assert-speedup it doubles as the CI smoke that parallel execution
+// never loses to serial beyond the given tolerance.
+func runScaling(file string, quick, jsonOut, force bool, assertSpeedup float64) error {
+	results, err := benchkit.Scaling(benchkit.ScalingSizes(quick), benchkit.ScalingProcs())
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, r := range results {
+			if err := enc.Encode(map[string]any{
+				"type": "scaling_bench", "name": r.Name, "n": r.N, "gomaxprocs": r.GOMAXPROCS,
+				"iterations": r.Iterations, "ns_per_op": r.NsPerOp,
+				"bytes_per_op": r.BytesPerOp, "allocs_per_op": r.AllocsPerOp,
+			}); err != nil {
+				return err
+			}
+		}
+	} else {
+		fmt.Printf("%-24s %10s %6s %10s %16s %16s %14s\n", "benchmark", "n", "procs", "iters", "ns/op", "B/op", "allocs/op")
+		for _, r := range results {
+			fmt.Printf("%-24s %10d %6d %10d %16d %16d %14d\n",
+				r.Name, r.N, r.GOMAXPROCS, r.Iterations, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+	}
+	note := fmt.Sprintf("cmd/dipbench -scaling (NumCPU=%d)", runtime.NumCPU())
+	if err := benchkit.WriteFile(file, note, results, force); err != nil {
+		return err
+	}
+	if assertSpeedup > 0 {
+		return benchkit.AssertSpeedup(results, assertSpeedup)
+	}
+	return nil
 }
 
 // runSoundness runs the registry-wide Monte-Carlo soundness sweep

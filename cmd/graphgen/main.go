@@ -13,8 +13,10 @@
 //	graphgen -family pathouter -n 64 -format edges |
 //	    curl -s -d @- http://localhost:8080/certify
 //
-// Families: pathouter, outerplanar, triangulation, fanchain, sp,
-// treewidth2, k5sub, k33sub, k4sub.
+// Families: grid, pathouter, outerplanar, triangulation, fanchain, sp,
+// treewidth2, k5sub, k33sub, k4sub, k4planted, twisted. Sizes are capped
+// at gen.MaxN; million-node grids stream through the CSR builder and
+// emit in well under a second.
 package main
 
 import (

@@ -19,17 +19,26 @@ import (
 
 	"repro/internal/bitio"
 	"repro/internal/dip"
-	"repro/internal/graph"
 	"repro/internal/serve"
 )
 
-// Result is one benchmark measurement in wire form.
+// Result is one benchmark measurement in wire form. The hot-path rows
+// leave N and GOMAXPROCS zero (they run at the snapshot's GOMAXPROCS);
+// scaling-table rows tag both, which is what lets one file carry a
+// mixed n × GOMAXPROCS table next to the untagged rows.
 type Result struct {
 	Name        string `json:"name"`
+	N           int    `json:"n,omitempty"`
+	GOMAXPROCS  int    `json:"gomaxprocs,omitempty"`
 	Iterations  int    `json:"iterations"`
 	NsPerOp     int64  `json:"ns_per_op"`
 	BytesPerOp  int64  `json:"bytes_per_op"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// key is the merge identity of a row within a snapshot.
+func (r Result) key() string {
+	return fmt.Sprintf("%s|%d|%d", r.Name, r.N, r.GOMAXPROCS)
 }
 
 // Snapshot is one full suite run with its environment.
@@ -92,24 +101,8 @@ func (hotPathVerifier) Decide(view *dip.View) bool {
 	return sum > 0
 }
 
-func gridGraph(rows, cols int) *graph.Graph {
-	g := graph.New(rows * cols)
-	id := func(r, c int) int { return r*cols + c }
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			if c+1 < cols {
-				g.MustAddEdge(id(r, c), id(r, c+1))
-			}
-			if r+1 < rows {
-				g.MustAddEdge(id(r, c), id(r+1, c))
-			}
-		}
-	}
-	return g
-}
-
 func fixture(rows, cols, proverRounds int) (*dip.Instance, *fixedProver) {
-	g := gridGraph(rows, cols)
+	g := builderGrid(rows, cols)
 	assigns := make([]*dip.Assignment, proverRounds)
 	for pr := range assigns {
 		a := dip.NewEdgeAssignment(g)
@@ -226,13 +219,18 @@ func serveThroughput() ([]Result, error) {
 	return out, nil
 }
 
-// WriteFile merges a suite run into path: the first write freezes the
-// snapshot as both baseline and current; later writes keep the existing
-// baseline and replace current, so the file always carries the
-// before/after pair for the perf gate. A current measured at a
-// different GOMAXPROCS than the baseline is not comparable — the
-// throughput workloads scale with P — so the write is refused unless
-// force is set.
+// WriteFile merges a suite run into path. Rows merge by identity
+// (name, n, gomaxprocs): within current, a re-measured row replaces the
+// old value and unrelated rows (say, the scaling table next to the
+// hot-path rows) survive; within baseline, only rows whose identity has
+// never been measured are added, so each row's first-ever measurement
+// stays frozen as its baseline for the perf gate.
+//
+// Untagged rows (gomaxprocs == 0) implicitly ran at the snapshot-level
+// GOMAXPROCS, so writing them from a process at a different GOMAXPROCS
+// than the baseline's is not a comparable measurement and is refused
+// unless force is set. Self-tagged scaling rows pin their own P and
+// merge freely.
 func WriteFile(path, note string, results []Result, force bool) error {
 	snap := &Snapshot{
 		GoVersion:  runtime.Version(),
@@ -247,18 +245,70 @@ func WriteFile(path, note string, results []Result, force bool) error {
 			return fmt.Errorf("benchkit: %s exists but is not valid bench JSON: %w", path, err)
 		}
 		doc.Baseline = prev.Baseline
-		if doc.Baseline != nil && doc.Baseline.GOMAXPROCS != snap.GOMAXPROCS && !force {
+		untagged := false
+		for _, r := range results {
+			if r.GOMAXPROCS == 0 {
+				untagged = true
+				break
+			}
+		}
+		if untagged && doc.Baseline != nil && doc.Baseline.GOMAXPROCS != snap.GOMAXPROCS && !force {
 			return fmt.Errorf(
 				"benchkit: refusing to overwrite current in %s: baseline was measured at GOMAXPROCS=%d, this run at %d (use -force to override)",
 				path, doc.Baseline.GOMAXPROCS, snap.GOMAXPROCS)
 		}
+		if prev.Current != nil {
+			snap.Results = upsertResults(prev.Current.Results, results)
+		}
 	}
 	if doc.Baseline == nil {
-		doc.Baseline = snap
+		doc.Baseline = &Snapshot{
+			GoVersion:  snap.GoVersion,
+			GOMAXPROCS: snap.GOMAXPROCS,
+			Note:       snap.Note,
+			Results:    results,
+		}
+	} else {
+		doc.Baseline.Results = addMissingResults(doc.Baseline.Results, results)
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// upsertResults merges fresh rows into old by identity: matching rows
+// are replaced in place (stable order), new identities append.
+func upsertResults(old, fresh []Result) []Result {
+	out := append([]Result(nil), old...)
+	at := make(map[string]int, len(out))
+	for i, r := range out {
+		at[r.key()] = i
+	}
+	for _, r := range fresh {
+		if i, ok := at[r.key()]; ok {
+			out[i] = r
+		} else {
+			at[r.key()] = len(out)
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// addMissingResults appends only rows whose identity base lacks,
+// leaving every already-frozen baseline row untouched.
+func addMissingResults(base, fresh []Result) []Result {
+	have := make(map[string]bool, len(base))
+	for _, r := range base {
+		have[r.key()] = true
+	}
+	for _, r := range fresh {
+		if !have[r.key()] {
+			have[r.key()] = true
+			base = append(base, r)
+		}
+	}
+	return base
 }

@@ -23,11 +23,77 @@ type ChannelRunner struct {
 	fi   *frozenInstance
 	// nodeRngs are created on the first run and reseeded on later runs.
 	nodeRngs []*rand.Rand
+	// deliver/coinsUp/decide are the per-node channels, created on the
+	// first run and reused: they are always drained by the end of a run
+	// (success or error path), so reuse is safe for sequential runs.
+	deliver []chan nodeMsg
+	coinsUp []chan bitio.String
+	decide  []chan bool
+	// views[x] is node x's long-lived view. The label windows are
+	// allocated once per (proverRounds, verifierRounds) schedule and
+	// reset to length zero at the start of every run, so the per-node
+	// goroutines allocate nothing after the first run.
+	views          []View
+	viewsP, viewsV int
 }
 
-// NewChannelRunner prepares a channel-based execution environment.
+// NewChannelRunner prepares a channel-based execution environment. The
+// dense frozen form is memoized on the instance, shared with any other
+// runner on it.
 func NewChannelRunner(inst *Instance) *ChannelRunner {
-	return &ChannelRunner{inst: inst, fi: newFrozenInstance(inst)}
+	return &ChannelRunner{inst: inst, fi: inst.freeze().fi}
+}
+
+// ensureRunState builds (first run, or schedule change) or resets
+// (later runs) the channels and per-node views.
+func (cr *ChannelRunner) ensureRunState(proverRounds, verifierRounds int) {
+	fi := cr.fi
+	n := fi.n
+	if cr.deliver == nil {
+		cr.deliver = make([]chan nodeMsg, n)
+		cr.coinsUp = make([]chan bitio.String, n)
+		cr.decide = make([]chan bool, n)
+		for i := 0; i < n; i++ {
+			cr.deliver[i] = make(chan nodeMsg, 1)
+			cr.coinsUp[i] = make(chan bitio.String, 1)
+			cr.decide[i] = make(chan bool, 1)
+		}
+	}
+	if cr.views != nil && cr.viewsP == proverRounds && cr.viewsV == verifierRounds {
+		for x := range cr.views {
+			view := &cr.views[x]
+			view.Coins = view.Coins[:0]
+			view.Own = view.Own[:0]
+			for pi := range view.Nbr {
+				view.Nbr[pi] = view.Nbr[pi][:0]
+				view.EdgeLab[pi] = view.EdgeLab[pi][:0]
+			}
+		}
+		return
+	}
+	cr.views = make([]View, n)
+	cr.viewsP, cr.viewsV = proverRounds, verifierRounds
+	for x := 0; x < n; x++ {
+		ports := fi.ports[x]
+		eids := fi.portEID[x]
+		d := len(ports)
+		view := &cr.views[x]
+		view.V = x
+		view.Deg = d
+		view.Input = fi.nodeIn[x]
+		view.Coins = make([]bitio.String, 0, verifierRounds)
+		view.Own = make([]bitio.String, 0, proverRounds)
+		view.Nbr = make([][]bitio.String, d)
+		view.EdgeLab = make([][]bitio.String, d)
+		view.EdgeIn = make([]any, d)
+		view.NbrID = ports
+		flat := make([]bitio.String, 2*d*proverRounds)
+		for pi := 0; pi < d; pi++ {
+			view.Nbr[pi] = flat[2*pi*proverRounds : 2*pi*proverRounds : (2*pi+1)*proverRounds]
+			view.EdgeLab[pi] = flat[(2*pi+1)*proverRounds : (2*pi+1)*proverRounds : (2*pi+2)*proverRounds]
+			view.EdgeIn[pi] = fi.edgeIn[eids[pi]]
+		}
+	}
 }
 
 // nodeMsg is one prover-round delivery to a node: its own label, its
@@ -60,58 +126,26 @@ func (cr *ChannelRunner) Run(p Prover, v Verifier, proverRounds, verifierRounds 
 		adv.BeginRun(g)
 	}
 
-	// Channels: prover -> node deliveries, node -> prover coins, and the
-	// final decisions.
-	deliver := make([]chan nodeMsg, n)
-	coinsUp := make([]chan bitio.String, n)
-	decide := make([]chan bool, n)
-	for i := range deliver {
-		deliver[i] = make(chan nodeMsg, 1)
-		coinsUp[i] = make(chan bitio.String, 1)
-		decide[i] = make(chan bool, 1)
-	}
+	// Channels and per-node views persist across runs on the same
+	// ChannelRunner (built on the first run, reset on later ones).
+	cr.ensureRunState(proverRounds, verifierRounds)
+	deliver, coinsUp, decide := cr.deliver, cr.coinsUp, cr.decide
 
-	if cr.nodeRngs == nil {
-		cr.nodeRngs = make([]*rand.Rand, n)
-		for i := range cr.nodeRngs {
-			cr.nodeRngs[i] = rand.New(rand.NewSource(rng.Int63()))
-		}
-	} else {
-		for i := range cr.nodeRngs {
-			cr.nodeRngs[i].Seed(rng.Int63())
-		}
-	}
+	cr.nodeRngs = reseedNodeRngs(cr.nodeRngs, n, rng)
 
 	// Node goroutines: receive labels each prover round, emit coins each
 	// verifier round, decide at the end. Each node accumulates only its
-	// legal view, growing a long-lived View whose backing arrays are
-	// fully allocated up front (flat, sliced per port), so the rounds
-	// themselves allocate nothing on the node side.
+	// legal view, appending into the runner's long-lived per-node View
+	// whose backing arrays are fully allocated up front (flat, sliced
+	// per port), so the rounds themselves allocate nothing on the node
+	// side.
 	var wg sync.WaitGroup
 	for x := 0; x < n; x++ {
 		wg.Add(1)
 		go func(x int) {
 			defer wg.Done()
-			ports := fi.ports[x]
-			eids := fi.portEID[x]
-			d := len(ports)
-			view := &View{
-				V:       x,
-				Deg:     d,
-				Input:   fi.nodeIn[x],
-				Coins:   make([]bitio.String, 0, verifierRounds),
-				Own:     make([]bitio.String, 0, proverRounds),
-				Nbr:     make([][]bitio.String, d),
-				EdgeLab: make([][]bitio.String, d),
-				EdgeIn:  make([]any, d),
-				NbrID:   ports,
-			}
-			flat := make([]bitio.String, 2*d*proverRounds)
-			for pi := 0; pi < d; pi++ {
-				view.Nbr[pi] = flat[2*pi*proverRounds : 2*pi*proverRounds : (2*pi+1)*proverRounds]
-				view.EdgeLab[pi] = flat[(2*pi+1)*proverRounds : (2*pi+1)*proverRounds : (2*pi+2)*proverRounds]
-				view.EdgeIn[pi] = fi.edgeIn[eids[pi]]
-			}
+			view := &cr.views[x]
+			d := view.Deg
 			for pr := 0; pr < proverRounds; pr++ {
 				msg := <-deliver[x]
 				view.Own = append(view.Own, msg.own)

@@ -42,32 +42,60 @@ type frozenInstance struct {
 
 // newFrozenInstance densifies inst. Orientation (for edge-label
 // accounting) is computed here so both engines share one freeze step.
+// The whole pass is CSR-native: accountable edge ids come from the
+// graph's memoized degeneracy rank plus the port->edge-id tables, with
+// one flat backing array — no per-edge hash lookups and no per-vertex
+// slice headers, so freezing a million-node instance is a handful of
+// allocations. Only edge *inputs* (absent on bulk instances) consult
+// the by-endpoints map.
 func newFrozenInstance(inst *Instance) *frozenInstance {
 	g := inst.G
 	n := g.N()
-	out, _ := graph.OrientByDegeneracy(g)
-	acc := make([][]int, n)
-	for v := range out {
-		for _, u := range out[v] {
-			acc[v] = append(acc[v], g.EdgeID(v, u))
-		}
-	}
+	rank, _ := g.DegeneracyRank()
 	fi := &frozenInstance{
-		g:           g,
-		n:           n,
-		nodeIn:      inst.NodeInput,
-		edgeIn:      make([]any, g.M()),
-		ports:       make([][]int, n),
-		portEID:     make([][]int, n),
-		portOff:     make([]int, n+1),
-		accountable: acc,
-		emptyEdges:  make([]bitio.String, g.M()),
+		g:          g,
+		n:          n,
+		nodeIn:     inst.NodeInput,
+		edgeIn:     make([]any, g.M()),
+		ports:      make([][]int, n),
+		portEID:    make([][]int, n),
+		portOff:    make([]int, n+1),
+		emptyEdges: make([]bitio.String, g.M()),
 	}
 	for v := 0; v < n; v++ {
 		fi.ports[v] = g.Neighbors(v)
 		fi.portEID[v] = g.PortEdgeIDs(v)
 		fi.portOff[v+1] = fi.portOff[v] + len(fi.ports[v])
 	}
+	// A node is accountable for the incident edges it precedes in the
+	// degeneracy order — the same orientation graph.OrientByDegeneracy
+	// derives, read off the ports directly. Per-vertex port order is
+	// edge-insertion order, which for a fixed vertex is increasing edge
+	// id, so the lists match the historical EdgeID-lookup construction
+	// element for element.
+	accOff := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		cnt := 0
+		for _, u := range fi.ports[v] {
+			if rank[v] < rank[u] {
+				cnt++
+			}
+		}
+		accOff[v+1] = accOff[v] + cnt
+	}
+	accFlat := make([]int, accOff[n])
+	acc := make([][]int, n)
+	for v := 0; v < n; v++ {
+		w := accFlat[accOff[v]:accOff[v]:accOff[v+1]]
+		eids := fi.portEID[v]
+		for p, u := range fi.ports[v] {
+			if rank[v] < rank[u] {
+				w = append(w, eids[p])
+			}
+		}
+		acc[v] = w
+	}
+	fi.accountable = acc
 	for e, in := range inst.EdgeInput {
 		id := g.EdgeID(e.U, e.V)
 		if id < 0 {
@@ -79,6 +107,7 @@ func newFrozenInstance(inst *Instance) *frozenInstance {
 		}
 		fi.edgeIn[id] = in
 	}
+	freezeCount.Add(1)
 	return fi
 }
 

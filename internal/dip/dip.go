@@ -19,6 +19,7 @@ package dip
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/bitio"
@@ -35,6 +36,12 @@ type Instance struct {
 	NodeInput []any
 	// EdgeInput[e] is input visible to both endpoints of e (may be nil).
 	EdgeInput map[graph.Edge]any
+
+	// frozen memoizes the dense run-ready form (see Freeze): populated
+	// on the first freeze, shared by every later Runner/ChannelRunner
+	// on this instance. Inputs must not be mutated after the first run.
+	frozenMu sync.Mutex
+	frozen   *Frozen
 }
 
 // NewInstance wraps g with empty inputs.
@@ -176,9 +183,12 @@ type Runner struct {
 	scratch []*viewScratch
 }
 
-// NewRunner prepares an execution environment for inst.
+// NewRunner prepares an execution environment for inst. The dense
+// frozen form is memoized on the instance, so building several runners
+// for the same instance — or mixing Runner and ChannelRunner on it —
+// densifies once.
 func NewRunner(inst *Instance) *Runner {
-	return &Runner{inst: inst, fi: newFrozenInstance(inst)}
+	return &Runner{inst: inst, fi: inst.freeze().fi}
 }
 
 // Run executes proverRounds prover rounds interleaved with verifierRounds
@@ -210,18 +220,8 @@ func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng
 	coins := make([][]bitio.String, 0, verifierRounds)
 
 	// Per-node private rngs, seeded deterministically from the master
-	// rng: created on the first run, reseeded (same stream as a fresh
-	// rand.NewSource) on every later run.
-	if r.nodeRngs == nil {
-		r.nodeRngs = make([]*rand.Rand, n)
-		for i := range r.nodeRngs {
-			r.nodeRngs[i] = rand.New(rand.NewSource(rng.Int63()))
-		}
-	} else {
-		for i := range r.nodeRngs {
-			r.nodeRngs[i].Seed(rng.Int63())
-		}
-	}
+	// rng: created on the first run, reseeded on every later run.
+	r.nodeRngs = reseedNodeRngs(r.nodeRngs, n, rng)
 
 	// The worker pool lives for the whole run: its workers park between
 	// rounds instead of being respawned per parallel phase. Below two

@@ -1,0 +1,49 @@
+package dip
+
+import "math/rand"
+
+// nodeSource is the per-node verifier randomness source: a splitmix64
+// stream wrapped as a math/rand Source64. math/rand's default source
+// pays a 607-word lag-table initialization on every Seed, which at
+// n >= 10^4 nodes per run dominated whole-run cost in BOTH engines
+// (about half of all hot-path CPU went to rand.seedrand before this
+// existed). Seeding a nodeSource is one store, so reseeding n node rngs
+// per run is O(n) cheap instead of O(607 n).
+type nodeSource struct{ state uint64 }
+
+// Seed resets the stream. The zero seed is as good as any other:
+// splitmix64 has no weak states.
+func (s *nodeSource) Seed(seed int64) { s.state = uint64(seed) }
+
+// Uint64 advances the splitmix64 stream (Steele–Lea–Flood finalizer).
+func (s *nodeSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4b9b9
+	z = (z ^ (z >> 27)) * 0x94d49bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *nodeSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// reseedNodeRngs creates (first run) or reseeds (later runs) the
+// per-node verifier rngs from the master rng, drawing one seed per node
+// in vertex order so a given master stream always yields the same
+// per-node streams. Both engines use it, which keeps their coin
+// sequences — and therefore their trace fingerprints — identical for
+// the same master seed.
+func reseedNodeRngs(rngs []*rand.Rand, n int, master *rand.Rand) []*rand.Rand {
+	if rngs == nil {
+		rngs = make([]*rand.Rand, n)
+		srcs := make([]nodeSource, n)
+		for i := range rngs {
+			srcs[i].Seed(master.Int63())
+			rngs[i] = rand.New(&srcs[i])
+		}
+		return rngs
+	}
+	for i := range rngs {
+		rngs[i].Seed(master.Int63())
+	}
+	return rngs
+}

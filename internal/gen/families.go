@@ -34,8 +34,18 @@ func Families() []string {
 	return names
 }
 
+// MaxN bounds the size any family accepts through FamilySpec. The
+// streamed generators themselves scale further, but a spec-driven
+// caller (service request, CLI flag) asking for more than ~4M vertices
+// is almost certainly a typo'd exponent, and the embedded families'
+// rotation witnesses would allocate tens of gigabytes before anything
+// useful happened. Builds beyond this should go straight to
+// graph.Builder.
+const MaxN = 4 << 20
+
 // familyMins maps each family name to the smallest n it supports.
 var familyMins = map[string]int{
+	"grid":          2,
 	"pathouter":     2,
 	"outerplanar":   2,
 	"triangulation": 3,
@@ -54,6 +64,7 @@ var familyMins = map[string]int{
 // the embedded families without a dedicated sweep) default to the
 // planarity DIP, which certifies any planar instance.
 var familyProtocol = map[string]string{
+	"grid":          "planarity",
 	"pathouter":     "pathouter",
 	"outerplanar":   "outerplanar",
 	"triangulation": "planarity",
@@ -88,8 +99,14 @@ func (s FamilySpec) BuildWitnessed(rng *rand.Rand) (*graph.Graph, []int, *planar
 	if s.N < minN {
 		return nil, nil, nil, fmt.Errorf("gen: family %q needs n >= %d, got %d", s.Family, minN, s.N)
 	}
+	if s.N > MaxN {
+		return nil, nil, nil, fmt.Errorf("gen: family %q with n = %d exceeds the spec limit MaxN = %d; build larger instances directly with graph.Builder", s.Family, s.N, MaxN)
+	}
 	chord := s.ChordProb
 	switch s.Family {
+	case "grid":
+		inst := Grid(s.N)
+		return inst.G, nil, inst.Rot, nil
 	case "pathouter":
 		if chord < 0 {
 			chord = 0.5

@@ -29,36 +29,54 @@ type PathOuterplanarInstance struct {
 // PathOuterplanar generates a path-outerplanar graph on n vertices: a
 // Hamiltonian path plus a random laminar (hence non-crossing) family of
 // chords, then a random relabeling of the vertices. chordProb in [0,1]
-// controls chord density.
+// controls chord density. The edge stream goes straight into a presized
+// CSR Builder: every chord interval in the recursion is distinct and no
+// chord spans a single path step, so no duplicate check is needed and
+// construction is allocation-flat at n = 10^6.
 func PathOuterplanar(rng *rand.Rand, n int, chordProb float64) *PathOuterplanarInstance {
 	if n < 2 {
 		panic(fmt.Sprintf("gen: PathOuterplanar needs n >= 2, got %d", n))
 	}
 	perm := rng.Perm(n) // perm[p] = vertex at position p
-	g := graph.New(n)
 	pos := make([]int, n)
 	for p, v := range perm {
 		pos[v] = p
 	}
+	b := graph.NewBuilder(n)
+	b.Grow(n - 1 + n/2) // path + the expected-order chord count
 	for p := 0; p+1 < n; p++ {
-		g.MustAddEdge(perm[p], perm[p+1])
+		b.AddEdge(perm[p], perm[p+1])
 	}
-	addLaminarChords(rng, g, perm, 0, n-1, chordProb)
-	return &PathOuterplanarInstance{G: g, Pos: pos}
+	addLaminarChords(rng, b.AddEdge, perm, 0, n-1, chordProb)
+	return &PathOuterplanarInstance{G: b.MustFinish(), Pos: pos}
 }
 
 // addLaminarChords adds nested chords over positions [lo,hi] with
-// recursive random splitting; chords never cross by construction.
-func addLaminarChords(rng *rand.Rand, g *graph.Graph, perm []int, lo, hi int, p float64) {
+// recursive random splitting; chords never cross by construction. add
+// receives each chord as vertex endpoints; cycle-based callers whose
+// closing edge coincides with a candidate chord must deduplicate in
+// their add.
+func addLaminarChords(rng *rand.Rand, add func(u, v int), perm []int, lo, hi int, p float64) {
 	if hi-lo < 2 {
 		return
 	}
-	if rng.Float64() < p && !g.HasEdge(perm[lo], perm[hi]) {
-		g.MustAddEdge(perm[lo], perm[hi])
+	if rng.Float64() < p {
+		add(perm[lo], perm[hi])
 	}
 	mid := lo + 1 + rng.Intn(hi-lo-1)
-	addLaminarChords(rng, g, perm, lo, mid, p)
-	addLaminarChords(rng, g, perm, mid, hi, p)
+	addLaminarChords(rng, add, perm, lo, mid, p)
+	addLaminarChords(rng, add, perm, mid, hi, p)
+}
+
+// addChordUnlessPresent returns an add callback for map-backed graphs
+// whose existing edges can collide with chord candidates (a Hamiltonian
+// cycle's closing edge is the positions-(0,n-1) chord).
+func addChordUnlessPresent(g *graph.Graph) func(u, v int) {
+	return func(u, v int) {
+		if !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
 }
 
 // BiconnectedOuterplanarInstance is a biconnected outerplanar graph with
@@ -76,14 +94,14 @@ func BiconnectedOuterplanar(rng *rand.Rand, n int, chordProb float64) *Biconnect
 		panic(fmt.Sprintf("gen: BiconnectedOuterplanar needs n >= 3, got %d", n))
 	}
 	perm := rng.Perm(n)
-	g := graph.New(n)
+	g := graph.NewSized(n, 2*n)
 	for p := 0; p < n; p++ {
 		g.MustAddEdge(perm[p], perm[(p+1)%n])
 	}
 	// Chords nested above the path perm[0..n-1]; the closing cycle edge
 	// (perm[n-1], perm[0]) sits above everything, so laminar-over-the-path
 	// chords stay inside the cycle.
-	addLaminarChords(rng, g, perm, 0, n-1, chordProb)
+	addLaminarChords(rng, addChordUnlessPresent(g), perm, 0, n-1, chordProb)
 	return &BiconnectedOuterplanarInstance{G: g, Cycle: perm}
 }
 
@@ -100,7 +118,7 @@ func Outerplanar(rng *rand.Rand, n int, chordProb float64) *OuterplanarInstance 
 	if n < 2 {
 		panic(fmt.Sprintf("gen: Outerplanar needs n >= 2, got %d", n))
 	}
-	g := graph.New(n)
+	g := graph.NewSized(n, 2*n)
 	attached := []int{0}
 	next := 1
 	for next < n {
@@ -122,7 +140,7 @@ func Outerplanar(rng *rand.Rand, n int, chordProb float64) *OuterplanarInstance 
 				g.MustAddEdge(block[i], block[(i+1)%k])
 			}
 			// Laminar chords over block path positions.
-			addLaminarChords(rng, g, block, 0, k-1, chordProb)
+			addLaminarChords(rng, addChordUnlessPresent(g), block, 0, k-1, chordProb)
 			attached = append(attached, block[1:]...)
 		} else {
 			// Bridge edge.
@@ -155,7 +173,7 @@ func Triangulation(rng *rand.Rand, n int) *EmbeddedPlanarInstance {
 	if n < 3 {
 		panic(fmt.Sprintf("gen: Triangulation needs n >= 3, got %d", n))
 	}
-	g := graph.New(n)
+	g := graph.NewSized(n, 3*n-6)
 	g.MustAddEdge(0, 1)
 	g.MustAddEdge(1, 2)
 	g.MustAddEdge(0, 2)
@@ -166,7 +184,8 @@ func Triangulation(rng *rand.Rand, n int) *EmbeddedPlanarInstance {
 	rot[2] = []int{0, 1}
 	// Oriented triangular faces (a,b,c) meaning the face traversal
 	// convention arriving-at-x-from-prev leaves to Next(x, prev).
-	faces := [][3]int{{0, 1, 2}, {2, 1, 0}}
+	faces := make([][3]int, 0, 2*n-4)
+	faces = append(faces, [3]int{0, 1, 2}, [3]int{2, 1, 0})
 	for w := 3; w < n; w++ {
 		fi := rng.Intn(len(faces))
 		f := faces[fi]
@@ -224,17 +243,18 @@ func FanChain(rng *rand.Rand, n, delta int) *EmbeddedPlanarInstance {
 		hubs = 2
 	}
 	total := hubs + hubs*fan
-	g := graph.New(total)
+	b := graph.NewBuilder(total)
+	b.Grow((hubs - 1) + hubs*fan + hubs*(fan-1))
 	rot := make([][]int, total)
 	leaf := func(h, j int) int { return hubs + h*fan + j }
 	for h := 0; h < hubs; h++ {
 		if h+1 < hubs {
-			g.MustAddEdge(h, h+1)
+			b.AddEdge(h, h+1)
 		}
 		for j := 0; j < fan; j++ {
-			g.MustAddEdge(h, leaf(h, j))
+			b.AddEdge(h, leaf(h, j))
 			if j+1 < fan {
-				g.MustAddEdge(leaf(h, j), leaf(h, j+1))
+				b.AddEdge(leaf(h, j), leaf(h, j+1))
 			}
 		}
 		// Hub rotation, clockwise: previous hub, leaves left-to-right,
@@ -261,6 +281,7 @@ func FanChain(rng *rand.Rand, n, delta int) *EmbeddedPlanarInstance {
 			rot[l] = append(rot[l], h)
 		}
 	}
+	g := b.MustFinish()
 	r, err := planar.NewRotation(g, rot)
 	if err != nil {
 		panic(fmt.Sprintf("gen: fan chain rotation invalid: %v", err))
@@ -319,7 +340,7 @@ type Treewidth2Instance struct {
 
 // Treewidth2 generates a treewidth-<=2 graph on approximately n vertices.
 func Treewidth2(rng *rand.Rand, n int) *Treewidth2Instance {
-	g := graph.New(n)
+	g := graph.NewSized(n, 2*n)
 	attached := []int{0}
 	next := 1
 	for next < n {

@@ -1,0 +1,74 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/planar"
+)
+
+// Grid generates the near-square planar grid on approximately n
+// vertices (rows = floor(sqrt n), cols = ceil(n/rows)) together with
+// its canonical embedding. It is the bulk-pipeline workhorse family:
+// deterministic, streamed straight into a presized CSR Builder with no
+// per-edge map work, and sized exactly, so a million-node instance
+// materializes in milliseconds. The rotation lists each vertex's
+// neighbors clockwise (up, right, down, left) over one flat backing
+// array.
+func Grid(n int) *EmbeddedPlanarInstance {
+	if n < 2 {
+		panic(fmt.Sprintf("gen: Grid needs n >= 2, got %d", n))
+	}
+	rows := int(math.Sqrt(float64(n)))
+	if rows < 1 {
+		rows = 1
+	}
+	cols := (n + rows - 1) / rows
+	if cols < 2 {
+		cols = 2
+	}
+	total := rows * cols
+	m := rows*(cols-1) + (rows-1)*cols
+	at := func(i, j int) int { return i*cols + j }
+
+	b := graph.NewBuilder(total)
+	b.Grow(m)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				b.AddEdge(at(i, j), at(i, j+1))
+			}
+			if i+1 < rows {
+				b.AddEdge(at(i, j), at(i+1, j))
+			}
+		}
+	}
+	g := b.MustFinish()
+
+	rot := make([][]int, total)
+	flat := make([]int, 0, 2*m)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			start := len(flat)
+			if i > 0 {
+				flat = append(flat, at(i-1, j))
+			}
+			if j+1 < cols {
+				flat = append(flat, at(i, j+1))
+			}
+			if i+1 < rows {
+				flat = append(flat, at(i+1, j))
+			}
+			if j > 0 {
+				flat = append(flat, at(i, j-1))
+			}
+			rot[at(i, j)] = flat[start:len(flat):len(flat)]
+		}
+	}
+	r, err := planar.NewRotation(g, rot)
+	if err != nil {
+		panic(fmt.Sprintf("gen: grid rotation invalid: %v", err))
+	}
+	return &EmbeddedPlanarInstance{G: g, Rot: r}
+}

@@ -84,20 +84,21 @@ func K5Subdivision(rng *rand.Rand, n int) *graph.Graph {
 		per = 1
 	}
 	total := 5 + 10*per
-	g := graph.New(total)
+	b := graph.NewBuilder(total)
+	b.Grow(10 * (per + 1))
 	next := 5
 	for u := 0; u < 5; u++ {
 		for v := u + 1; v < 5; v++ {
 			prev := u
 			for i := 0; i < per; i++ {
-				g.MustAddEdge(prev, next)
+				b.AddEdge(prev, next)
 				prev = next
 				next++
 			}
-			g.MustAddEdge(prev, v)
+			b.AddEdge(prev, v)
 		}
 	}
-	return g
+	return b.MustFinish()
 }
 
 // K33Subdivision builds a subdivided K3,3 of about n vertices.
@@ -110,20 +111,21 @@ func K33Subdivision(rng *rand.Rand, n int) *graph.Graph {
 		per = 1
 	}
 	total := 6 + 9*per
-	g := graph.New(total)
+	b := graph.NewBuilder(total)
+	b.Grow(9 * (per + 1))
 	next := 6
 	for u := 0; u < 3; u++ {
 		for v := 3; v < 6; v++ {
 			prev := u
 			for i := 0; i < per; i++ {
-				g.MustAddEdge(prev, next)
+				b.AddEdge(prev, next)
 				prev = next
 				next++
 			}
-			g.MustAddEdge(prev, v)
+			b.AddEdge(prev, v)
 		}
 	}
-	return g
+	return b.MustFinish()
 }
 
 // K4Subdivision builds a subdivided K4 of about n vertices: planar but of
@@ -138,20 +140,21 @@ func K4Subdivision(rng *rand.Rand, n int) *graph.Graph {
 		per = 1
 	}
 	total := 4 + 6*per
-	g := graph.New(total)
+	b := graph.NewBuilder(total)
+	b.Grow(6 * (per + 1))
 	next := 4
 	for u := 0; u < 4; u++ {
 		for v := u + 1; v < 4; v++ {
 			prev := u
 			for i := 0; i < per; i++ {
-				g.MustAddEdge(prev, next)
+				b.AddEdge(prev, next)
 				prev = next
 				next++
 			}
-			g.MustAddEdge(prev, v)
+			b.AddEdge(prev, v)
 		}
 	}
-	return g
+	return b.MustFinish()
 }
 
 // TwistRotation returns a copy of the instance whose rotation system has

@@ -1,0 +1,148 @@
+package graph
+
+import "fmt"
+
+// Builder ingests edges in bulk straight into CSR (compressed sparse
+// row) arrays: a flat edge stream, one counting-sort pass, and flat
+// adjacency/port-edge-id backing sliced per vertex. No map[Edge]int is
+// built anywhere on this path — the edge-id map of the finished Graph
+// stays nil until some caller actually asks a by-endpoints question
+// (HasEdge/EdgeID), which bulk consumers never do. This is the
+// million-node construction path; the map-backed New/AddEdge API
+// remains for incremental construction and the Transcript-facing
+// Assignment map form.
+//
+// Edge ids are assigned in ingest order and per-vertex port order is
+// ingest order, exactly matching what the same AddEdge sequence on a
+// map-built graph would produce — so a protocol run is bit-identical
+// across the two construction paths.
+type Builder struct {
+	n      int
+	us, vs []int32
+}
+
+// NewBuilder starts a builder for a graph on n vertices. Grow
+// pre-reserves edge capacity when the count is known.
+func NewBuilder(n int) *Builder {
+	if n < 0 || int64(n) > int64(maxBuilderN) {
+		panic(fmt.Sprintf("graph: builder vertex count %d out of range [0,%d]", n, maxBuilderN))
+	}
+	return &Builder{n: n}
+}
+
+// maxBuilderN bounds builder graphs so endpoints fit int32; flat CSR
+// arrays keep million-node graphs cheap well below this.
+const maxBuilderN = 1 << 30
+
+// Grow reserves capacity for m additional edges.
+func (b *Builder) Grow(m int) {
+	if m <= 0 {
+		return
+	}
+	need := len(b.us) + m
+	if cap(b.us) < need {
+		us := make([]int32, len(b.us), need)
+		copy(us, b.us)
+		b.us = us
+		vs := make([]int32, len(b.vs), need)
+		copy(vs, b.vs)
+		b.vs = vs
+	}
+}
+
+// N returns the vertex count.
+func (b *Builder) N() int { return b.n }
+
+// M returns the number of edges ingested so far.
+func (b *Builder) M() int { return len(b.us) }
+
+// AddEdge appends the undirected edge {u,v} to the stream. Range and
+// self-loop violations panic (construction bugs, same contract as
+// MustAddEdge); duplicate detection is deferred to Finish, where it
+// costs O(n+m) for the whole stream instead of a hash probe per edge.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: builder edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: builder self-loop at %d", u))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.us = append(b.us, int32(u))
+	b.vs = append(b.vs, int32(v))
+}
+
+// Finish runs the counting-sort pass and returns the sealed graph. The
+// builder must not be reused afterwards. Duplicate edges are reported
+// as an error (first offender named), detected with a last-seen stamp
+// array rather than a map.
+func (b *Builder) Finish() (*Graph, error) {
+	n, m := b.n, len(b.us)
+
+	// Degree count, then CSR offsets.
+	deg := make([]int32, n+1)
+	for i := 0; i < m; i++ {
+		deg[b.us[i]]++
+		deg[b.vs[i]]++
+	}
+	off := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + deg[v]
+	}
+
+	// Fill flat adjacency and port->edge-id arrays in stream order, so
+	// each vertex's ports appear in the order its edges were ingested.
+	flatAdj := make([]int, 2*m)
+	flatEID := make([]int, 2*m)
+	next := make([]int32, n)
+	copy(next, off[:n])
+	edges := make([]Edge, m)
+	for i := 0; i < m; i++ {
+		u, v := int(b.us[i]), int(b.vs[i])
+		edges[i] = Edge{U: u, V: v}
+		pu := next[u]
+		flatAdj[pu], flatEID[pu] = v, i
+		next[u]++
+		pv := next[v]
+		flatAdj[pv], flatEID[pv] = u, i
+		next[v]++
+	}
+
+	// Duplicate detection: stamp[u] holds 1+v for the last vertex whose
+	// adjacency scan saw u, so a repeated neighbor within one vertex's
+	// port list is exactly a duplicate edge.
+	stamp := make([]int32, n)
+	for v := 0; v < n; v++ {
+		for p := off[v]; p < off[v+1]; p++ {
+			u := flatAdj[p]
+			if stamp[u] == int32(v)+1 {
+				return nil, fmt.Errorf("graph: builder duplicate edge (%d,%d)", min(u, v), max(u, v))
+			}
+			stamp[u] = int32(v) + 1
+		}
+	}
+
+	// Slice the flat arrays into per-vertex views with full three-index
+	// expressions: capacity ends at the vertex's own window, so an
+	// (erroneous) append can never scribble on a neighbor's ports.
+	adj := make([][]int, n)
+	portEID := make([][]int, n)
+	for v := 0; v < n; v++ {
+		lo, hi := off[v], off[v+1]
+		adj[v] = flatAdj[lo:hi:hi]
+		portEID[v] = flatEID[lo:hi:hi]
+	}
+	b.us, b.vs = nil, nil
+	return &Graph{n: n, adj: adj, edges: edges, portEID: portEID, sealed: true}, nil
+}
+
+// MustFinish is Finish for construction code where a duplicate is a bug.
+func (b *Builder) MustFinish() *Graph {
+	g, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

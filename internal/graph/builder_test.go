@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBuilderMatchesAddEdge asserts the builder and the map API produce
+// indistinguishable graphs for the same edge stream: same edge ids,
+// same per-vertex port order, same port->edge-id tables. This identity
+// is what makes protocol runs bit-identical across construction paths.
+func TestBuilderMatchesAddEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 60
+	var stream [][2]int
+	seen := map[Edge]bool{}
+	for len(stream) < 150 {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || seen[Canon(u, v)] {
+			continue
+		}
+		seen[Canon(u, v)] = true
+		if rng.Intn(2) == 0 {
+			u, v = v, u // exercise non-canonical ingest order
+		}
+		stream = append(stream, [2]int{u, v})
+	}
+
+	gm := New(n)
+	b := NewBuilder(n)
+	b.Grow(len(stream))
+	for _, e := range stream {
+		gm.MustAddEdge(e[0], e[1])
+		b.AddEdge(e[0], e[1])
+	}
+	gb := b.MustFinish()
+
+	if !gb.Sealed() {
+		t.Fatal("builder graph not sealed")
+	}
+	if gb.N() != gm.N() || gb.M() != gm.M() {
+		t.Fatalf("size mismatch: builder %d/%d map %d/%d", gb.N(), gb.M(), gm.N(), gm.M())
+	}
+	for id := range gm.Edges() {
+		if gm.Edges()[id] != gb.Edges()[id] {
+			t.Fatalf("edge id %d: map %v builder %v", id, gm.Edges()[id], gb.Edges()[id])
+		}
+	}
+	for v := 0; v < n; v++ {
+		am, ab := gm.Neighbors(v), gb.Neighbors(v)
+		if len(am) != len(ab) {
+			t.Fatalf("vertex %d degree mismatch: %d vs %d", v, len(am), len(ab))
+		}
+		for p := range am {
+			if am[p] != ab[p] {
+				t.Fatalf("vertex %d port %d: map nbr %d builder nbr %d", v, p, am[p], ab[p])
+			}
+			if gm.PortEdgeIDs(v)[p] != gb.PortEdgeIDs(v)[p] {
+				t.Fatalf("vertex %d port %d: eid mismatch", v, p)
+			}
+		}
+	}
+	// Lazy edge-id map answers match.
+	for _, e := range gm.Edges() {
+		if gm.EdgeID(e.U, e.V) != gb.EdgeID(e.U, e.V) {
+			t.Fatalf("EdgeID(%d,%d) mismatch", e.U, e.V)
+		}
+		if !gb.HasEdge(e.V, e.U) {
+			t.Fatalf("builder graph missing edge %v", e)
+		}
+	}
+	if gb.HasEdge(0, 0) || gb.EdgeID(n-1, n-2) != gm.EdgeID(n-1, n-2) {
+		t.Fatal("lazy edge map disagreement on absent/last edges")
+	}
+}
+
+func TestBuilderRejectsDuplicates(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	b.AddEdge(1, 0)
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("Finish accepted a duplicate edge")
+	}
+}
+
+func TestSealedGraphRefusesAddEdge(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	g := b.MustFinish()
+	if err := g.AddEdge(1, 2); err == nil {
+		t.Fatal("AddEdge succeeded on a sealed graph")
+	}
+}
+
+func TestDegeneracyRankMemoInvalidation(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	rank1, d1 := g.DegeneracyRank()
+	if d1 != 1 {
+		t.Fatalf("path degeneracy = %d, want 1", d1)
+	}
+	rank2, _ := g.DegeneracyRank()
+	if &rank1[0] != &rank2[0] {
+		t.Fatal("DegeneracyRank not memoized")
+	}
+	// Close a 4-cycle plus a chord: degeneracy becomes 2 and the memo
+	// must have been invalidated by AddEdge.
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 0)
+	g.MustAddEdge(0, 2)
+	if _, d := g.DegeneracyRank(); d != 2 {
+		t.Fatalf("post-AddEdge degeneracy = %d, want 2", d)
+	}
+}
+
+func BenchmarkBuilderGrid1M(b *testing.B) {
+	b.ReportAllocs()
+	rows, cols := 1000, 1000
+	for i := 0; i < b.N; i++ {
+		bd := NewBuilder(rows * cols)
+		bd.Grow(2 * rows * cols)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				v := r*cols + c
+				if c+1 < cols {
+					bd.AddEdge(v, v+1)
+				}
+				if r+1 < rows {
+					bd.AddEdge(v, v+cols)
+				}
+			}
+		}
+		if g := bd.MustFinish(); g.N() != rows*cols {
+			b.Fatal("bad graph")
+		}
+	}
+}

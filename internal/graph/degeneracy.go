@@ -57,6 +57,29 @@ func (h *vertexHeap) Pop() interface{} {
 	return it
 }
 
+// DegeneracyRank returns rank[v] = position of v in a degeneracy
+// elimination ordering, plus the degeneracy itself. The result is
+// memoized on the graph: computing the ordering is the expensive part
+// of freezing an instance (heap-based, O(m log n)), and every freeze,
+// every planarity bound evaluation, and every orientation asks the
+// same question — so repeated runs on a shared graph pay it once.
+// AddEdge invalidates the memo; the materialization is mutex-guarded
+// so concurrent runners sharing one frozen graph race-cleanly compute
+// it at most twice.
+func (g *Graph) DegeneracyRank() (rank []int, degeneracy int) {
+	g.derivedMu.Lock()
+	defer g.derivedMu.Unlock()
+	if g.rank == nil {
+		order, d := DegeneracyOrder(g)
+		r := make([]int, g.N())
+		for i, v := range order {
+			r[v] = i
+		}
+		g.rank, g.degen = r, d
+	}
+	return g.rank, g.degen
+}
+
 // OrientByDegeneracy orients every edge from the vertex that appears
 // *earlier* in the degeneracy order toward the later one. A vertex has at
 // most `degeneracy` neighbors later in the order, so every out-degree is
@@ -65,11 +88,7 @@ func (h *vertexHeap) Pop() interface{} {
 // forest: every vertex has at most one class-i out-neighbor ("class-i
 // parent"), and pointers strictly increase in order rank, so no cycles.
 func OrientByDegeneracy(g *Graph) (out [][]int, degeneracy int) {
-	order, d := DegeneracyOrder(g)
-	rank := make([]int, g.N())
-	for i, v := range order {
-		rank[v] = i
-	}
+	rank, d := g.DegeneracyRank()
 	out = make([][]int, g.N())
 	for _, e := range g.Edges() {
 		if rank[e.U] < rank[e.V] {

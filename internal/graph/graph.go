@@ -11,6 +11,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Edge is an undirected edge with U < V.
@@ -34,16 +35,35 @@ func (e Edge) Other(x int) int {
 	return e.U
 }
 
-// Graph is a simple undirected graph.
+// Graph is a simple undirected graph. Two construction paths produce
+// one: the incremental map-backed New/AddEdge API, and the bulk CSR
+// Builder (builder.go), whose graphs are sealed — immutable, with the
+// by-endpoints edge-id map materialized lazily only if something asks.
 type Graph struct {
 	n     int
 	adj   [][]int
 	edges []Edge
-	eid   map[Edge]int
+	// eid maps canonical edges to ids. Nil on builder-built graphs
+	// until a HasEdge/EdgeID call materializes it (see edgeMap).
+	eid map[Edge]int
 	// portEID[v][p] is the edge id of the edge between v and its
 	// neighbor at port p, i.e. {v, adj[v][p]}. Maintained alongside adj
 	// so hot paths can resolve port -> edge id without hashing.
 	portEID [][]int
+	// sealed marks a Builder-built graph: AddEdge is refused, which is
+	// what lets the lazy eid map and the degeneracy-rank memo stay
+	// valid for the graph's lifetime.
+	sealed bool
+
+	// derivedMu guards the lazily materialized derived state below.
+	// Reads through frozen instances happen from many goroutines at
+	// once (shared dip.Frozen), so materialization must be race-free
+	// even though construction itself is single-goroutine.
+	derivedMu sync.Mutex
+	// rank/degen memoize DegeneracyRank; rank is nil until computed and
+	// invalidated by AddEdge.
+	rank  []int
+	degen int
 }
 
 // New returns an empty graph on n vertices.
@@ -59,9 +79,48 @@ func New(n int) *Graph {
 	}
 }
 
-// Clone returns a deep copy of g.
+// NewSized is New with the edge-list and edge-id storage pre-reserved
+// for m edges, for incremental generators that know their size; bulk
+// construction should use Builder instead, which never builds the map.
+func NewSized(n, m int) *Graph {
+	g := New(n)
+	if m > 0 {
+		g.edges = make([]Edge, 0, m)
+		g.eid = make(map[Edge]int, m)
+	}
+	return g
+}
+
+// Sealed reports whether g came out of a Builder and refuses AddEdge.
+func (g *Graph) Sealed() bool { return g.sealed }
+
+// edgeMap returns the canonical-edge -> id map, materializing it on
+// first use for sealed graphs. Bulk paths never call it; on sealed
+// graphs every call locks, which keeps the lazy materialization
+// race-free without a double-checked fast path (unsealed graphs always
+// carry the map and are single-goroutine by construction contract).
+func (g *Graph) edgeMap() map[Edge]int {
+	if !g.sealed {
+		return g.eid
+	}
+	g.derivedMu.Lock()
+	defer g.derivedMu.Unlock()
+	if g.eid == nil {
+		m := make(map[Edge]int, len(g.edges))
+		for id, e := range g.edges {
+			m[e] = id
+		}
+		g.eid = m
+	}
+	return g.eid
+}
+
+// Clone returns a deep copy of g. The copy is always unsealed and
+// map-backed, so cloning is also the way to get a mutable variant of a
+// Builder-built graph (the no-instance generators plant extra edges
+// into clones of bulk-built yes-instances).
 func (g *Graph) Clone() *Graph {
-	h := New(g.n)
+	h := NewSized(g.n, len(g.edges))
 	for _, e := range g.edges {
 		h.mustAddEdge(e.U, e.V)
 	}
@@ -74,9 +133,12 @@ func (g *Graph) N() int { return g.n }
 // M returns the number of edges.
 func (g *Graph) M() int { return len(g.edges) }
 
-// AddEdge inserts the undirected edge {u,v}. Self-loops and duplicates are
-// rejected.
+// AddEdge inserts the undirected edge {u,v}. Self-loops and duplicates
+// are rejected, as is any insertion into a sealed (Builder-built) graph.
 func (g *Graph) AddEdge(u, v int) error {
+	if g.sealed {
+		return fmt.Errorf("graph: AddEdge(%d,%d) on a sealed builder-built graph", u, v)
+	}
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
 	}
@@ -87,6 +149,7 @@ func (g *Graph) AddEdge(u, v int) error {
 	if _, ok := g.eid[e]; ok {
 		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
 	}
+	g.rank = nil // derived degeneracy rank is stale now
 	id := len(g.edges)
 	g.eid[e] = id
 	g.edges = append(g.edges, e)
@@ -108,13 +171,13 @@ func (g *Graph) MustAddEdge(u, v int) { g.mustAddEdge(u, v) }
 
 // HasEdge reports whether {u,v} is an edge.
 func (g *Graph) HasEdge(u, v int) bool {
-	_, ok := g.eid[Canon(u, v)]
+	_, ok := g.edgeMap()[Canon(u, v)]
 	return ok
 }
 
 // EdgeID returns the index of edge {u,v} in Edges(), or -1.
 func (g *Graph) EdgeID(u, v int) int {
-	id, ok := g.eid[Canon(u, v)]
+	id, ok := g.edgeMap()[Canon(u, v)]
 	if !ok {
 		return -1
 	}

@@ -4,21 +4,23 @@ import (
 	"math/rand"
 
 	"repro/internal/dip"
-	"repro/internal/graph"
 )
 
-// Run executes the path-outerplanarity DIP once on g with the
-// Hamiltonian-path witness pos, returning the unified outcome every
-// protocol package exposes. A prover that cannot label the instance
+// Run executes the path-outerplanarity DIP once on the engine instance
+// di (its graph plus the Hamiltonian-path witness pos), returning the
+// unified outcome every protocol package exposes. Callers that run many
+// times pass the same di — the dense frozen form is memoized on it, so
+// repeated runs freeze once. A prover that cannot label the instance
 // surfaces as ProverFailed (the verifier rejects missing labels), not
 // as an error; context aborts still propagate as errors.
-func Run(g *graph.Graph, pos []int, rng *rand.Rand, opts ...dip.RunOption) (*dip.Outcome, error) {
+func Run(di *dip.Instance, pos []int, rng *rand.Rand, opts ...dip.RunOption) (*dip.Outcome, error) {
+	g := di.G
 	p, err := NewParams(g.N())
 	if err != nil {
 		return nil, err
 	}
 	inst := &Instance{G: g, Pos: pos}
-	res, err := Protocol(inst, p).RunOnce(dip.NewInstance(g), rng, opts...)
+	res, err := Protocol(inst, p).RunOnce(di, rng, opts...)
 	if err != nil {
 		if dip.Aborted(err) {
 			return nil, err

@@ -36,13 +36,20 @@ func NewRotation(g *graph.Graph, rot [][]int) (*Rotation, error) {
 		}
 		r.idx[v] = make(map[int]int, len(rot[v]))
 		for i, u := range rot[v] {
-			if !g.HasEdge(v, u) {
-				return nil, fmt.Errorf("planar: rotation at %d lists non-neighbor %d", v, u)
-			}
 			if _, dup := r.idx[v][u]; dup {
 				return nil, fmt.Errorf("planar: rotation at %d repeats neighbor %d", v, u)
 			}
 			r.idx[v][u] = i
+		}
+		// rot[v] has degree(v) distinct entries, so it is a permutation
+		// of the adjacency list iff every neighbor appears in it. Checked
+		// against the port list rather than HasEdge so validating a
+		// rotation never materializes the edge-id map on bulk-built
+		// (sealed) graphs.
+		for _, u := range g.Neighbors(v) {
+			if _, ok := r.idx[v][u]; !ok {
+				return nil, fmt.Errorf("planar: rotation at %d omits neighbor %d (a listed entry is a non-neighbor)", v, u)
+			}
 		}
 	}
 	return r, nil

@@ -4,17 +4,19 @@ import (
 	"math/rand"
 
 	"repro/internal/dip"
-	"repro/internal/graph"
 )
 
-// Run executes the proof-labeling-scheme baseline once on g with the
-// Hamiltonian-path witness pos, returning the unified outcome every
-// protocol package exposes. A prover that cannot label the instance
-// surfaces as ProverFailed, not as an error; context aborts still
-// propagate as errors.
-func Run(g *graph.Graph, pos []int, rng *rand.Rand, opts ...dip.RunOption) (*dip.Outcome, error) {
+// Run executes the proof-labeling-scheme baseline once on the engine
+// instance di (its graph plus the Hamiltonian-path witness pos),
+// returning the unified outcome every protocol package exposes.
+// Callers that run many times pass the same di so the dense frozen
+// form, memoized on it, is built once. A prover that cannot label the
+// instance surfaces as ProverFailed, not as an error; context aborts
+// still propagate as errors.
+func Run(di *dip.Instance, pos []int, rng *rand.Rand, opts ...dip.RunOption) (*dip.Outcome, error) {
+	g := di.G
 	p := NewParams(g.N())
-	res, err := Protocol(g, pos, p).RunOnce(dip.NewInstance(g), rng, opts...)
+	res, err := Protocol(g, pos, p).RunOnce(di, rng, opts...)
 	if err != nil {
 		if dip.Aborted(err) {
 			return nil, err

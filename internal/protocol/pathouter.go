@@ -43,5 +43,5 @@ func runPathOuter(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*Outcome
 	if !ok {
 		return &Outcome{Rounds: pathouter.Rounds, ProverFailed: true}, nil
 	}
-	return pathouter.Run(in.G, pos, rng, opts...)
+	return pathouter.Run(in.DIP(), pos, rng, opts...)
 }

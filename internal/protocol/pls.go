@@ -28,5 +28,5 @@ func runPLS(in *Instance, rng *rand.Rand, opts ...dip.RunOption) (*Outcome, erro
 	if !ok {
 		return &Outcome{Rounds: pls.Rounds, ProverFailed: true}, nil
 	}
-	return pls.Run(in.G, pos, rng, opts...)
+	return pls.Run(in.DIP(), pos, rng, opts...)
 }

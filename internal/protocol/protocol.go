@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/dip"
 	"repro/internal/graph"
@@ -34,6 +35,21 @@ type Instance struct {
 	// Rotation is the combinatorial-embedding witness of the embedding
 	// and planarity protocols.
 	Rotation *planar.Rotation
+
+	// dipOnce/dipInst memoize DIP(). Always access through DIP().
+	dipOnce sync.Once
+	dipInst *dip.Instance
+}
+
+// DIP returns the instance's engine-level dip.Instance, created once
+// and memoized. Because dip memoizes the dense frozen form per
+// dip.Instance, every Run against the same protocol Instance — a
+// Repeat, a soundness sweep cell, repeated service requests interned to
+// one Instance — densifies (freezes) the graph exactly once. The
+// instance must not be mutated after the first Run.
+func (in *Instance) DIP() *dip.Instance {
+	in.dipOnce.Do(func() { in.dipInst = dip.NewInstance(in.G) })
+	return in.dipInst
 }
 
 // Outcome is the protocol-level result of one certification run. It is

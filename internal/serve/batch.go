@@ -205,6 +205,8 @@ func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 				i, g.N(), g.M(), s.cfg.MaxNodes, s.cfg.MaxEdges)
 			return
 		}
+		inst = s.internInstance(inst)
+		g = inst.G
 		s.reg.Add("requests_total{protocol="+req.Protocol+"}", 1)
 		key := CanonicalKey(req.Protocol, req.Seed, g.N(), g.Edges(), inst.PathPos, inst.Rotation)
 		items[i] = batch.Item[*Response]{

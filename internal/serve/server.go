@@ -35,6 +35,11 @@ type Config struct {
 	// CacheCapacity bounds the LRU result cache (default 1024 entries;
 	// negative disables caching, singleflight dedup stays on).
 	CacheCapacity int
+	// InstanceCacheCapacity bounds the frozen-instance intern cache:
+	// requests describing the same instance (any protocol, any seed)
+	// share one materialized, once-frozen instance (default 128
+	// entries; negative disables interning).
+	InstanceCacheCapacity int
 	// DefaultTimeout bounds a request that names no timeout_ms
 	// (default 30s); MaxTimeout caps what a request may ask for
 	// (default 2m).
@@ -95,6 +100,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheCapacity == 0 {
 		c.CacheCapacity = 1024
+	}
+	if c.InstanceCacheCapacity == 0 {
+		c.InstanceCacheCapacity = 128
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
@@ -204,6 +212,7 @@ type Server struct {
 	cfg       Config
 	pool      *Pool
 	cache     *Cache
+	instances *instanceCache
 	batch     *batch.Manager[*Response]
 	reg       *obs.Registry
 	mux       *http.ServeMux
@@ -216,11 +225,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		pool:  NewPool(cfg.Shards, cfg.WorkersPerShard, cfg.QueueLen),
-		cache: NewCache(cfg.CacheCapacity),
-		reg:   cfg.Registry,
-		mux:   http.NewServeMux(),
+		cfg:       cfg,
+		pool:      NewPool(cfg.Shards, cfg.WorkersPerShard, cfg.QueueLen),
+		cache:     NewCache(cfg.CacheCapacity),
+		instances: newInstanceCache(cfg.InstanceCacheCapacity),
+		reg:       cfg.Registry,
+		mux:       http.NewServeMux(),
 	}
 	// The batch manager coordinates async jobs; each admitted item's Run
 	// closure routes through the same cache/singleflight/pool path as
@@ -262,6 +272,7 @@ func New(cfg Config) *Server {
 	// via callbacks, so the serving hot path never writes them.
 	s.reg.SetGaugeFunc("in_flight", s.pool.InFlight)
 	s.reg.SetGaugeFunc("cache_entries", func() int64 { return int64(s.cache.Len()) })
+	s.reg.SetGaugeFunc("instance_cache_entries", func() int64 { return int64(s.instances.Len()) })
 	s.reg.SetGauge("pool_shards", int64(s.pool.Shards()))
 	s.reg.SetGaugeFunc("queue_depth", func() int64 {
 		var total int64
@@ -486,6 +497,23 @@ func (s *Server) buildInstance(req *Request) (*Instance, error) {
 	return inst, nil
 }
 
+// internInstance swaps a freshly built instance for the cached one
+// when an identical instance (same graph and witnesses, any protocol,
+// any seed) is already interned. The result cache deduplicates exact
+// request repeats; interning deduplicates the expensive part —
+// materialization and the once-per-instance dense freeze — across
+// requests that differ only in protocol or seed.
+func (s *Server) internInstance(inst *Instance) *Instance {
+	key := InstanceKey(inst.G.N(), inst.G.Edges(), inst.PathPos, inst.Rotation)
+	interned, hit := s.instances.Intern(key, inst)
+	if hit {
+		s.reg.Add("instance_cache_hits_total", 1)
+	} else {
+		s.reg.Add("instance_cache_misses_total", 1)
+	}
+	return interned
+}
+
 // checkPermutation verifies pos is a permutation of 0..n-1.
 func checkPermutation(pos []int, n int) error {
 	if len(pos) != n {
@@ -533,9 +561,11 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 			"instance too large: n=%d m=%d (limits n<=%d m<=%d)", g.N(), g.M(), s.cfg.MaxNodes, s.cfg.MaxEdges)
 		return
 	}
+	inst = s.internInstance(inst)
+	g = inst.G
 	s.reg.Add("requests_total{protocol="+req.Protocol+"}", 1)
-	// Admission: parse, validate, size-check — everything before the
-	// request is allowed to contend for cache or workers.
+	// Admission: parse, validate, size-check, intern — everything before
+	// the request is allowed to contend for cache or workers.
 	s.recordStage(r.Context(), "admission", time.Since(start))
 
 	timeout := s.cfg.DefaultTimeout

@@ -1,9 +1,10 @@
 // Package soundness is the registry-driven Monte-Carlo soundness
 // estimator: for every registered protocol descriptor it sweeps the
 // protocol's matched no-instance family across adversary strategies
-// and instance sizes, runs repeated executions with fresh instances
-// and derived seeds, and reports rejection-rate point estimates with
-// Wilson score confidence intervals. A completeness cell per protocol
+// and instance sizes, runs repeated executions against one shared
+// frozen instance per cell with derived per-run seeds, and reports
+// rejection-rate point estimates with Wilson score confidence
+// intervals. A completeness cell per protocol
 // (yes-family, adversary disabled) anchors each sweep: its rejection
 // rate must be exactly 0, which turns the paper's perfect-completeness
 // claims into a measured invariant alongside the soundness estimates.
@@ -147,15 +148,21 @@ func estimateCell(ctx context.Context, cfg Config, d *protocol.Descriptor, kind,
 		Protocol: d.Name, Kind: kind, Family: family,
 		Strategy: strategy, N: n, Runs: runs, Seed: seed,
 	}
+	// One instance per cell, frozen once and shared by all runs: the
+	// Monte-Carlo randomness is over verifier coins and adversary
+	// choices (fresh derived seeds per run), not over instances, so the
+	// sweep exercises exactly the freeze-once bulk path the engines
+	// optimize for. The dense frozen form is memoized on the instance
+	// by the dip layer; dip.FreezeCount certifies the reuse in tests.
+	inst, err := buildInstance(family, n, seed)
+	if err != nil {
+		return row, fmt.Errorf("soundness: %s/%s n=%d: %w", d.Name, strategy, n, err)
+	}
 	for i := 0; i < runs; i++ {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				return row, fmt.Errorf("soundness: %s/%s n=%d: %w", d.Name, strategy, n, err)
 			}
-		}
-		inst, err := buildInstance(family, n, seed+int64(i))
-		if err != nil {
-			return row, fmt.Errorf("soundness: %s/%s n=%d: %w", d.Name, strategy, n, err)
 		}
 		var opts []dip.RunOption
 		if cfg.Engine != "" {

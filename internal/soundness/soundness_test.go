@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/chaos"
+	"repro/internal/dip"
 	"repro/internal/protocol"
 )
 
@@ -149,6 +150,33 @@ func TestWriteNDJSON(t *testing.T) {
 		if !strings.Contains(line, want) {
 			t.Errorf("NDJSON missing %s in %s", want, line)
 		}
+	}
+}
+
+// TestEstimateFreezesOncePerCell: the estimator builds one instance per
+// cell and every Monte-Carlo run reuses its memoized dense frozen form,
+// so a sweep's freeze count equals its cell count — not its run count.
+// pls on a deterministic single-strategy config has no generator
+// retries, so the cell count is exact: one completeness anchor plus one
+// soundness cell.
+func TestEstimateFreezesOncePerCell(t *testing.T) {
+	before := dip.FreezeCount()
+	rows, err := Estimate(context.Background(), Config{
+		Protocols:  []string{"pls"},
+		Strategies: []string{chaos.BitFlip},
+		Sizes:      []int{16},
+		Runs:       8,
+		Seed:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	got := dip.FreezeCount() - before
+	if got != 2 {
+		t.Fatalf("freeze count delta = %d for 2 cells × 8 runs, want exactly 2 (one per cell)", got)
 	}
 }
 
