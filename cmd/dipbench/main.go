@@ -10,6 +10,11 @@
 //	-trace FILE      stream the full typed event trace as NDJSON to FILE
 //	-cpuprofile FILE write a pprof CPU profile of the whole suite
 //	-memprofile FILE write a pprof heap profile at exit
+//	-mutexprofile FILE write a pprof mutex-contention profile at exit
+//	-blockprofile FILE write a pprof blocking profile at exit (both
+//	                 contention profiles work in every mode, including
+//	                 -scaling, which is where lock contention between
+//	                 pool workers would show up)
 //	-hotpath FILE    run only the engine hot-path + service throughput
 //	                 benchmarks and merge the numbers into FILE
 //	                 (BENCH_dip.json); the first measurement of each row
@@ -18,8 +23,9 @@
 //	                 the baseline is refused unless -force is given
 //	-scaling FILE    run the n × GOMAXPROCS scaling table (builder-built
 //	                 grids certified through the orchestrated engine at
-//	                 n ∈ {10^4,10^5,10^6} × P ∈ {1,4}; -quick drops the
-//	                 10^6 tier) and merge the rows into FILE alongside
+//	                 n ∈ {10^4,10^5,10^6} × P ∈ {1,2,4,NumCPU}; -quick
+//	                 drops the 10^6 tier) and merge the rows, including
+//	                 the computed speedup column, into FILE alongside
 //	                 the hot-path numbers
 //	-assert-speedup X  with -scaling: exit nonzero unless, for every n,
 //	                 ns/op at the highest P is <= X × ns/op at P=1 (the
@@ -60,12 +66,18 @@ func main() {
 	traceFile := flag.String("trace", "", "write NDJSON event trace to file")
 	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memProfile := flag.String("memprofile", "", "write heap profile to file")
+	mutexProfile := flag.String("mutexprofile", "", "write mutex-contention profile to file at exit")
+	blockProfile := flag.String("blockprofile", "", "write blocking profile to file at exit")
 	hotPath := flag.String("hotpath", "", "run only the hot-path benchmarks and merge numbers into this JSON file")
 	scaling := flag.String("scaling", "", "run only the n × GOMAXPROCS scaling table and merge rows into this JSON file")
 	assertSpeedup := flag.Float64("assert-speedup", 0, "with -scaling: fail unless parallel ns/op <= this factor × serial ns/op for every n")
 	force := flag.Bool("force", false, "with -hotpath/-scaling: overwrite current even when GOMAXPROCS differs from the baseline")
 	soundnessSweep := flag.Bool("soundness", false, "run only the Monte-Carlo soundness estimator sweep (E-S)")
 	flag.Parse()
+	// Contention profiling is mode-independent: it arms the runtime's
+	// mutex/block samplers before any workload runs and flushes at exit,
+	// so `-scaling -mutexprofile ...` profiles exactly the pool workers.
+	defer writeContentionProfiles(*mutexProfile, *blockProfile)()
 	if *hotPath != "" {
 		if err := runHotPath(*hotPath, *jsonOut, *force); err != nil {
 			fmt.Fprintln(os.Stderr, "dipbench:", err)
@@ -90,6 +102,38 @@ func main() {
 	if err := run(*quick, *seed, *jsonOut, *traceFile, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "dipbench:", err)
 		os.Exit(1)
+	}
+}
+
+// writeContentionProfiles arms the runtime's mutex and block samplers
+// (only when the matching flag is set — both samplers cost a little on
+// every contended lock once enabled) and returns the flush to run at
+// exit. Rates follow the usual pprof conventions: every fifth mutex
+// contention event, every blocking event >= 1µs.
+func writeContentionProfiles(mutexFile, blockFile string) func() {
+	if mutexFile != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+	if blockFile != "" {
+		runtime.SetBlockProfileRate(1000)
+	}
+	flush := func(name, file string) {
+		if file == "" {
+			return
+		}
+		f, err := os.Create(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dipbench: %sprofile: %v\n", name, err)
+			return
+		}
+		defer f.Close()
+		if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "dipbench: %sprofile: %v\n", name, err)
+		}
+	}
+	return func() {
+		flush("mutex", mutexFile)
+		flush("block", blockFile)
 	}
 }
 
@@ -139,15 +183,16 @@ func runScaling(file string, quick, jsonOut, force bool, assertSpeedup float64) 
 				"type": "scaling_bench", "name": r.Name, "n": r.N, "gomaxprocs": r.GOMAXPROCS,
 				"iterations": r.Iterations, "ns_per_op": r.NsPerOp,
 				"bytes_per_op": r.BytesPerOp, "allocs_per_op": r.AllocsPerOp,
+				"speedup": r.Speedup,
 			}); err != nil {
 				return err
 			}
 		}
 	} else {
-		fmt.Printf("%-24s %10s %6s %10s %16s %16s %14s\n", "benchmark", "n", "procs", "iters", "ns/op", "B/op", "allocs/op")
+		fmt.Printf("%-24s %10s %6s %10s %16s %16s %14s %8s\n", "benchmark", "n", "procs", "iters", "ns/op", "B/op", "allocs/op", "speedup")
 		for _, r := range results {
-			fmt.Printf("%-24s %10d %6d %10d %16d %16d %14d\n",
-				r.Name, r.N, r.GOMAXPROCS, r.Iterations, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+			fmt.Printf("%-24s %10d %6d %10d %16d %16d %14d %8.2f\n",
+				r.Name, r.N, r.GOMAXPROCS, r.Iterations, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Speedup)
 		}
 	}
 	note := fmt.Sprintf("cmd/dipbench -scaling (NumCPU=%d)", runtime.NumCPU())

@@ -34,6 +34,10 @@ type Result struct {
 	NsPerOp     int64  `json:"ns_per_op"`
 	BytesPerOp  int64  `json:"bytes_per_op"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
+	// Speedup is ns/op at GOMAXPROCS=1 over this row's ns/op, for
+	// scaling-table rows measured alongside a serial partner
+	// (FillSpeedups); zero (omitted) elsewhere.
+	Speedup float64 `json:"speedup,omitempty"`
 }
 
 // key is the merge identity of a row within a snapshot.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sort"
 	"testing"
 
 	"repro/internal/bitio"
@@ -25,8 +26,24 @@ func ScalingSizes(quick bool) []int {
 	return []int{10_000, 100_000, 1_000_000}
 }
 
-// ScalingProcs returns the default GOMAXPROCS column of the table.
-func ScalingProcs() []int { return []int{1, 4} }
+// ScalingProcs returns the default GOMAXPROCS column of the table:
+// {1, 2, 4, NumCPU}, deduplicated and sorted. NumCPU extends the sweep
+// on big hosts (does speedup keep climbing past 4 cores?); the fixed
+// {1, 2, 4} base keeps rows comparable across machines. On a host with
+// fewer than 4 CPUs the oversubscribed cells still run — they measure
+// scheduling overhead rather than speedup, which the snapshot note's
+// NumCPU records.
+func ScalingProcs() []int {
+	procs := []int{1, 2, 4, runtime.NumCPU()}
+	sort.Ints(procs)
+	out := procs[:0]
+	for i, p := range procs {
+		if i == 0 || p != procs[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 // builderGrid streams a rows×cols grid through the CSR Builder: the
 // bulk construction path, no per-edge map work.
@@ -125,7 +142,31 @@ func Scaling(sizes, procs []int) ([]Result, error) {
 			out = append(out, res)
 		}
 	}
+	FillSpeedups(out)
 	return out, nil
+}
+
+// FillSpeedups computes the Speedup column of scaling rows in place:
+// for every n with a GOMAXPROCS=1 row, each row's speedup is
+// ns/op(P=1) divided by its own ns/op (so P=1 rows read 1.0 and a
+// perfectly scaling P=4 row reads 4.0). Rows without a serial partner
+// are left at zero and stay omitted from the JSON.
+func FillSpeedups(results []Result) {
+	serial := map[int]int64{}
+	for _, r := range results {
+		if r.Name == ScalingName && r.GOMAXPROCS == 1 && r.N > 0 {
+			serial[r.N] = r.NsPerOp
+		}
+	}
+	for i := range results {
+		r := &results[i]
+		if r.Name != ScalingName || r.N == 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		if s, ok := serial[r.N]; ok {
+			r.Speedup = math.Round(float64(s)/float64(r.NsPerOp)*100) / 100
+		}
+	}
 }
 
 // AssertSpeedup checks the scaling table's CI invariant: for every n

@@ -59,23 +59,49 @@ func (w *Writer) WriteBool(b bool) { w.WriteBit(b) }
 
 // String captures the written bits as an immutable bit string.
 func (w *Writer) String() String {
+	if w.nbit <= inlineBits {
+		var word uint64
+		for i, b := range w.buf {
+			word |= uint64(b) << (56 - 8*uint(i))
+		}
+		return String{word: word, nbit: w.nbit}
+	}
 	cp := make([]byte, len(w.buf))
 	copy(cp, w.buf)
 	return String{data: cp, nbit: w.nbit}
 }
 
+// inlineBits is the largest bit length stored inline in a String.
+const inlineBits = 64
+
 // String is an immutable sequence of bits. The zero value is the empty
 // string, which is a valid (0-bit) label.
+//
+// Strings of at most 64 bits — which covers almost every coin and label
+// a DIP verifier round produces — are stored inline: the bits live
+// MSB-aligned in word with data nil, so constructing, copying, and
+// comparing them never touches the heap. Longer strings spill to a byte
+// slice. The representation is canonical (nbit <= 64 always means
+// inline, unused low-order word bits are zero), which keeps Equal a
+// single word compare on the short form.
 type String struct {
-	data []byte
+	data []byte // spill storage for nbit > inlineBits; nil otherwise
+	word uint64 // inline bits, MSB-aligned, for nbit <= inlineBits
 	nbit int
 }
 
-// FromUint packs v into a width-bit string.
+// FromUint packs v into a width-bit string. For widths up to 64 — all
+// of them — the result is inline and the call performs no allocation,
+// which is what keeps per-node coin sampling off the heap in the
+// engine hot paths.
 func FromUint(v uint64, width int) String {
-	var w Writer
-	w.WriteUint(v, width)
-	return w.String()
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitio: invalid width %d", width))
+	}
+	if width < 64 && v >= 1<<uint(width) {
+		panic(fmt.Sprintf("bitio: value %d overflows %d bits", v, width))
+	}
+	return String{word: v << (64 - uint(width)), nbit: width}
 }
 
 // Len returns the bit length of the string.
@@ -86,6 +112,9 @@ func (s String) Bit(i int) bool {
 	if i < 0 || i >= s.nbit {
 		panic(fmt.Sprintf("bitio: bit index %d out of range [0,%d)", i, s.nbit))
 	}
+	if s.data == nil {
+		return s.word>>(63-uint(i))&1 == 1
+	}
 	return s.data[i/8]>>(7-uint(i%8))&1 == 1
 }
 
@@ -93,6 +122,9 @@ func (s String) Bit(i int) bool {
 func (s String) Equal(t String) bool {
 	if s.nbit != t.nbit {
 		return false
+	}
+	if s.nbit <= inlineBits {
+		return s.word == t.word
 	}
 	for i := range s.data {
 		if s.data[i] != t.data[i] {

@@ -140,3 +140,57 @@ func TestStringBitAccess(t *testing.T) {
 		t.Fatalf("String() = %q", s.String())
 	}
 }
+
+// TestInlineCanonicalForm pins the inline small-string representation:
+// every construction path must yield the inline form for <= 64 bits
+// (data nil, so FromUint and short Writer.String calls are heap-free)
+// and the spilled form beyond, with Bit/Equal/Reader agreeing across
+// the boundary.
+func TestInlineCanonicalForm(t *testing.T) {
+	for _, width := range []int{0, 1, 4, 8, 31, 32, 63, 64} {
+		v := uint64(0xA5A5A5A5A5A5A5A5) & (1<<uint(width) - 1)
+		if width == 64 {
+			v = 0xA5A5A5A5A5A5A5A5
+		}
+		direct := FromUint(v, width)
+		var w Writer
+		w.WriteUint(v, width)
+		written := w.String()
+		if direct.data != nil || written.data != nil {
+			t.Fatalf("width %d: expected inline form, got spilled", width)
+		}
+		if !direct.Equal(written) {
+			t.Fatalf("width %d: FromUint and Writer.String disagree", width)
+		}
+		got, err := written.Reader().ReadUint(width)
+		if err != nil || got != v {
+			t.Fatalf("width %d: round-trip got %d (%v), want %d", width, got, err, v)
+		}
+	}
+	var w Writer
+	w.WriteUint(0xDEADBEEF, 32)
+	w.WriteUint(0xDEADBEEF, 32)
+	w.WriteBit(true)
+	long := w.String() // 65 bits: must spill
+	if long.data == nil {
+		t.Fatal("65-bit string should spill to data")
+	}
+	if long.Len() != 65 || !long.Bit(64) {
+		t.Fatalf("spilled string: len=%d bit64=%v", long.Len(), long.Bit(64))
+	}
+}
+
+// TestFromUintNoAlloc gates the engine-hot-path property the inline
+// form exists for: packing a small value into a String is free.
+func TestFromUintNoAlloc(t *testing.T) {
+	var sink String
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = FromUint(13, 8)
+	})
+	if allocs != 0 {
+		t.Errorf("FromUint allocated %.1f times per call, want 0", allocs)
+	}
+	if sink.Len() != 8 {
+		t.Fatal("bad sink")
+	}
+}

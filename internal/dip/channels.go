@@ -21,7 +21,13 @@ import (
 type ChannelRunner struct {
 	inst *Instance
 	fi   *frozenInstance
-	// nodeRngs are created on the first run and reseeded on later runs.
+	// states[x] is node x's splitmix64 coin stream (reseeded per run);
+	// nodeRngs[x] wraps &states[x] and is created once on the first run.
+	// One rand.Rand per node is inherent to this engine's shape — each
+	// node goroutine draws concurrently, so they cannot share a cursor —
+	// but the streams themselves are the same ones Runner derives, which
+	// is what keeps the two engines' fingerprints identical.
+	states   []nodeSource
 	nodeRngs []*rand.Rand
 	// deliver/coinsUp/decide are the per-node channels, created on the
 	// first run and reused: they are always drained by the end of a run
@@ -131,7 +137,15 @@ func (cr *ChannelRunner) Run(p Prover, v Verifier, proverRounds, verifierRounds 
 	cr.ensureRunState(proverRounds, verifierRounds)
 	deliver, coinsUp, decide := cr.deliver, cr.coinsUp, cr.decide
 
-	cr.nodeRngs = reseedNodeRngs(cr.nodeRngs, n, rng)
+	// reseedNodeStates reuses the states slice once sized, so the
+	// nodeRngs wrappers keep pointing at live state across runs.
+	cr.states = reseedNodeStates(cr.states, n, rng)
+	if cr.nodeRngs == nil {
+		cr.nodeRngs = make([]*rand.Rand, n)
+		for x := range cr.nodeRngs {
+			cr.nodeRngs[x] = rand.New(&cr.states[x])
+		}
+	}
 
 	// Node goroutines: receive labels each prover round, emit coins each
 	// verifier round, decide at the end. Each node accumulates only its

@@ -2,6 +2,7 @@ package dip
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/bitio"
 	"repro/internal/graph"
@@ -182,6 +183,18 @@ type viewScratch struct {
 	strs []bitio.String   // backing for Coins, Own, Nbr[p], EdgeLab[p]
 	rows [][]bitio.String // backing for Nbr, EdgeLab
 	ins  []any            // backing for EdgeIn
+	// cur/rng are the worker's coin-stream cursor: one rand.Rand for the
+	// worker's whole life, repointed at each node's splitmix64 state
+	// before Verifier.Coins (see cursorSource).
+	cur cursorSource
+	rng *rand.Rand
+}
+
+// newViewScratch builds a worker scratch with its cursor rng wired up.
+func newViewScratch() *viewScratch {
+	s := &viewScratch{}
+	s.rng = rand.New(&s.cur)
+	return s
 }
 
 // grow ensures the backing arrays hold at least the given element

@@ -177,8 +177,11 @@ type Transcript struct {
 type Runner struct {
 	inst *Instance
 	fi   *frozenInstance
-	// nodeRngs are created on the first run and reseeded on later runs.
-	nodeRngs []*rand.Rand
+	// states[v] is node v's splitmix64 coin stream, allocated on the
+	// first run and reseeded on later runs. Workers reach them through
+	// their scratch's cursor rng, so per-node randomness costs no
+	// per-node allocation and no shared state beyond the seeding pass.
+	states []nodeSource
 	// scratch[w] is worker w's reusable view, grown monotonically.
 	scratch []*viewScratch
 }
@@ -219,9 +222,9 @@ func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng
 	frozen := make([]frozenAssignment, 0, proverRounds)
 	coins := make([][]bitio.String, 0, verifierRounds)
 
-	// Per-node private rngs, seeded deterministically from the master
-	// rng: created on the first run, reseeded on every later run.
-	r.nodeRngs = reseedNodeRngs(r.nodeRngs, n, rng)
+	// Per-node private coin streams, seeded deterministically from the
+	// master rng: allocated on the first run, reseeded on every later run.
+	r.states = reseedNodeStates(r.states, n, rng)
 
 	// The worker pool lives for the whole run: its workers park between
 	// rounds instead of being respawned per parallel phase. Below two
@@ -235,7 +238,7 @@ func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng
 		workers = 1
 	}
 	for len(r.scratch) < workers {
-		r.scratch = append(r.scratch, &viewScratch{})
+		r.scratch = append(r.scratch, newViewScratch())
 	}
 
 	var st Stats
@@ -308,9 +311,13 @@ func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng
 				phaseStart = time.Now()
 			}
 			round := make([]bitio.String, n)
-			workers, batchNS := r.parallelNodes(pool, func(w, x int) {
-				view := r.fi.fill(r.scratch[w], x, frozen, coins)
-				round[x] = v.Coins(pr, view, r.nodeRngs[x])
+			workers, batchNS := r.parallelNodes(pool, func(w, lo, hi int) {
+				sc := r.scratch[w]
+				for x := lo; x < hi; x++ {
+					view := r.fi.fill(sc, x, frozen, coins)
+					sc.cur.s = &r.states[x]
+					round[x] = v.Coins(pr, view, sc.rng)
+				}
 			}, traced)
 			for _, c := range round {
 				if c.Len() > st.MaxCoinBits {
@@ -335,9 +342,12 @@ func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng
 		return nil, err
 	}
 	outputs := make([]bool, n)
-	decideWorkers, decideNS := r.parallelNodes(pool, func(w, x int) {
-		view := r.fi.fill(r.scratch[w], x, frozen, coins)
-		outputs[x] = v.Decide(view)
+	decideWorkers, decideNS := r.parallelNodes(pool, func(w, lo, hi int) {
+		sc := r.scratch[w]
+		for x := lo; x < hi; x++ {
+			view := r.fi.fill(sc, x, frozen, coins)
+			outputs[x] = v.Decide(view)
+		}
 	}, traced)
 	if adv != nil {
 		flips := overrideDecisions(adv, outputs)
@@ -364,11 +374,12 @@ func (r *Runner) Run(p Prover, v Verifier, proverRounds, verifierRounds int, rng
 	}, nil
 }
 
-// parallelNodes runs fn(worker, v) for every vertex — on the run's
-// persistent pool when one is live, inline on scratch 0 otherwise. It
-// returns the worker count and, when timed, each worker's busy time
-// (nil otherwise) for goroutine-batch trace events.
-func (r *Runner) parallelNodes(pool *nodePool, fn func(worker, v int), timed bool) (int, []int64) {
+// parallelNodes runs fn over [0, n) in disjoint [lo, hi) node ranges —
+// chunked across the run's persistent pool when one is live, as one
+// inline range on scratch 0 otherwise. It returns the worker count and,
+// when timed, each worker's busy time (nil otherwise) for
+// goroutine-batch trace events.
+func (r *Runner) parallelNodes(pool *nodePool, fn func(worker, lo, hi int), timed bool) (int, []int64) {
 	n := r.fi.n
 	if n == 0 {
 		return 0, nil
@@ -378,9 +389,7 @@ func (r *Runner) parallelNodes(pool *nodePool, fn func(worker, v int), timed boo
 		if timed {
 			start = time.Now()
 		}
-		for v := 0; v < n; v++ {
-			fn(0, v)
-		}
+		fn(0, 0, n)
 		if timed {
 			return 1, []int64{time.Since(start).Nanoseconds()}
 		}

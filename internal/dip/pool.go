@@ -8,11 +8,23 @@ import (
 )
 
 // nodePool is a persistent pool of worker goroutines executing per-node
-// closures. The Runner starts one pool per run and keeps its workers
-// parked between rounds (channel handoff), instead of spawning
-// GOMAXPROCS goroutines for every verifier round and again at decide
-// time. Each worker owns a stable worker index so callers can attach
-// per-worker scratch state (the reusable views).
+// work in contiguous chunks. The Runner starts one pool per run and
+// keeps its workers parked between rounds (channel handoff), instead of
+// spawning GOMAXPROCS goroutines for every verifier round and again at
+// decide time. Each worker owns a stable worker index so callers can
+// attach per-worker scratch state (the reusable views and coin-stream
+// cursors).
+//
+// Scheduling is chunked work stealing, not a shared per-node counter:
+// each batch splits [0, n) into about chunksPerWorker × workers
+// contiguous ranges, statically partitioned across workers. A worker
+// drains its own range through a private cursor and only then steals
+// whole chunks from other workers' ranges. At a million nodes the old
+// one-atomic-per-node grain meant ~n contended RMWs on a single cache
+// line per batch — the serialization point the scaling table measured;
+// per-chunk grain cuts that to ~8·P operations while the tail still
+// balances. Cursors are padded to a cache line apiece so a thief
+// bumping worker v's cursor never false-shares with worker w's.
 //
 // A pool runs one batch at a time; run and close may only be called
 // from a single orchestrating goroutine.
@@ -20,17 +32,36 @@ type nodePool struct {
 	workers int
 	// Batch state, written by run before signaling and read by workers
 	// after receiving the signal (the channel send establishes the
-	// happens-before edge).
-	fn    func(worker, v int)
-	n     int
-	timed bool
-	next  atomic.Int64
+	// happens-before edge). fn is invoked with disjoint [lo, hi) node
+	// ranges covering [0, n) exactly once.
+	fn        func(worker, lo, hi int)
+	n         int
+	chunkSize int
+	// cur[w] is worker w's chunk cursor; chunkHi[w] is one past the
+	// last chunk index of w's own range. Thieves advance a victim's
+	// cursor with the same atomic add the owner uses, so a chunk is
+	// taken exactly once whoever gets there first.
+	cur     []paddedCursor
+	chunkHi []int
 	// ready[w] signals worker w to start the current batch; closing it
 	// shuts the worker down.
 	ready []chan struct{}
 	wg    sync.WaitGroup
-	// batchNS[w] is worker w's busy time in the last timed batch.
-	batchNS []int64
+	// batchNS[w] is worker w's busy time in the last batch; batchWall
+	// the whole batch's wall time (for idle accounting).
+	batchNS   []int64
+	batchWall int64
+}
+
+// chunksPerWorker is the over-partitioning factor: chunks of roughly
+// n/(chunksPerWorker·P) nodes are small enough that an unlucky worker
+// sheds load to thieves, and large enough that cursor traffic is noise.
+const chunksPerWorker = 8
+
+// paddedCursor is an atomic chunk cursor padded to its own cache line.
+type paddedCursor struct {
+	next atomic.Int64
+	_    [56]byte
 }
 
 // poolSizeFor returns the worker count for an n-node instance:
@@ -48,6 +79,8 @@ func poolSizeFor(n int) int {
 func newNodePool(workers int) *nodePool {
 	p := &nodePool{
 		workers: workers,
+		cur:     make([]paddedCursor, workers),
+		chunkHi: make([]int, workers),
 		ready:   make([]chan struct{}, workers),
 		batchNS: make([]int64, workers),
 	}
@@ -58,39 +91,88 @@ func newNodePool(workers int) *nodePool {
 	return p
 }
 
+// runChunk executes one chunk (by global chunk index) on worker w.
+func (p *nodePool) runChunk(w, idx int) {
+	lo := idx * p.chunkSize
+	hi := lo + p.chunkSize
+	if hi > p.n {
+		hi = p.n
+	}
+	p.fn(w, lo, hi)
+}
+
 func (p *nodePool) loop(w int) {
 	for range p.ready[w] {
-		var start time.Time
-		if p.timed {
-			start = time.Now()
-		}
+		start := time.Now()
+		var chunks, steals int64
+		// Own range first: private cursor, zero contention until the
+		// range drains.
 		for {
-			v := int(p.next.Add(1)) - 1
-			if v >= p.n {
+			idx := int(p.cur[w].next.Add(1)) - 1
+			if idx >= p.chunkHi[w] {
 				break
 			}
-			p.fn(w, v)
+			p.runChunk(w, idx)
+			chunks++
 		}
-		if p.timed {
-			p.batchNS[w] = time.Since(start).Nanoseconds()
+		// Then steal whole chunks from the other workers, scanning
+		// round-robin from our right-hand neighbor. The add on the
+		// victim's cursor is the same operation the victim uses, so
+		// overshoot past chunkHi is harmless (at most one wasted add
+		// per worker pair per batch).
+		for off := 1; off < p.workers; off++ {
+			v := (w + off) % p.workers
+			for {
+				idx := int(p.cur[v].next.Add(1)) - 1
+				if idx >= p.chunkHi[v] {
+					break
+				}
+				p.runChunk(w, idx)
+				chunks++
+				steals++
+			}
 		}
+		busy := time.Since(start).Nanoseconds()
+		p.batchNS[w] = busy
+		poolWorkerAccount(w, busy, chunks, steals)
 		p.wg.Done()
 	}
 }
 
-// run executes fn(worker, v) for every v in [0, n) across the pool's
-// workers (shared-counter work stealing) and waits for completion. It
-// returns the pool size and, when timed, a copy of the per-worker busy
-// times for goroutine-batch trace events (nil otherwise).
-func (p *nodePool) run(fn func(worker, v int), n int, timed bool) (int, []int64) {
-	p.fn, p.n, p.timed = fn, n, timed
-	p.next.Store(0)
+// run executes fn over every node in [0, n), handed to workers as
+// contiguous [lo, hi) chunks, and waits for completion. It returns the
+// pool size and, when timed, a copy of the per-worker busy times for
+// goroutine-batch trace events (nil otherwise).
+func (p *nodePool) run(fn func(worker, lo, hi int), n int, timed bool) (int, []int64) {
+	p.fn, p.n = fn, n
+	chunks := p.workers * chunksPerWorker
+	if chunks > n {
+		chunks = n
+	}
+	p.chunkSize = (n + chunks - 1) / chunks
+	nChunks := (n + p.chunkSize - 1) / p.chunkSize
+	for w := 0; w < p.workers; w++ {
+		// Worker w owns the contiguous chunk range
+		// [w·C/W, (w+1)·C/W); the division spreads a remainder evenly.
+		p.cur[w].next.Store(int64(w * nChunks / p.workers))
+		p.chunkHi[w] = (w + 1) * nChunks / p.workers
+	}
+	start := time.Now()
 	p.wg.Add(p.workers)
 	for _, c := range p.ready {
 		c <- struct{}{}
 	}
 	p.wg.Wait()
+	p.batchWall = time.Since(start).Nanoseconds()
 	p.fn = nil
+	var idle int64
+	for w := 0; w < p.workers; w++ {
+		if d := p.batchWall - p.batchNS[w]; d > 0 {
+			idle += d
+			poolWorkerIdle(w, d)
+		}
+	}
+	poolBatchAccount(idle)
 	if timed {
 		return p.workers, append([]int64(nil), p.batchNS...)
 	}

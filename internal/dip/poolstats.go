@@ -1,0 +1,130 @@
+package dip
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Process-wide pool scheduling counters. Every nodePool batch in the
+// process accounts into these, so contention and balance are visible
+// without plumbing a registry through the engines: a server (or test)
+// calls RegisterPoolMetrics once and scrapes them as gauges. All
+// counters are monotone totals since process start.
+//
+// Per-worker slots are a fixed array: worker indices are pool-local and
+// pools are sized by GOMAXPROCS, so slot w aggregates "worker w of
+// whatever pool was running" — exactly the right granularity for
+// spotting a systematically starved or overloaded lane.
+const maxPoolWorkerStats = 64
+
+type poolWorkerStats struct {
+	busyNS atomic.Int64
+	idleNS atomic.Int64
+	chunks atomic.Int64
+	steals atomic.Int64
+	_      [32]byte // pad to a cache line so workers don't false-share slots
+}
+
+var (
+	poolBatchesTotal atomic.Int64
+	poolBusyNSTotal  atomic.Int64
+	poolIdleNSTotal  atomic.Int64
+	poolChunksTotal  atomic.Int64
+	poolStealsTotal  atomic.Int64
+	poolWorkers      [maxPoolWorkerStats]poolWorkerStats
+)
+
+// poolWorkerAccount records one worker's share of a finished batch.
+func poolWorkerAccount(w int, busyNS, chunks, steals int64) {
+	poolBusyNSTotal.Add(busyNS)
+	poolChunksTotal.Add(chunks)
+	poolStealsTotal.Add(steals)
+	if w < maxPoolWorkerStats {
+		poolWorkers[w].busyNS.Add(busyNS)
+		poolWorkers[w].chunks.Add(chunks)
+		poolWorkers[w].steals.Add(steals)
+	}
+}
+
+// poolWorkerIdle records one worker's idle time (batch wall time minus
+// its busy time) for a finished batch.
+func poolWorkerIdle(w int, idleNS int64) {
+	if w < maxPoolWorkerStats {
+		poolWorkers[w].idleNS.Add(idleNS)
+	}
+}
+
+// poolBatchAccount records one finished batch.
+func poolBatchAccount(idleNS int64) {
+	poolBatchesTotal.Add(1)
+	poolIdleNSTotal.Add(idleNS)
+}
+
+// PoolWorkerStat is one worker lane's cumulative scheduling totals.
+type PoolWorkerStat struct {
+	Worker int
+	BusyNS int64
+	IdleNS int64
+	Chunks int64
+	Steals int64
+}
+
+// PoolStatsSnapshot is a point-in-time copy of the process-wide pool
+// counters.
+type PoolStatsSnapshot struct {
+	Batches int64
+	BusyNS  int64
+	IdleNS  int64
+	Chunks  int64
+	Steals  int64
+	// Workers holds per-lane totals for every lane that did any work.
+	Workers []PoolWorkerStat
+}
+
+// PoolStats snapshots the process-wide pool scheduling counters.
+func PoolStats() PoolStatsSnapshot {
+	s := PoolStatsSnapshot{
+		Batches: poolBatchesTotal.Load(),
+		BusyNS:  poolBusyNSTotal.Load(),
+		IdleNS:  poolIdleNSTotal.Load(),
+		Chunks:  poolChunksTotal.Load(),
+		Steals:  poolStealsTotal.Load(),
+	}
+	for w := 0; w < maxPoolWorkerStats; w++ {
+		ws := &poolWorkers[w]
+		st := PoolWorkerStat{
+			Worker: w,
+			BusyNS: ws.busyNS.Load(),
+			IdleNS: ws.idleNS.Load(),
+			Chunks: ws.chunks.Load(),
+			Steals: ws.steals.Load(),
+		}
+		if st.BusyNS == 0 && st.Chunks == 0 && st.IdleNS == 0 {
+			continue
+		}
+		s.Workers = append(s.Workers, st)
+	}
+	return s
+}
+
+// RegisterPoolMetrics exposes the pool scheduling counters as callback
+// gauges on reg: process totals under pool_*_total, plus per-worker
+// breakdowns under pool_worker_*_total{worker=N} for the first
+// GOMAXPROCS-at-registration lanes. Callback gauges are evaluated at
+// scrape time, so the engines pay nothing beyond their own atomics.
+func RegisterPoolMetrics(reg *obs.Registry) {
+	reg.SetGaugeFunc("pool_batches_total", poolBatchesTotal.Load)
+	reg.SetGaugeFunc("pool_busy_ns_total", poolBusyNSTotal.Load)
+	reg.SetGaugeFunc("pool_idle_ns_total", poolIdleNSTotal.Load)
+	reg.SetGaugeFunc("pool_chunks_total", poolChunksTotal.Load)
+	reg.SetGaugeFunc("pool_steals_total", poolStealsTotal.Load)
+	lanes := poolSizeFor(maxPoolWorkerStats)
+	for w := 0; w < lanes && w < maxPoolWorkerStats; w++ {
+		ws := &poolWorkers[w]
+		reg.SetGaugeFunc(fmt.Sprintf("pool_worker_busy_ns_total{worker=%d}", w), ws.busyNS.Load)
+		reg.SetGaugeFunc(fmt.Sprintf("pool_worker_idle_ns_total{worker=%d}", w), ws.idleNS.Load)
+		reg.SetGaugeFunc(fmt.Sprintf("pool_worker_steals_total{worker=%d}", w), ws.steals.Load)
+	}
+}

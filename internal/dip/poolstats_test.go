@@ -1,0 +1,85 @@
+package dip
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestPoolStatsAccounting pins the process-wide scheduling counters
+// against a pool run with known geometry: every batch accounts exactly
+// its chunk count, batches are counted once, and the per-lane and
+// process totals agree. Counters are process-global, so the test works
+// in deltas.
+func TestPoolStatsAccounting(t *testing.T) {
+	const workers, n, batches = 3, 100, 2
+	before := PoolStats()
+
+	var visited atomic.Int64
+	p := newNodePool(workers)
+	defer p.close()
+	for b := 0; b < batches; b++ {
+		p.run(func(_, lo, hi int) {
+			visited.Add(int64(hi - lo))
+		}, n, false)
+	}
+	if got := visited.Load(); got != int64(batches*n) {
+		t.Fatalf("visited %d nodes, want %d", got, batches*n)
+	}
+
+	after := PoolStats()
+	if d := after.Batches - before.Batches; d != batches {
+		t.Errorf("batches delta = %d, want %d", d, batches)
+	}
+	// The batch geometry is deterministic: min(8·workers, n) target
+	// chunks, rounded through the chunk size. Recompute it the way
+	// run() does and demand the counter matches exactly — a chunk
+	// executed twice or skipped would show up here.
+	chunks := workers * chunksPerWorker
+	if chunks > n {
+		chunks = n
+	}
+	chunkSize := (n + chunks - 1) / chunks
+	nChunks := (n + chunkSize - 1) / chunkSize
+	if d := after.Chunks - before.Chunks; d != int64(batches*nChunks) {
+		t.Errorf("chunks delta = %d, want %d (%d chunks × %d batches)", d, batches*nChunks, nChunks, batches)
+	}
+	if after.BusyNS < before.BusyNS {
+		t.Errorf("busy total went backwards: %d -> %d", before.BusyNS, after.BusyNS)
+	}
+	// Lanes are process-cumulative (earlier tests may have run wider
+	// pools), so only the delta of the per-lane sum is ours to check.
+	var laneChunks int64
+	for _, w := range after.Workers {
+		laneChunks += w.Chunks
+	}
+	for _, w := range before.Workers {
+		laneChunks -= w.Chunks
+	}
+	if laneChunks != after.Chunks-before.Chunks {
+		t.Errorf("per-lane chunk sum delta = %d, want %d", laneChunks, after.Chunks-before.Chunks)
+	}
+}
+
+// TestRegisterPoolMetrics: the callback gauges read through to the live
+// counters at scrape time.
+func TestRegisterPoolMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	RegisterPoolMetrics(reg)
+
+	p := newNodePool(2)
+	defer p.close()
+	p.run(func(_, _, _ int) {}, 64, false)
+
+	want := PoolStats()
+	if got := reg.Gauge("pool_batches_total"); got != want.Batches {
+		t.Errorf("pool_batches_total gauge = %d, want %d", got, want.Batches)
+	}
+	if got := reg.Gauge("pool_chunks_total"); got < want.Chunks-1 || got == 0 {
+		t.Errorf("pool_chunks_total gauge = %d, want ~%d", got, want.Chunks)
+	}
+	if got := reg.Gauge("pool_worker_busy_ns_total{worker=0}"); got != want.Workers[0].BusyNS {
+		t.Errorf("worker 0 busy gauge = %d, want %d", got, want.Workers[0].BusyNS)
+	}
+}

@@ -7,8 +7,8 @@ import "math/rand"
 // pays a 607-word lag-table initialization on every Seed, which at
 // n >= 10^4 nodes per run dominated whole-run cost in BOTH engines
 // (about half of all hot-path CPU went to rand.seedrand before this
-// existed). Seeding a nodeSource is one store, so reseeding n node rngs
-// per run is O(n) cheap instead of O(607 n).
+// existed). Seeding a nodeSource is one store, so reseeding n node
+// streams per run is O(n) cheap instead of O(607 n).
 type nodeSource struct{ state uint64 }
 
 // Seed resets the stream. The zero seed is as good as any other:
@@ -26,24 +26,46 @@ func (s *nodeSource) Uint64() uint64 {
 
 func (s *nodeSource) Int63() int64 { return int64(s.Uint64() >> 1) }
 
-// reseedNodeRngs creates (first run) or reseeds (later runs) the
-// per-node verifier rngs from the master rng, drawing one seed per node
-// in vertex order so a given master stream always yields the same
-// per-node streams. Both engines use it, which keeps their coin
-// sequences — and therefore their trace fingerprints — identical for
-// the same master seed.
-func reseedNodeRngs(rngs []*rand.Rand, n int, master *rand.Rand) []*rand.Rand {
-	if rngs == nil {
-		rngs = make([]*rand.Rand, n)
-		srcs := make([]nodeSource, n)
-		for i := range rngs {
-			srcs[i].Seed(master.Int63())
-			rngs[i] = rand.New(&srcs[i])
-		}
-		return rngs
+// reseedNodeStates allocates (first run) or reseeds (later runs) the
+// per-node verifier randomness states from the master rng, drawing one
+// seed per node in vertex order so a given master stream always yields
+// the same per-node streams. Both engines use it, which keeps their
+// coin sequences — and therefore their trace fingerprints — identical
+// for the same master seed. This is the ONLY shared-state step of
+// per-node randomness, and it is a plain sequential pass; after it,
+// every node owns an independent splitmix64 stream that workers advance
+// with no coordination, whichever chunk of the vertex range they
+// happen to execute.
+//
+// Callers that hand out pointers into the returned slice (the channel
+// engine's per-node rand.Rand wrappers) rely on it never reallocating
+// once sized: the slice is reused verbatim when its length already
+// matches n.
+func reseedNodeStates(states []nodeSource, n int, master *rand.Rand) []nodeSource {
+	if len(states) != n {
+		states = make([]nodeSource, n)
 	}
-	for i := range rngs {
-		rngs[i].Seed(master.Int63())
+	for i := range states {
+		states[i].Seed(master.Int63())
 	}
-	return rngs
+	return states
 }
+
+// cursorSource is a repointable view over some node's randomness state,
+// implementing rand.Source64. Each Runner worker owns ONE rand.Rand
+// wrapping ONE cursorSource for its whole life; before invoking a
+// verifier for node x the worker repoints the cursor at x's state, so
+// node x consumes exactly the stream it would under a dedicated
+// per-node rand.Rand — rand.Rand buffers nothing for Int63/Uint64/Intn
+// and friends, every draw forwards straight to the source. That turns
+// n per-node rand.Rand allocations into P per-worker ones while leaving
+// the drawn values bit-identical.
+//
+// (rand.Rand.Read is the one buffered method; no verifier uses it, and
+// a protocol that wants byte-granular randomness should derive it from
+// Uint64 draws anyway.)
+type cursorSource struct{ s *nodeSource }
+
+func (c *cursorSource) Seed(seed int64) { c.s.Seed(seed) }
+func (c *cursorSource) Int63() int64    { return c.s.Int63() }
+func (c *cursorSource) Uint64() uint64  { return c.s.Uint64() }

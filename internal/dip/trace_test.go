@@ -126,6 +126,16 @@ func TestCompositeSpanBalancesOnFailure(t *testing.T) {
 	}
 }
 
+// perVertex adapts a per-vertex visitor to the pool's chunked range
+// interface, so coverage tests keep asserting at vertex granularity.
+func perVertex(fn func(w, v int)) func(w, lo, hi int) {
+	return func(w, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			fn(w, v)
+		}
+	}
+}
+
 // batchOnce mirrors Run's pool setup for one parallelNodes batch: a
 // fresh persistent pool when the machine allows more than one worker,
 // the inline path otherwise.
@@ -135,7 +145,7 @@ func batchOnce(r *Runner, fn func(w, v int), timed bool) (int, []int64) {
 		pool = newNodePool(w)
 		defer pool.close()
 	}
-	return r.parallelNodes(pool, fn, timed)
+	return r.parallelNodes(pool, perVertex(fn), timed)
 }
 
 // TestParallelNodesCoversAllVertices guards the worker-pool rewrite:
@@ -176,12 +186,12 @@ func TestNodePoolPersistsAcrossBatches(t *testing.T) {
 	defer pool.close()
 	for batch := 0; batch < 5; batch++ {
 		var count atomic.Int64
-		got, batchNS := pool.run(func(w, v int) {
+		got, batchNS := pool.run(perVertex(func(w, v int) {
 			if w < 0 || w >= workers {
 				t.Errorf("batch %d: worker index %d out of range", batch, w)
 			}
 			count.Add(1)
-		}, n, batch%2 == 0)
+		}), n, batch%2 == 0)
 		if int(count.Load()) != n {
 			t.Fatalf("batch %d: visited %d of %d", batch, count.Load(), n)
 		}
@@ -224,7 +234,7 @@ func BenchmarkParallelNodes(b *testing.B) {
 				defer pool.close()
 			}
 			for i := 0; i < b.N; i++ {
-				r.parallelNodes(pool, work, false)
+				r.parallelNodes(pool, perVertex(work), false)
 			}
 		})
 		b.Run(fmt.Sprintf("spawn/n=%d", n), func(b *testing.B) {

@@ -1,0 +1,62 @@
+package obs
+
+// Pre-resolved metric handles. The registry's string-keyed API is
+// convenient but makes hot paths pay for it: a labeled name like
+// "certify_stage_ns{stage=run}" built with + concatenation allocates on
+// every observation, and a histogram observation re-hashes the name
+// under the registry lock. A handle resolves the name once — at server
+// construction, route registration, or wherever the label set is known
+// — and the per-event call does no string work at all.
+//
+// Handles observe into the same registry state as the string API, so
+// snapshots, NDJSON, and Prometheus exposition see one metric either
+// way a caller reaches it.
+
+// CounterHandle is a pre-resolved counter name.
+type CounterHandle struct {
+	r    *Registry
+	name string
+}
+
+// Counter returns a handle for counter name, usable concurrently.
+func (r *Registry) Counter(name string) CounterHandle {
+	return CounterHandle{r: r, name: name}
+}
+
+// Add increments the counter by delta.
+func (h CounterHandle) Add(delta int64) { h.r.Add(h.name, delta) }
+
+// HistogramHandle is a pre-resolved histogram: the bucket storage is
+// looked up (and created if absent) once, so Observe is a lock plus an
+// array update with no map access.
+type HistogramHandle struct {
+	r *Registry
+	h *histogram
+}
+
+// HistogramFor returns a handle for histogram name, creating the
+// histogram if it does not exist yet. The histogram appears in
+// snapshots from this point on (with zero observations until the first
+// Observe), which is the Prometheus convention for pre-registered
+// series.
+func (r *Registry) HistogramFor(name string) HistogramHandle {
+	r.mu.Lock()
+	r.ensureExtended()
+	h := r.hists[name]
+	if h == nil {
+		h = &histogram{}
+		r.hists[name] = h
+	}
+	r.mu.Unlock()
+	return HistogramHandle{r: r, h: h}
+}
+
+// Observe records one value (nanoseconds, by convention).
+func (h HistogramHandle) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.r.mu.Lock()
+	h.h.observe(v)
+	h.r.mu.Unlock()
+}

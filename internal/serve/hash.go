@@ -3,9 +3,11 @@ package serve
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 
 	"repro/internal/graph"
 	"repro/internal/planar"
@@ -44,18 +46,35 @@ func (k RequestKey) Shard(n int) int {
 // order-invariant. Duplicate edges collapse (the graph type rejects
 // them anyway, so they cannot describe distinct instances).
 func CanonicalKey(protocol string, seed int64, n int, edges []graph.Edge, witness []int, rot *planar.Rotation) RequestKey {
-	canon := make([]graph.Edge, len(edges))
+	canon := make(edgesByEndpoint, len(edges))
 	for i, e := range edges {
 		canon[i] = graph.Canon(e.U, e.V)
 	}
-	sort.Slice(canon, func(i, j int) bool {
-		if canon[i].U != canon[j].U {
-			return canon[i].U < canon[j].U
-		}
-		return canon[i].V < canon[j].V
-	})
+	// Typed sort, not sort.Slice: the reflection-based Swapper and the
+	// comparison closure each allocate per call, which matters on the
+	// cache-hit path where key derivation is most of the work.
+	sort.Sort(canon)
+	return keyFromCanon(protocol, seed, n, canon, witness, rot)
+}
+
+// keyFromCanon hashes an already endpoint-canonical, lexicographically
+// sorted edge list into the RequestKey. Split out so the serve fast
+// path, which canonicalizes straight from the request's wire-form edge
+// pairs (canonEdges), derives the identical digest without a graph.Edge
+// round trip.
+func keyFromCanon(protocol string, seed int64, n int, canon []graph.Edge, witness []int, rot *planar.Rotation) RequestKey {
 	h := sha256.New()
-	fmt.Fprintf(h, "dipserve/v1|%s|%d|%d|", protocol, seed, n)
+	// The prefix bytes match the historical fmt.Fprintf format exactly;
+	// manual appends just keep the boxing off the per-request path.
+	var pre [64]byte
+	b := append(pre[:0], "dipserve/v1|"...)
+	b = append(b, protocol...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, seed, 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(n), 10)
+	b = append(b, '|')
+	h.Write(b)
 	var buf [8]byte
 	for i, e := range canon {
 		if i > 0 && e == canon[i-1] {
@@ -83,5 +102,49 @@ func CanonicalKey(protocol string, seed int64, n int, edges []graph.Edge, witnes
 			}
 		}
 	}
-	return RequestKey(fmt.Sprintf("%x", h.Sum(nil)[:16]))
+	var sum [sha256.Size]byte
+	var hx [32]byte
+	hex.Encode(hx[:], h.Sum(sum[:0])[:16])
+	return RequestKey(hx[:])
+}
+
+// canonEdges validates an inline edge list against vertex count n and
+// returns it canonicalized (endpoints sorted, list lexicographically
+// sorted) — the exact form keyFromCanon hashes. The rejections mirror
+// graph.AddEdge's (out-of-range endpoint, self-loop, duplicate edge),
+// so a request that fails here would have failed materialization the
+// same way; passing means the graph can be built later without
+// revalidation, which is what lets the certify fast path derive the
+// cache key without materializing a graph at all.
+func canonEdges(n int, edges [][2]int) ([]graph.Edge, error) {
+	canon := make(edgesByEndpoint, len(edges))
+	for i, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: self-loop at %d", u)
+		}
+		canon[i] = graph.Canon(u, v)
+	}
+	sort.Sort(canon)
+	for i := 1; i < len(canon); i++ {
+		if canon[i] == canon[i-1] {
+			return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", canon[i].U, canon[i].V)
+		}
+	}
+	return canon, nil
+}
+
+// edgesByEndpoint sorts canonical edges lexicographically by (U, V).
+type edgesByEndpoint []graph.Edge
+
+func (s edgesByEndpoint) Len() int      { return len(s) }
+func (s edgesByEndpoint) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s edgesByEndpoint) Less(i, j int) bool {
+	if s[i].U != s[j].U {
+		return s[i].U < s[j].U
+	}
+	return s[i].V < s[j].V
 }

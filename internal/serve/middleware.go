@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Per-request observability: every request through Server.Handler gets
@@ -15,16 +17,22 @@ import (
 // observation into http_request_duration_ns{path=...}, an outcome
 // counter by class, and — when Config.AccessLog is set — one NDJSON
 // access-log row. Handlers record named stage timings (admission,
-// queue_wait, run, encode) into the request's stageTrack; each stage
-// feeds certify_stage_ns{stage=...} and rides along in the log row.
+// queue_wait, run, encode) into the request's state; each stage feeds
+// certify_stage_ns{stage=...} and rides along in the log row.
+//
+// The middleware allocates one reqState per request — status recorder,
+// tenant, and stage timings in a single struct under a single context
+// key, with the stage spans in an inline array. Metric names for the
+// bounded label sets (route patterns, outcome classes, stage names) are
+// resolved to registry handles at server construction, so the steady
+// state does no name concatenation. The cache-hit benchmark holds this
+// path to a fixed allocation budget (BenchmarkServeThroughput).
 
 // Tenants: multi-tenant requests identify themselves with the X-Tenant
 // header (an API-key-derived name in a real deployment). The middleware
-// sanitizes it, stores it on the request context for the batch
+// sanitizes it, stores it on the request state for the batch
 // scheduler, and labels shed (429) outcomes per tenant so a hot
 // tenant's backpressure is attributable.
-
-type tenantKey struct{}
 
 // DefaultTenant is the tenant name of requests carrying no (or an
 // unusable) X-Tenant header.
@@ -54,42 +62,93 @@ func sanitizeTenant(name string) string {
 	return string(b)
 }
 
-// tenantOf returns the sanitized tenant of the request, stored on the
-// context by the middleware (DefaultTenant outside the handler chain).
-func tenantOf(r *http.Request) string {
-	if t, _ := r.Context().Value(tenantKey{}).(string); t != "" {
-		return t
-	}
-	return DefaultTenant
-}
-
 // stageSpan is one named timing inside a request.
 type stageSpan struct {
 	Name string
 	Dur  time.Duration
 }
 
-// stageTrack accumulates the stage timings of one request. It is
-// carried via context so pool workers (other goroutines) can append.
-type stageTrack struct {
+// maxInlineStages is the inline stage capacity of reqState. The certify
+// path records four (admission, queue_wait, run, encode); overflow
+// spills to a heap slice rather than being dropped.
+const maxInlineStages = 8
+
+// reqKey carries the *reqState on the request context.
+type reqKey struct{}
+
+// reqState is the per-request middleware state: response capture for
+// the access log and outcome counters, the sanitized tenant, and the
+// stage timings. It is ONE heap object per request, reached through one
+// context value; pool workers append stages from other goroutines, so
+// the stage list is mutex-guarded. The state is deliberately not
+// recycled through a sync.Pool: singleflight run closures capture the
+// first caller's context and may record a stage after that request's
+// handler has returned, so reuse would race with a late append.
+type reqState struct {
+	statusRecorder
+	tenant string
+
 	mu     sync.Mutex
-	stages []stageSpan
+	nstage int
+	stages [maxInlineStages]stageSpan
+	spill  []stageSpan
 }
 
-type stageKey struct{}
+// addStage appends one stage timing (inline array first, spill after).
+func (st *reqState) addStage(name string, d time.Duration) {
+	st.mu.Lock()
+	if st.nstage < maxInlineStages {
+		st.stages[st.nstage] = stageSpan{Name: name, Dur: d}
+		st.nstage++
+	} else {
+		st.spill = append(st.spill, stageSpan{Name: name, Dur: d})
+	}
+	st.mu.Unlock()
+}
+
+// stageMap flattens the recorded stages into the access-log form,
+// summing repeats. Returns nil when no stages were recorded.
+func (st *reqState) stageMap() map[string]float64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.nstage == 0 {
+		return nil
+	}
+	m := make(map[string]float64, st.nstage+len(st.spill))
+	for _, sp := range st.stages[:st.nstage] {
+		m[sp.Name] += float64(sp.Dur) / float64(time.Millisecond)
+	}
+	for _, sp := range st.spill {
+		m[sp.Name] += float64(sp.Dur) / float64(time.Millisecond)
+	}
+	return m
+}
+
+// tenantOf returns the sanitized tenant of the request, stored on the
+// context by the middleware (DefaultTenant outside the handler chain).
+func tenantOf(r *http.Request) string {
+	if st, _ := r.Context().Value(reqKey{}).(*reqState); st != nil {
+		return st.tenant
+	}
+	return DefaultTenant
+}
 
 // recordStage appends a stage timing to the request owning ctx (no-op
 // outside the instrumented handler chain) and observes it into the
-// certify_stage_ns{stage=name} histogram.
+// certify_stage_ns{stage=name} histogram. The well-known stage names
+// hit pre-resolved handles; an unknown name falls back to the
+// string-keyed registry API.
 func (s *Server) recordStage(ctx context.Context, name string, d time.Duration) {
-	s.reg.Observe("certify_stage_ns{stage="+name+"}", d.Nanoseconds())
-	st, _ := ctx.Value(stageKey{}).(*stageTrack)
+	if h, ok := s.stageHist[name]; ok {
+		h.Observe(d.Nanoseconds())
+	} else {
+		s.reg.Observe("certify_stage_ns{stage="+name+"}", d.Nanoseconds())
+	}
+	st, _ := ctx.Value(reqKey{}).(*reqState)
 	if st == nil {
 		return
 	}
-	st.mu.Lock()
-	st.stages = append(st.stages, stageSpan{Name: name, Dur: d})
-	st.mu.Unlock()
+	st.addStage(name, d)
 }
 
 // statusRecorder captures the response status and size for the access
@@ -131,6 +190,33 @@ func outcomeClass(status int) string {
 		return "bad_request"
 	default:
 		return "rejected"
+	}
+}
+
+// outcomeClasses enumerates every label outcomeClass can return, so the
+// per-class counters can be pre-resolved.
+var outcomeClasses = []string{"ok", "bad_request", "shed_429", "deadline", "rejected"}
+
+// stageNames enumerates the stage timings the handlers record.
+var stageNames = []string{"admission", "queue_wait", "run", "encode"}
+
+// initMetricHandles pre-resolves the bounded-cardinality metric names
+// the middleware touches per request: one latency histogram per route
+// pattern (plus "unmatched"), one counter per outcome class, one
+// histogram per stage name. Called from New after the routes are
+// registered.
+func (s *Server) initMetricHandles(patterns []string) {
+	s.durPath = make(map[string]obs.HistogramHandle, len(patterns)+1)
+	for _, p := range append(patterns, "unmatched") {
+		s.durPath[p] = s.reg.HistogramFor("http_request_duration_ns{path=" + p + "}")
+	}
+	s.outcome = make(map[string]obs.CounterHandle, len(outcomeClasses))
+	for _, c := range outcomeClasses {
+		s.outcome[c] = s.reg.Counter("requests_outcome_total{class=" + c + "}")
+	}
+	s.stageHist = make(map[string]obs.HistogramHandle, len(stageNames))
+	for _, n := range stageNames {
+		s.stageHist[n] = s.reg.HistogramFor("certify_stage_ns{stage=" + n + "}")
 	}
 }
 
@@ -179,58 +265,53 @@ func (s *Server) instrument(next *http.ServeMux) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := s.nextReqID.Add(1)
-		w.Header().Set("X-Request-Id", strconv.FormatUint(id, 10))
+		var idBuf [20]byte
+		w.Header().Set("X-Request-Id", string(strconv.AppendUint(idBuf[:0], id, 10)))
 
-		st := &stageTrack{}
-		tenant := sanitizeTenant(r.Header.Get("X-Tenant"))
-		ctx := context.WithValue(r.Context(), stageKey{}, st)
-		ctx = context.WithValue(ctx, tenantKey{}, tenant)
-		r = r.WithContext(ctx)
+		st := &reqState{
+			statusRecorder: statusRecorder{ResponseWriter: w},
+			tenant:         sanitizeTenant(r.Header.Get("X-Tenant")),
+		}
+		r = r.WithContext(context.WithValue(r.Context(), reqKey{}, st))
 
 		pattern := "unmatched"
 		if _, p := next.Handler(r); p != "" {
 			pattern = p
 		}
 
-		sr := &statusRecorder{ResponseWriter: w}
 		s.reg.AddGauge("http_in_flight", 1)
-		next.ServeHTTP(sr, r)
+		next.ServeHTTP(st, r)
 		s.reg.AddGauge("http_in_flight", -1)
-		if sr.status == 0 {
-			sr.status = http.StatusOK
+		if st.status == 0 {
+			st.status = http.StatusOK
 		}
 		dur := time.Since(start)
-		s.reg.Observe("http_request_duration_ns{path="+pattern+"}", dur.Nanoseconds())
-		class := outcomeClass(sr.status)
-		s.reg.Add("requests_outcome_total{class="+class+"}", 1)
+		if h, ok := s.durPath[pattern]; ok {
+			h.Observe(dur.Nanoseconds())
+		} else {
+			s.reg.Observe("http_request_duration_ns{path="+pattern+"}", dur.Nanoseconds())
+		}
+		class := outcomeClass(st.status)
+		s.outcome[class].Add(1)
 		if class == "shed_429" {
 			// Sheds additionally count per tenant: under saturation the
 			// interesting question is WHO is being shed. Only this class
 			// gets the tenant label, keeping cardinality at
 			// O(tenants) instead of O(tenants × classes).
-			s.reg.Add("requests_outcome_total{class=shed_429,tenant="+tenant+"}", 1)
+			s.reg.Add("requests_outcome_total{class=shed_429,tenant="+st.tenant+"}", 1)
 		}
 
 		if s.access != nil {
-			st.mu.Lock()
-			var stages map[string]float64
-			if len(st.stages) > 0 {
-				stages = make(map[string]float64, len(st.stages))
-				for _, sp := range st.stages {
-					stages[sp.Name] += float64(sp.Dur) / float64(time.Millisecond)
-				}
-			}
-			st.mu.Unlock()
 			s.access.log(accessRow{
 				Type:   "access",
 				TS:     start.UTC().Format(time.RFC3339Nano),
 				ID:     id,
 				Method: r.Method,
 				Path:   r.URL.Path,
-				Status: sr.status,
-				Bytes:  sr.bytes,
+				Status: st.status,
+				Bytes:  st.bytes,
 				DurMS:  float64(dur) / float64(time.Millisecond),
-				Stages: stages,
+				Stages: st.stageMap(),
 			})
 		}
 	})

@@ -219,6 +219,15 @@ type Server struct {
 	handler   http.Handler // mux wrapped in the per-request middleware
 	access    *accessLogger
 	nextReqID atomic.Uint64
+	// Pre-resolved metric handles for the per-request hot path
+	// (initMetricHandles); keys are route patterns, outcome classes,
+	// and stage names respectively.
+	durPath   map[string]obs.HistogramHandle
+	outcome   map[string]obs.CounterHandle
+	stageHist map[string]obs.HistogramHandle
+	// protoCount pre-resolves requests_total{protocol=...} for every
+	// registered protocol.
+	protoCount map[string]obs.CounterHandle
 }
 
 // New starts the worker pool and returns a ready server.
@@ -252,6 +261,11 @@ func New(cfg Config) *Server {
 	// serve the same handlers but advertise their successor via the
 	// Deprecation / Link headers (RFC 8594 style). /healthz stays
 	// unversioned-friendly without deprecation: probes don't migrate.
+	patterns := []string{
+		"/v1/certify", "/v1/certify/batch", "/v1/jobs/{id}", "/v1/healthz",
+		"/v1/readyz", "/v1/metricsz", "/v1/protocolz", "/v1/soundness",
+		"/certify", "/healthz", "/readyz", "/metricsz", "/protocolz",
+	}
 	s.mux.HandleFunc("/v1/certify", s.handleCertify)
 	s.mux.HandleFunc("/v1/certify/batch", s.handleBatchSubmit)
 	s.mux.HandleFunc("/v1/jobs/{id}", s.handleJob)
@@ -265,8 +279,17 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metricsz", s.deprecated("/metricsz", s.handleMetricsz))
 	s.mux.HandleFunc("/protocolz", s.deprecated("/protocolz", s.handleProtocolz))
+	s.initMetricHandles(patterns)
+	s.protoCount = make(map[string]obs.CounterHandle)
+	for _, d := range protocol.All() {
+		s.protoCount[d.Name] = s.reg.Counter("requests_total{protocol=" + d.Name + "}")
+	}
 	s.handler = s.instrument(s.mux)
 	s.access = newAccessLogger(cfg.AccessLog)
+
+	// Engine worker-pool scheduling counters (busy/steal/idle, chunk and
+	// batch totals) ride along on the same registry as scrape-time gauges.
+	dip.RegisterPoolMetrics(s.reg)
 
 	// Scrape-time gauges: pool and cache state is read at snapshot time
 	// via callbacks, so the serving hot path never writes them.
@@ -550,22 +573,59 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "unknown protocol %q (have %s)", req.Protocol, protocol.NameList())
 		return
 	}
-	inst, err := s.buildInstance(&req)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, "bad instance: %v", err)
-		return
+	// Inline-graph requests take the deferred-materialization path: the
+	// cache key is derived straight from the validated wire-form edge
+	// list, and the graph is only built (and interned) inside the cache
+	// closure — a cache hit never constructs a graph. Gen-spec requests
+	// (and the error cases buildInstance diagnoses) materialize up front
+	// as before: the generator has to run to know the instance.
+	var inst *Instance
+	var nodes, edges int
+	var key RequestKey
+	if req.Graph != nil && req.Gen == nil {
+		gj := req.Graph
+		if gj.N < 2 {
+			s.fail(w, http.StatusBadRequest, "bad instance: graph.n = %d, need >= 2", gj.N)
+			return
+		}
+		canon, err := canonEdges(gj.N, gj.Edges)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "bad instance: %v", err)
+			return
+		}
+		if req.WitnessPos != nil {
+			if err := checkPermutation(req.WitnessPos, gj.N); err != nil {
+				s.fail(w, http.StatusBadRequest, "bad instance: bad witness_pos: %v", err)
+				return
+			}
+		}
+		nodes, edges = gj.N, len(canon)
+		key = keyFromCanon(req.Protocol, req.Seed, gj.N, canon, req.WitnessPos, nil)
+	} else {
+		built, err := s.buildInstance(&req)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "bad instance: %v", err)
+			return
+		}
+		inst = s.internInstance(built)
+		g := inst.G
+		nodes, edges = g.N(), g.M()
+		// The effective witnesses (explicit or generator-supplied) are
+		// part of the request identity: they change what the prover sends.
+		key = CanonicalKey(req.Protocol, req.Seed, g.N(), g.Edges(), inst.PathPos, inst.Rotation)
 	}
-	g := inst.G
-	if g.N() > s.cfg.MaxNodes || g.M() > s.cfg.MaxEdges {
+	if nodes > s.cfg.MaxNodes || edges > s.cfg.MaxEdges {
 		s.fail(w, http.StatusRequestEntityTooLarge,
-			"instance too large: n=%d m=%d (limits n<=%d m<=%d)", g.N(), g.M(), s.cfg.MaxNodes, s.cfg.MaxEdges)
+			"instance too large: n=%d m=%d (limits n<=%d m<=%d)", nodes, edges, s.cfg.MaxNodes, s.cfg.MaxEdges)
 		return
 	}
-	inst = s.internInstance(inst)
-	g = inst.G
-	s.reg.Add("requests_total{protocol="+req.Protocol+"}", 1)
-	// Admission: parse, validate, size-check, intern — everything before
-	// the request is allowed to contend for cache or workers.
+	if h, ok := s.protoCount[req.Protocol]; ok {
+		h.Add(1)
+	} else {
+		s.reg.Add("requests_total{protocol="+req.Protocol+"}", 1)
+	}
+	// Admission: parse, validate, size-check — everything before the
+	// request is allowed to contend for cache or workers.
 	s.recordStage(r.Context(), "admission", time.Since(start))
 
 	timeout := s.cfg.DefaultTimeout
@@ -575,13 +635,23 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 			timeout = s.cfg.MaxTimeout
 		}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
 
-	// The effective witnesses (explicit or generator-supplied) are part
-	// of the request identity: they change what the prover sends.
-	key := CanonicalKey(req.Protocol, req.Seed, g.N(), g.Edges(), inst.PathPos, inst.Rotation)
 	resp, outcome, err := s.cache.Do(key, func() (*Response, error) {
+		if inst == nil {
+			// Deferred materialization: pre-validated, so a failure here
+			// would be a canonEdges/AddEdge disagreement — surfaced, not
+			// swallowed.
+			built, berr := s.buildInstance(&req)
+			if berr != nil {
+				return nil, berr
+			}
+			inst = s.internInstance(built)
+		}
+		g := inst.G
+		// The run deadline starts when the request actually contends for
+		// workers; a pure cache hit never arms a timer.
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
 		var res *RunResult
 		var runErr error
 		submitted := time.Now()
