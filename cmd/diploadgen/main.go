@@ -24,6 +24,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ledger"
 	"repro/internal/protocol"
 	"repro/internal/serve"
 )
@@ -55,6 +57,7 @@ func main() {
 	flag.Float64Var(&o.zipf, "zipf", 0, "Zipf skew exponent for tenant and mix choice (0 = uniform)")
 	flag.BoolVar(&o.async, "async", false, "submit async batches via /v1/certify/batch and long-poll jobs")
 	flag.IntVar(&o.batch, "batch", 16, "items per async batch (with -async)")
+	flag.IntVar(&o.certcheck, "certcheck", 0, "after the run, spot-check this many ledger certificates (inclusion proof + root chain)")
 	flag.Parse()
 	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "diploadgen:", err)
@@ -64,16 +67,17 @@ func main() {
 
 // options are the knobs of one load-generation run.
 type options struct {
-	addr    string
-	qps     float64
-	conc    int
-	dur     time.Duration
-	seeds   int
-	mix     string
-	tenants int
-	zipf    float64
-	async   bool
-	batch   int
+	addr      string
+	qps       float64
+	conc      int
+	dur       time.Duration
+	seeds     int
+	mix       string
+	tenants   int
+	zipf      float64
+	async     bool
+	batch     int
+	certcheck int
 }
 
 // mixEntry is one slot of the request mix: a protocol certified on a
@@ -271,7 +275,126 @@ func run(w io.Writer, o options) error {
 	if err != nil {
 		sc["error"] = err.Error()
 	}
-	return enc.Encode(sc)
+	if err := enc.Encode(sc); err != nil {
+		return err
+	}
+	if o.certcheck > 0 {
+		// Post-run audit: the load the run just generated should have
+		// landed in the certificate ledger; spot-check a sample end to
+		// end (fetch, fold the inclusion proof, walk the root chain).
+		return enc.Encode(certSpotCheck(client, base, o.certcheck))
+	}
+	return nil
+}
+
+// certSpotCheck samples up to n certificates from the ledger and
+// verifies each one's inclusion proof against the root chain, the same
+// checks cmd/dipcert performs. The row reports verified / pending /
+// failed counts; any failure carries the first error.
+func certSpotCheck(client *http.Client, base string, n int) map[string]any {
+	row := map[string]any{"type": "cert_check", "requested": n}
+	if n > 200 {
+		n = 200 // one list page
+	}
+	listBody, err := httpGetJSON(client, fmt.Sprintf("%s/v1/certificates?limit=%d", base, n))
+	if err != nil {
+		row["error"] = err.Error()
+		return row
+	}
+	var list serve.CertificateListJSON
+	if err := json.Unmarshal(listBody, &list); err != nil {
+		row["error"] = err.Error()
+		return row
+	}
+	var verified, pending, failed int
+	for _, e := range list.Certificates {
+		switch err := verifyCertificate(client, base, e.Key); {
+		case err == nil:
+			verified++
+		case errors.Is(err, errCertPending):
+			pending++
+		default:
+			failed++
+			if _, seen := row["error"]; !seen {
+				row["error"] = fmt.Sprintf("%s: %v", e.Key, err)
+			}
+		}
+	}
+	row["checked"] = len(list.Certificates)
+	row["verified"] = verified
+	row["pending"] = pending
+	row["failed"] = failed
+	return row
+}
+
+// errCertPending marks a certificate whose batch has not sealed yet —
+// not a verification failure.
+var errCertPending = errors.New("certificate pending (no proof yet)")
+
+// verifyCertificate fetches one certificate and verifies its inclusion
+// proof plus the root chain from its batch to the advertised head.
+func verifyCertificate(client *http.Client, base, key string) error {
+	certBody, err := httpGetJSON(client, base+"/v1/certificates/"+key)
+	if err != nil {
+		return err
+	}
+	var cert serve.CertificateJSON
+	if err := json.Unmarshal(certBody, &cert); err != nil {
+		return err
+	}
+	if cert.Proof == nil {
+		return errCertPending
+	}
+	proof, err := cert.Proof.Proof(cert.Entry)
+	if err != nil {
+		return err
+	}
+	if err := proof.Verify(); err != nil {
+		return err
+	}
+	rootsBody, err := httpGetJSON(client, fmt.Sprintf("%s/v1/ledger/rootz?from=%d", base, proof.BatchIndex))
+	if err != nil {
+		return err
+	}
+	var rootz struct {
+		Chain string              `json:"chain"`
+		Roots []ledger.RootRecord `json:"roots"`
+	}
+	if err := json.Unmarshal(rootsBody, &rootz); err != nil {
+		return err
+	}
+	if len(rootz.Roots) == 0 || rootz.Roots[0].Index != proof.BatchIndex {
+		return fmt.Errorf("no root record for batch %d", proof.BatchIndex)
+	}
+	if rootz.Roots[0].Chain != ledger.Hex(proof.Chain) {
+		return fmt.Errorf("batch %d chain record disagrees with the proof", proof.BatchIndex)
+	}
+	head, err := ledger.VerifyRootChain(rootz.Roots)
+	if err != nil {
+		return err
+	}
+	if got := ledger.Hex(head); got != rootz.Chain {
+		return fmt.Errorf("chain walks to %s, head advertises %s", got, rootz.Chain)
+	}
+	return nil
+}
+
+// httpGetJSON fetches url and returns the body, treating any non-200
+// as an error carrying the response text.
+func httpGetJSON(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return body, nil
 }
 
 // syncSample issues one synchronous /v1/certify request.

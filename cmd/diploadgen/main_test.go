@@ -15,15 +15,18 @@ import (
 // and checks the NDJSON report: one row per mix entry plus a summary,
 // with requests actually served and repeated seeds hitting the cache.
 func TestRunAgainstServer(t *testing.T) {
-	s := serve.New(serve.Config{})
+	s, err := serve.New(serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
 	var buf bytes.Buffer
-	err := run(&buf, options{
+	err = run(&buf, options{
 		addr: ts.URL, qps: 200, conc: 4, dur: 400 * time.Millisecond, seeds: 2,
-		mix: "planarity:k4sub:8,pathouter:pathouter:16",
+		mix: "planarity:k4sub:8,pathouter:pathouter:16", certcheck: 8,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -38,8 +41,8 @@ func TestRunAgainstServer(t *testing.T) {
 		}
 		rows = append(rows, row)
 	}
-	if len(rows) != 4 {
-		t.Fatalf("got %d rows, want 2 mix + summary + server_counters:\n%s", len(rows), buf.String())
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 2 mix + summary + server_counters + cert_check:\n%s", len(rows), buf.String())
 	}
 	sum := rows[2]
 	if sum["type"] != "loadgen_summary" {
@@ -82,6 +85,22 @@ func TestRunAgainstServer(t *testing.T) {
 	if _, ok := srv["gauges"].(map[string]any); !ok {
 		t.Fatalf("server_counters missing gauges: %v", srv)
 	}
+
+	// The -certcheck row: every sampled certificate verifies or is still
+	// pending; nothing fails.
+	cc := rows[4]
+	if cc["type"] != "cert_check" {
+		t.Fatalf("fifth row is %v, want cert_check", cc["type"])
+	}
+	if cc["error"] != nil {
+		t.Fatalf("cert_check error: %v", cc["error"])
+	}
+	if cc["failed"].(float64) != 0 {
+		t.Fatalf("cert_check failed certificates: %v", cc)
+	}
+	if cc["checked"].(float64) == 0 {
+		t.Fatalf("cert_check checked nothing: %v", cc)
+	}
 }
 
 // TestRunAsyncTenants drives the async batch mode with a skewed
@@ -89,13 +108,16 @@ func TestRunAgainstServer(t *testing.T) {
 // completed, per-tenant rows carry latency percentiles, and the
 // fairness spread is reported when at least two tenants finished work.
 func TestRunAsyncTenants(t *testing.T) {
-	s := serve.New(serve.Config{BatchEpochInterval: 2 * time.Millisecond})
+	s, err := serve.New(serve.Config{BatchEpochInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
 	var buf bytes.Buffer
-	err := run(&buf, options{
+	err = run(&buf, options{
 		addr: ts.URL, qps: 100, conc: 4, dur: 500 * time.Millisecond, seeds: 4,
 		mix:     "planarity:k4sub:8,pathouter:pathouter:16",
 		tenants: 3, zipf: 1.2, async: true, batch: 4,

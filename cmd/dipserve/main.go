@@ -7,8 +7,18 @@
 // /healthz reports liveness, GET /v1/readyz queue-headroom readiness;
 // GET /v1/metricsz streams counters, gauges, and latency histograms as
 // NDJSON or Prometheus text exposition (?format=prometheus; schema in
-// SERVICE.md and OBSERVABILITY.md). Unversioned legacy paths still
-// serve with Deprecation headers.
+// SERVICE.md and OBSERVABILITY.md). GET /v1/specz serves the
+// machine-readable route table. Unversioned legacy paths still serve
+// with Deprecation + Sunset headers pointing at their /v1 successors.
+//
+// Every computed verdict is appended to a Merkle-batched certificate
+// ledger (-ledger-dir selects the append-only on-disk backend; without
+// it the ledger is in-memory, -ledger-batch -1 disables it). GET
+// /v1/certificates/{hash} returns the durable certificate with its
+// inclusion proof once the batch seals; GET /v1/ledger/rootz exposes
+// the batch root chain for offline verification with cmd/dipcert. On
+// restart the persisted ledger replays into the result cache, so
+// previously certified requests answer as cache hits.
 //
 // Requests are dispatched onto a sharded bounded-queue worker pool —
 // full queues answer 429 instead of growing memory — behind an LRU
@@ -57,25 +67,31 @@ func main() {
 	retention := flag.Duration("retention", 0, "finished-job retention before eviction (0 = 5m)")
 	maxJobs := flag.Int("maxjobs", 0, "max tracked jobs, running plus retained (0 = 1024)")
 	maxWait := flag.Duration("maxwait", 0, "cap on /v1/jobs long-poll ?wait= (0 = 30s)")
+	ledgerDir := flag.String("ledger-dir", "", "certificate-ledger directory for the on-disk backend (empty = in-memory ledger)")
+	ledgerBatch := flag.Int("ledger-batch", 0, "ledger entries per Merkle batch, negative disables the ledger (0 = default 64)")
+	ledgerFlush := flag.Duration("ledger-flush", 0, "seal a quiet ledger tail on this interval, negative disables the timer (0 = 2s)")
 	pprofAddr := flag.String("pprof", "", "mount net/http/pprof on this side address (e.g. 127.0.0.1:6060; empty disables)")
 	pprofAddrFile := flag.String("pprofaddrfile", "", "write the bound pprof address to this file once listening")
 	flag.Parse()
 
 	cfg := serve.Config{
-		Shards:             *shards,
-		WorkersPerShard:    *workers,
-		QueueLen:           *queue,
-		CacheCapacity:      *cacheCap,
-		DefaultTimeout:     *timeout,
-		BatchEpochInterval: *epoch,
-		BatchMaxItems:      *batchMax,
-		BatchQuantum:       *quantum,
-		TenantInFlight:     *tenantInFlight,
-		TenantQueueCap:     *tenantQueue,
-		MaxBatchItems:      *maxBatch,
-		JobRetention:       *retention,
-		MaxJobs:            *maxJobs,
-		MaxWait:            *maxWait,
+		Shards:              *shards,
+		WorkersPerShard:     *workers,
+		QueueLen:            *queue,
+		CacheCapacity:       *cacheCap,
+		DefaultTimeout:      *timeout,
+		BatchEpochInterval:  *epoch,
+		BatchMaxItems:       *batchMax,
+		BatchQuantum:        *quantum,
+		TenantInFlight:      *tenantInFlight,
+		TenantQueueCap:      *tenantQueue,
+		MaxBatchItems:       *maxBatch,
+		JobRetention:        *retention,
+		MaxJobs:             *maxJobs,
+		MaxWait:             *maxWait,
+		LedgerDir:           *ledgerDir,
+		LedgerBatchSize:     *ledgerBatch,
+		LedgerFlushInterval: *ledgerFlush,
 	}
 	switch *accessLog {
 	case "":
@@ -122,7 +138,10 @@ func servePprof(addr, addrFile string) (io.Closer, error) {
 }
 
 func run(addr, addrFile, pprofAddr, pprofAddrFile string, cfg serve.Config) error {
-	s := serve.New(cfg)
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
 	defer s.Close()
 
 	if pprofAddr != "" {

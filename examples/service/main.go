@@ -18,7 +18,11 @@ import (
 )
 
 func main() {
-	s := serve.New(serve.Config{})
+	s, err := serve.New(serve.Config{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()

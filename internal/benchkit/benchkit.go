@@ -194,7 +194,11 @@ func serveThroughput() ([]Result, error) {
 	var benchErr error
 	bench := func(body func(i int) string) testing.BenchmarkResult {
 		return testing.Benchmark(func(b *testing.B) {
-			s := serve.New(serve.Config{})
+			s, err := serve.New(serve.Config{})
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
 			defer s.Close()
 			h := s.Handler()
 			b.ReportAllocs()

@@ -1,0 +1,103 @@
+// Package ledger is the certificate ledger: every certification
+// verdict the service produces becomes a content-addressed Entry,
+// entries accumulate into batches, each sealed batch gets a Merkle
+// root chained to its predecessor, and any sealed entry can produce a
+// compact inclusion proof that verifies offline against the root
+// chain. Storage goes behind the Store interface (in-memory, or
+// append-only on-disk segments with an fsync'd root chain), so the
+// ledger doubles as warm-cache persistence across restarts: the serve
+// layer replays it into the result cache on boot.
+//
+// The hash domains are separated by construction: leaves, inner
+// Merkle nodes, and chain links each hash under a distinct prefix, so
+// no value of one kind can be reinterpreted as another (the classic
+// second-preimage trick against naive Merkle trees).
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+)
+
+// Entry is one certified verdict, the durable unit of the ledger. Key
+// is the canonical request hash the serve layer computes (order- and
+// orientation-invariant over the edge set, witness-sensitive), which
+// makes the entry content-addressed: the same certification request
+// always lands on the same Key, and the ledger keeps exactly one
+// entry per Key. Everything an auditor needs to confront the verdict
+// with a fresh run rides along: protocol, instance shape, verifier
+// seed, verdict, proof-size stats, and the deterministic cross-engine
+// trace fingerprint.
+type Entry struct {
+	// Seq is the ledger-assigned sequence number, contiguous from 1.
+	Seq uint64 `json:"seq"`
+	// Key is the canonical request hash (hex); the content address.
+	Key      string `json:"key"`
+	Protocol string `json:"protocol"`
+	Nodes    int    `json:"nodes"`
+	Edges    int    `json:"edges"`
+	Seed     int64  `json:"seed"`
+
+	Accepted      bool `json:"accepted"`
+	ProverFailed  bool `json:"prover_failed,omitempty"`
+	Rounds        int  `json:"rounds"`
+	ProofSizeBits int  `json:"proof_size_bits"`
+	TotalBits     int  `json:"total_label_bits,omitempty"`
+	MaxCoinBits   int  `json:"max_coin_bits,omitempty"`
+
+	// Fingerprint is the deterministic trace fingerprint of the run —
+	// the replay anchor: a fresh run of the same (protocol, instance,
+	// seed) must reproduce it bit for bit.
+	Fingerprint string `json:"fingerprint"`
+	// UnixNS is the append timestamp (wall clock, informational: it is
+	// hashed into the leaf, so it cannot be silently rewritten, but it
+	// carries no ordering guarantee beyond Seq).
+	UnixNS int64 `json:"unix_ns"`
+}
+
+// leafDomain prefixes every leaf hash; inner nodes and chain links use
+// their own domains (merkle.go), keeping the three hash kinds disjoint.
+const leafDomain = "dipledger/leaf/v1\x00"
+
+// LeafHash is the Merkle leaf of the entry: a SHA-256 over an explicit
+// length-prefixed binary encoding of every field, in declaration
+// order. The encoding is deliberately independent of JSON so that
+// re-marshaling quirks (field order, whitespace, number formatting)
+// can never change what was committed to.
+func (e Entry) LeafHash() [32]byte {
+	h := sha256.New()
+	io.WriteString(h, leafDomain)
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		word(uint64(len(s)))
+		io.WriteString(h, s)
+	}
+	word(e.Seq)
+	str(e.Key)
+	str(e.Protocol)
+	word(uint64(e.Nodes))
+	word(uint64(e.Edges))
+	word(uint64(e.Seed))
+	var flags byte
+	if e.Accepted {
+		flags |= 1
+	}
+	if e.ProverFailed {
+		flags |= 2
+	}
+	h.Write([]byte{flags})
+	word(uint64(e.Rounds))
+	word(uint64(e.ProofSizeBits))
+	word(uint64(e.TotalBits))
+	word(uint64(e.MaxCoinBits))
+	str(e.Fingerprint)
+	word(uint64(e.UnixNS))
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}

@@ -1,0 +1,288 @@
+package ledger
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FileStore is the append-only on-disk backend. Layout under dir:
+//
+//	seg-000001.log, seg-000002.log, ...  batch records, length-prefixed
+//	roots.log                            root-chain rows, length-prefixed
+//
+// Every record is one line: "<decimal byte length> <json>\n". The
+// length prefix makes a torn tail (crash mid-write) detectable without
+// checksums: a line whose JSON payload is shorter than its declared
+// length, or whose prefix fails to parse, marks the end of durable
+// data. Segments roll over at segMaxBytes so no single file grows
+// unboundedly and old segments stay immutable (rsync/backup friendly).
+//
+// Write ordering is the crash-consistency invariant: the segment is
+// written and fsync'd BEFORE the root row, and the root row is fsync'd
+// before AppendBatch returns. A root row therefore never refers to
+// entries that might vanish; conversely a batch record without a root
+// row is an un-committed tail and is dropped on replay.
+type FileStore struct {
+	dir      string
+	seg      *os.File
+	segIdx   int
+	segSize  int64
+	roots    *os.File
+	maxBytes int64
+}
+
+// segMaxBytes is the segment rollover threshold. A single oversized
+// batch still writes as one record; rollover happens before the next.
+const segMaxBytes = 4 << 20
+
+func segName(idx int) string { return fmt.Sprintf("seg-%06d.log", idx) }
+
+// OpenFileStore opens (creating if needed) the on-disk store at dir.
+func OpenFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ledger: create dir: %w", err)
+	}
+	idxs, err := segIndices(dir)
+	if err != nil {
+		return nil, err
+	}
+	segIdx := 1
+	if len(idxs) > 0 {
+		segIdx = idxs[len(idxs)-1]
+	}
+	seg, err := os.OpenFile(filepath.Join(dir, segName(segIdx)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: open segment: %w", err)
+	}
+	st, err := seg.Stat()
+	if err != nil {
+		seg.Close()
+		return nil, err
+	}
+	roots, err := os.OpenFile(filepath.Join(dir, "roots.log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		seg.Close()
+		return nil, fmt.Errorf("ledger: open roots: %w", err)
+	}
+	return &FileStore{
+		dir:      dir,
+		seg:      seg,
+		segIdx:   segIdx,
+		segSize:  st.Size(),
+		roots:    roots,
+		maxBytes: segMaxBytes,
+	}, nil
+}
+
+// segIndices lists the existing segment numbers in ascending order.
+func segIndices(dir string) ([]int, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	idxs := make([]int, 0, len(names))
+	for _, name := range names {
+		base := filepath.Base(name)
+		numPart := strings.TrimSuffix(strings.TrimPrefix(base, "seg-"), ".log")
+		n, err := strconv.Atoi(numPart)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: alien file %q in ledger dir", base)
+		}
+		idxs = append(idxs, n)
+	}
+	sort.Ints(idxs)
+	return idxs, nil
+}
+
+// writeRecord appends one length-prefixed JSON record and fsyncs.
+func writeRecord(f *os.File, v any) (int64, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return 0, err
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(payload) + 16)
+	buf.WriteString(strconv.Itoa(len(payload)))
+	buf.WriteByte(' ')
+	buf.Write(payload)
+	buf.WriteByte('\n')
+	n, err := f.Write(buf.Bytes())
+	if err != nil {
+		return int64(n), err
+	}
+	return int64(n), f.Sync()
+}
+
+// batchJSON is the on-disk batch record.
+type batchJSON struct {
+	Index        int     `json:"index"`
+	SealedUnixNS int64   `json:"sealed_unix_ns"`
+	Root         string  `json:"root"`
+	PrevChain    string  `json:"prev_chain"`
+	Chain        string  `json:"chain"`
+	Entries      []Entry `json:"entries"`
+}
+
+// AppendBatch durably writes the batch record, rolling the segment
+// first if it is full, then the fsync'd root row that commits it.
+func (s *FileStore) AppendBatch(b *Batch) error {
+	if s.segSize >= s.maxBytes {
+		if err := s.seg.Close(); err != nil {
+			return err
+		}
+		s.segIdx++
+		seg, err := os.OpenFile(filepath.Join(s.dir, segName(s.segIdx)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("ledger: roll segment: %w", err)
+		}
+		s.seg = seg
+		s.segSize = 0
+	}
+	rec := batchJSON{
+		Index:        b.Index,
+		SealedUnixNS: b.SealedUnixNS,
+		Root:         hx(b.Root),
+		PrevChain:    hx(b.PrevChain),
+		Chain:        hx(b.Chain),
+		Entries:      b.Entries,
+	}
+	n, err := writeRecord(s.seg, rec)
+	s.segSize += n
+	if err != nil {
+		return fmt.Errorf("ledger: append batch %d: %w", b.Index, err)
+	}
+	if _, err := writeRecord(s.roots, b.Record()); err != nil {
+		return fmt.Errorf("ledger: append root %d: %w", b.Index, err)
+	}
+	return nil
+}
+
+// readRecords scans one length-prefixed file into raw JSON payloads.
+// A torn final record (bad prefix, or payload shorter than declared)
+// ends the scan cleanly; torn reports whether that happened. Corruption
+// that is NOT at the tail is indistinguishable from a torn tail at this
+// layer — the replay caller decides whether dropping is tolerable.
+func readRecords(path string) (payloads [][]byte, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	for {
+		line, rerr := r.ReadBytes('\n')
+		if len(line) == 0 {
+			return payloads, false, nil // clean EOF
+		}
+		complete := line[len(line)-1] == '\n'
+		body := line
+		if complete {
+			body = line[:len(line)-1]
+		}
+		sp := bytes.IndexByte(body, ' ')
+		if sp < 0 {
+			return payloads, true, nil
+		}
+		want, perr := strconv.Atoi(string(body[:sp]))
+		payload := body[sp+1:]
+		if perr != nil || len(payload) != want || !complete {
+			return payloads, true, nil
+		}
+		payloads = append(payloads, payload)
+		if rerr != nil {
+			return payloads, false, nil
+		}
+	}
+}
+
+// Replay yields the committed batches: segment records that have a
+// matching fsync'd root row. A trailing batch without a root row (or a
+// torn final record) is dropped; a GAP — a root row whose batch record
+// is missing, or non-contiguous indices — is corruption and errors.
+func (s *FileStore) Replay(fn func(b *Batch) error) error {
+	rootPayloads, _, err := readRecords(filepath.Join(s.dir, "roots.log"))
+	if err != nil {
+		return fmt.Errorf("ledger: read roots: %w", err)
+	}
+	committed := make(map[int]RootRecord, len(rootPayloads))
+	maxRoot := -1
+	for _, p := range rootPayloads {
+		var rec RootRecord
+		if err := json.Unmarshal(p, &rec); err != nil {
+			return fmt.Errorf("ledger: bad root record: %w", err)
+		}
+		committed[rec.Index] = rec
+		if rec.Index > maxRoot {
+			maxRoot = rec.Index
+		}
+	}
+	idxs, err := segIndices(s.dir)
+	if err != nil {
+		return err
+	}
+	next := 0 // expected batch index
+	for segPos, segIdx := range idxs {
+		payloads, torn, err := readRecords(filepath.Join(s.dir, segName(segIdx)))
+		if err != nil {
+			return fmt.Errorf("ledger: read %s: %w", segName(segIdx), err)
+		}
+		if torn && segPos != len(idxs)-1 {
+			return fmt.Errorf("ledger: %s is corrupt mid-history (torn record before the final segment)", segName(segIdx))
+		}
+		for _, p := range payloads {
+			var rec batchJSON
+			if err := json.Unmarshal(p, &rec); err != nil {
+				return fmt.Errorf("ledger: bad batch record in %s: %w", segName(segIdx), err)
+			}
+			if rec.Index != next {
+				return fmt.Errorf("ledger: %s holds batch %d, expected %d", segName(segIdx), rec.Index, next)
+			}
+			if _, ok := committed[rec.Index]; !ok {
+				// Un-committed tail: the crash hit between segment and
+				// root write. Only a true tail may be dropped.
+				if rec.Index <= maxRoot {
+					return fmt.Errorf("ledger: batch %d has no root row but batch %d does", rec.Index, maxRoot)
+				}
+				return nil
+			}
+			b := &Batch{Index: rec.Index, Entries: rec.Entries, SealedUnixNS: rec.SealedUnixNS}
+			if b.Root, err = unhx(rec.Root); err != nil {
+				return fmt.Errorf("ledger: batch %d: bad root: %w", rec.Index, err)
+			}
+			if b.PrevChain, err = unhx(rec.PrevChain); err != nil {
+				return fmt.Errorf("ledger: batch %d: bad prev_chain: %w", rec.Index, err)
+			}
+			if b.Chain, err = unhx(rec.Chain); err != nil {
+				return fmt.Errorf("ledger: batch %d: bad chain: %w", rec.Index, err)
+			}
+			if err := fn(b); err != nil {
+				return err
+			}
+			next++
+		}
+	}
+	if maxRoot >= next {
+		return fmt.Errorf("ledger: roots.log commits batch %d but segments end at %d (entries lost)", maxRoot, next-1)
+	}
+	return nil
+}
+
+// Close closes the open files.
+func (s *FileStore) Close() error {
+	err1 := s.seg.Close()
+	err2 := s.roots.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

@@ -1,0 +1,430 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Config sizes a Ledger. Zero values take the documented defaults.
+type Config struct {
+	// BatchSize seals a batch once this many entries are pending
+	// (default 64). 1 means every entry seals immediately — useful for
+	// tests and smoke scripts that want proofs right away.
+	BatchSize int
+	// FlushInterval additionally seals any pending entries on a timer,
+	// so a quiet service still commits its tail. 0 disables the timer
+	// (callers flush explicitly or on Close).
+	FlushInterval time.Duration
+	// Now is the append timestamp clock (default time.Now().UnixNano).
+	Now func() int64
+	// OnFlush observes every successful seal (entry count and seal
+	// duration) — the serve layer feeds ledger_batch_flush_ns from it.
+	OnFlush func(entries int, d time.Duration)
+	// OnError observes background flush failures (the timer goroutine
+	// has no caller to return to).
+	OnError func(err error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.Now == nil {
+		c.Now = nowNS
+	}
+	return c
+}
+
+// Errors the query API returns. ErrPending is not a failure: the entry
+// exists but its batch has not sealed yet, so no inclusion proof
+// exists — retry after the flush interval, or force a Flush.
+var (
+	ErrNotFound = errors.New("ledger: no entry for key")
+	ErrPending  = errors.New("ledger: entry not sealed yet (no inclusion proof)")
+	ErrClosed   = errors.New("ledger: closed")
+)
+
+// Status classifies an entry's durability.
+type Status string
+
+const (
+	// StatusPending: appended, queryable, but not yet in a sealed batch.
+	StatusPending Status = "pending"
+	// StatusSealed: committed under a Merkle root in the chain.
+	StatusSealed Status = "sealed"
+)
+
+// ref locates an entry: batch index (-1 = pending) and position.
+type ref struct {
+	batch int
+	pos   int
+}
+
+// Ledger is the Merkle-batched certificate log. All queryable state
+// lives in memory (the store is durability only); every method is
+// safe for concurrent use.
+type Ledger struct {
+	cfg   Config
+	store Store
+
+	mu       sync.Mutex
+	batches  []*Batch
+	pending  []Entry
+	index    map[string]ref
+	chain    [32]byte // head: chain of the last sealed batch, or genesis
+	nextSeq  uint64   // next sequence number to assign (starts at 1)
+	replayed uint64   // entries restored from the store at Open
+	closed   bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open replays and verifies the store, then returns a ready ledger.
+// Replay recomputes every batch's Merkle root from its entries and
+// re-derives the chain — a tampered entry, root, or link anywhere in
+// the persisted history fails Open with an error naming the batch.
+func Open(store Store, cfg Config) (*Ledger, error) {
+	cfg = cfg.withDefaults()
+	l := &Ledger{
+		cfg:     cfg,
+		store:   store,
+		index:   make(map[string]ref),
+		chain:   GenesisChain(),
+		nextSeq: 1,
+	}
+	err := store.Replay(func(b *Batch) error {
+		if b.Index != len(l.batches) {
+			return fmt.Errorf("ledger: replay out of order: batch %d, expected %d", b.Index, len(l.batches))
+		}
+		if len(b.Entries) == 0 {
+			return fmt.Errorf("ledger: batch %d is empty", b.Index)
+		}
+		if got := Root(b.Leaves()); got != b.Root {
+			return fmt.Errorf("ledger: batch %d root mismatch: entries hash to %s, committed root is %s (tampered?)",
+				b.Index, hx(got), hx(b.Root))
+		}
+		if b.PrevChain != l.chain {
+			return fmt.Errorf("ledger: batch %d does not extend the chain head", b.Index)
+		}
+		if got := ChainLink(b.PrevChain, b.Root, b.Index); got != b.Chain {
+			return fmt.Errorf("ledger: batch %d chain link mismatch", b.Index)
+		}
+		for i := range b.Entries {
+			e := &b.Entries[i]
+			if e.Seq != l.nextSeq {
+				return fmt.Errorf("ledger: batch %d entry %d has seq %d, expected %d", b.Index, i, e.Seq, l.nextSeq)
+			}
+			if _, dup := l.index[e.Key]; dup {
+				return fmt.Errorf("ledger: duplicate key %q in batch %d", e.Key, b.Index)
+			}
+			l.index[e.Key] = ref{batch: b.Index, pos: i}
+			l.nextSeq++
+		}
+		l.batches = append(l.batches, b)
+		l.chain = b.Chain
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	l.replayed = l.nextSeq - 1
+	if cfg.FlushInterval > 0 {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.flushLoop(cfg.FlushInterval)
+	}
+	return l, nil
+}
+
+func (l *Ledger) flushLoop(every time.Duration) {
+	defer close(l.done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			if err := l.Flush(); err != nil && !errors.Is(err, ErrClosed) && l.cfg.OnError != nil {
+				l.cfg.OnError(err)
+			}
+		}
+	}
+}
+
+// Append records a verdict. The ledger is content-addressed by Key:
+// appending a key it already holds is a no-op that returns the
+// existing entry with appended=false (re-certifying a cached-out
+// request must not mint a second certificate). On a fresh key the
+// entry is assigned the next Seq and the append timestamp, and the
+// batch seals inline once BatchSize entries are pending.
+func (l *Ledger) Append(e Entry) (Entry, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return Entry{}, false, ErrClosed
+	}
+	if r, ok := l.index[e.Key]; ok {
+		return *l.entryAt(r), false, nil
+	}
+	e.Seq = l.nextSeq
+	e.UnixNS = l.cfg.Now()
+	l.nextSeq++
+	l.pending = append(l.pending, e)
+	l.index[e.Key] = ref{batch: -1, pos: len(l.pending) - 1}
+	if len(l.pending) >= l.cfg.BatchSize {
+		if err := l.sealLocked(); err != nil {
+			return e, true, err
+		}
+	}
+	return e, true, nil
+}
+
+// Flush seals any pending entries into a batch now.
+func (l *Ledger) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.sealLocked()
+}
+
+// sealLocked commits the pending entries as the next batch. On store
+// failure the entries stay pending (and the next flush retries), so a
+// transient disk error loses nothing that was acknowledged — Append
+// acknowledgment means "in the ledger", sealing is what makes it
+// provable and durable.
+func (l *Ledger) sealLocked() error {
+	if len(l.pending) == 0 {
+		return nil
+	}
+	start := time.Now()
+	entries := make([]Entry, len(l.pending))
+	copy(entries, l.pending)
+	b := &Batch{
+		Index:        len(l.batches),
+		Entries:      entries,
+		PrevChain:    l.chain,
+		SealedUnixNS: l.cfg.Now(),
+	}
+	b.Root = Root(b.Leaves())
+	b.Chain = ChainLink(b.PrevChain, b.Root, b.Index)
+	if err := l.store.AppendBatch(b); err != nil {
+		return err
+	}
+	for i := range entries {
+		l.index[entries[i].Key] = ref{batch: b.Index, pos: i}
+	}
+	l.batches = append(l.batches, b)
+	l.chain = b.Chain
+	l.pending = l.pending[:0]
+	if l.cfg.OnFlush != nil {
+		l.cfg.OnFlush(len(entries), time.Since(start))
+	}
+	return nil
+}
+
+func (l *Ledger) entryAt(r ref) *Entry {
+	if r.batch < 0 {
+		return &l.pending[r.pos]
+	}
+	return &l.batches[r.batch].Entries[r.pos]
+}
+
+// Get returns the entry for key and its durability status.
+func (l *Ledger) Get(key string) (Entry, Status, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, ok := l.index[key]
+	if !ok {
+		return Entry{}, "", false
+	}
+	status := StatusSealed
+	if r.batch < 0 {
+		status = StatusPending
+	}
+	return *l.entryAt(r), status, true
+}
+
+// Proof builds the inclusion proof for key. ErrPending if the entry's
+// batch has not sealed; ErrNotFound for an unknown key.
+func (l *Ledger) Proof(key string) (*Proof, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, ok := l.index[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if r.batch < 0 {
+		return nil, ErrPending
+	}
+	b := l.batches[r.batch]
+	return &Proof{
+		Entry:      b.Entries[r.pos],
+		BatchIndex: b.Index,
+		LeafIndex:  r.pos,
+		Siblings:   ProofFor(b.Leaves(), r.pos),
+		Root:       b.Root,
+		PrevChain:  b.PrevChain,
+		Chain:      b.Chain,
+	}, nil
+}
+
+// List pages through entries in sequence order: entries with
+// Seq > after whose Protocol matches the filter ("" matches all), up
+// to limit. more reports whether further matching entries exist past
+// the returned page — the caller resumes with after = last Seq.
+func (l *Ledger) List(protocol string, after uint64, limit int) (entries []Entry, more bool) {
+	if limit <= 0 {
+		return nil, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	collect := func(es []Entry) bool {
+		for i := range es {
+			e := &es[i]
+			if e.Seq <= after || (protocol != "" && e.Protocol != protocol) {
+				continue
+			}
+			if len(entries) == limit {
+				return true // one past the page: more exists
+			}
+			entries = append(entries, *e)
+		}
+		return false
+	}
+	for _, b := range l.batches {
+		if len(b.Entries) > 0 && b.Entries[len(b.Entries)-1].Seq <= after {
+			continue // whole batch before the cursor
+		}
+		if collect(b.Entries) {
+			return entries, true
+		}
+	}
+	return entries, collect(l.pending)
+}
+
+// Head summarizes the chain state for /v1/ledger/rootz.
+type Head struct {
+	// Batches is the sealed batch count; Entries counts sealed entries,
+	// Pending the not-yet-sealed tail.
+	Batches int    `json:"batches"`
+	Entries uint64 `json:"entries"`
+	Pending int    `json:"pending"`
+	// Chain is the current chain head (genesis value when no batch has
+	// sealed yet); LastRoot the most recent batch's Merkle root.
+	Chain            string `json:"chain"`
+	LastRoot         string `json:"last_root,omitempty"`
+	LastSealedUnixNS int64  `json:"last_sealed_unix_ns,omitempty"`
+}
+
+// Head returns the current chain head summary.
+func (l *Ledger) Head() Head {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h := Head{
+		Batches: len(l.batches),
+		Entries: l.nextSeq - 1 - uint64(len(l.pending)),
+		Pending: len(l.pending),
+		Chain:   hx(l.chain),
+	}
+	if n := len(l.batches); n > 0 {
+		h.LastRoot = hx(l.batches[n-1].Root)
+		h.LastSealedUnixNS = l.batches[n-1].SealedUnixNS
+	}
+	return h
+}
+
+// Roots returns the root-chain records from batch index from onward.
+func (l *Ledger) Roots(from int) []RootRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(l.batches) {
+		return nil
+	}
+	out := make([]RootRecord, 0, len(l.batches)-from)
+	for _, b := range l.batches[from:] {
+		out = append(out, b.Record())
+	}
+	return out
+}
+
+// Each walks every entry in sequence order (sealed, then pending),
+// stopping early if fn returns false. Used by the serve layer's boot
+// replay; the callback must not call back into the ledger.
+func (l *Ledger) Each(fn func(e Entry) bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, b := range l.batches {
+		for i := range b.Entries {
+			if !fn(b.Entries[i]) {
+				return
+			}
+		}
+	}
+	for i := range l.pending {
+		if !fn(l.pending[i]) {
+			return
+		}
+	}
+}
+
+// EntriesTotal is the total entry count, sealed plus pending.
+func (l *Ledger) EntriesTotal() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
+}
+
+// PendingCount is the not-yet-sealed entry count.
+func (l *Ledger) PendingCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pending)
+}
+
+// BatchCount is the sealed batch count.
+func (l *Ledger) BatchCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.batches)
+}
+
+// Replayed is the number of entries restored from the store at Open.
+func (l *Ledger) Replayed() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.replayed
+}
+
+// Close stops the flush timer, seals any pending tail, and closes the
+// store. Idempotent.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true // timer Flushes now bounce with ErrClosed
+	stop, done := l.stop, l.done
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	l.mu.Lock()
+	sealErr := l.sealLocked()
+	l.mu.Unlock()
+	closeErr := l.store.Close()
+	if sealErr != nil {
+		return sealErr
+	}
+	return closeErr
+}

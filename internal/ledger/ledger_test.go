@@ -1,0 +1,462 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a deterministic monotonic nanosecond clock.
+func fixedClock() func() int64 {
+	var t int64 = 1_000_000
+	return func() int64 { t += 1000; return t }
+}
+
+func openMem(t *testing.T, batchSize int) *Ledger {
+	t.Helper()
+	l, err := Open(NewMemStore(), Config{BatchSize: batchSize, Now: fixedClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func appendN(t *testing.T, l *Ledger, n int) []Entry {
+	t.Helper()
+	out := make([]Entry, n)
+	for i := 0; i < n; i++ {
+		e, appended, err := l.Append(testEntry(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !appended {
+			t.Fatalf("entry %d reported as duplicate", i)
+		}
+		out[i] = e
+	}
+	return out
+}
+
+func TestAppendAssignsSeqAndDedups(t *testing.T) {
+	l := openMem(t, 4)
+	entries := appendN(t, l, 6)
+	for i, e := range entries {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("entry %d got seq %d", i, e.Seq)
+		}
+		if e.UnixNS == 0 {
+			t.Fatalf("entry %d missing timestamp", i)
+		}
+	}
+	// Re-appending key 2 (sealed) and key 5 (pending) is a no-op.
+	for _, i := range []int{2, 5} {
+		dup := testEntry(i)
+		dup.Accepted = !dup.Accepted // even a diverging verdict cannot overwrite
+		got, appended, err := l.Append(dup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if appended {
+			t.Fatalf("key %d appended twice", i)
+		}
+		if got.Seq != uint64(i+1) || got.Accepted != entries[i].Accepted {
+			t.Fatalf("dedup returned %+v, want original %+v", got, entries[i])
+		}
+	}
+	if total := l.EntriesTotal(); total != 6 {
+		t.Fatalf("EntriesTotal = %d, want 6", total)
+	}
+	if l.BatchCount() != 1 || l.PendingCount() != 2 {
+		t.Fatalf("batches=%d pending=%d, want 1/2", l.BatchCount(), l.PendingCount())
+	}
+}
+
+func TestProofLifecycle(t *testing.T) {
+	l := openMem(t, 3)
+	appendN(t, l, 7) // batches [0,1,2] [3,4,5], pending [6]
+	if _, err := l.Proof("no-such-key"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown key: %v", err)
+	}
+	if _, err := l.Proof(testEntry(6).Key); !errors.Is(err, ErrPending) {
+		t.Fatalf("pending key: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		p, err := l.Proof(testEntry(i).Key)
+		if err != nil {
+			t.Fatalf("proof %d: %v", i, err)
+		}
+		if err := p.Verify(); err != nil {
+			t.Fatalf("proof %d: %v", i, err)
+		}
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.Proof(testEntry(6).Key)
+	if err != nil {
+		t.Fatalf("post-flush proof: %v", err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The full root chain ties every proof to the head.
+	records := l.Roots(0)
+	head, err := VerifyRootChain(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hx(head) != l.Head().Chain {
+		t.Fatal("verified chain head diverges from Head()")
+	}
+	// Double flush with nothing pending is a no-op.
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if l.BatchCount() != 3 {
+		t.Fatalf("batches = %d, want 3", l.BatchCount())
+	}
+}
+
+func TestTimeFlush(t *testing.T) {
+	l, err := Open(NewMemStore(), Config{BatchSize: 1 << 20, FlushInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, _, err := l.Append(testEntry(0)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.BatchCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("timer never sealed the pending entry")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := l.Proof(testEntry(0).Key); err != nil {
+		t.Fatalf("time-flushed entry has no proof: %v", err)
+	}
+}
+
+func TestListPagination(t *testing.T) {
+	l := openMem(t, 4)
+	// 10 entries: even → planarity, odd → pathouter.
+	for i := 0; i < 10; i++ {
+		e := testEntry(i)
+		if i%2 == 1 {
+			e.Protocol = "pathouter"
+		}
+		if _, _, err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	page, more := l.List("", 0, 4)
+	if len(page) != 4 || !more || page[0].Seq != 1 || page[3].Seq != 4 {
+		t.Fatalf("page 1: %d entries, more=%t", len(page), more)
+	}
+	page, more = l.List("", page[3].Seq, 4)
+	if len(page) != 4 || !more || page[0].Seq != 5 {
+		t.Fatalf("page 2: %d entries, more=%t", len(page), more)
+	}
+	page, more = l.List("", page[3].Seq, 4)
+	if len(page) != 2 || more {
+		t.Fatalf("final page: %d entries, more=%t", len(page), more)
+	}
+	// Exactly consumed: the cursor landing on the last seq yields an
+	// empty page, not an error.
+	page, more = l.List("", 10, 4)
+	if len(page) != 0 || more {
+		t.Fatalf("past-end page: %d entries, more=%t", len(page), more)
+	}
+	// A cursor far past the end behaves the same.
+	page, more = l.List("", 10_000, 4)
+	if len(page) != 0 || more {
+		t.Fatalf("absurd cursor: %d entries, more=%t", len(page), more)
+	}
+	// Protocol filter spans batch boundaries and the pending tail.
+	page, more = l.List("pathouter", 0, 3)
+	if len(page) != 3 || !more {
+		t.Fatalf("filtered page: %d entries, more=%t", len(page), more)
+	}
+	for _, e := range page {
+		if e.Protocol != "pathouter" {
+			t.Fatalf("filter leaked %q", e.Protocol)
+		}
+	}
+	page, more = l.List("pathouter", page[2].Seq, 3)
+	if len(page) != 2 || more {
+		t.Fatalf("filtered final page: %d entries, more=%t", len(page), more)
+	}
+	// more is false when the page exactly drains the matches.
+	page, more = l.List("planarity", 0, 5)
+	if len(page) != 5 || more {
+		t.Fatalf("exact page: %d entries, more=%t", len(page), more)
+	}
+}
+
+func TestFileStorePersistence(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(store, Config{BatchSize: 3, Now: fixedClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 8) // 2 sealed batches + 2 pending
+	headBefore := l.Head()
+	if err := l.Close(); err != nil { // Close seals the pending tail
+		t.Fatal(err)
+	}
+
+	store2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(store2, Config{BatchSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Replayed() != 8 {
+		t.Fatalf("replayed %d entries, want 8", l2.Replayed())
+	}
+	if l2.BatchCount() != 3 || l2.PendingCount() != 0 {
+		t.Fatalf("batches=%d pending=%d after reopen", l2.BatchCount(), l2.PendingCount())
+	}
+	for i := 0; i < 8; i++ {
+		want := testEntry(i)
+		got, status, ok := l2.Get(want.Key)
+		if !ok || status != StatusSealed {
+			t.Fatalf("entry %d: ok=%t status=%s", i, ok, status)
+		}
+		if got.Fingerprint != want.Fingerprint || got.Seq != uint64(i+1) {
+			t.Fatalf("entry %d diverged: %+v", i, got)
+		}
+		p, err := l2.Proof(want.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Verify(); err != nil {
+			t.Fatalf("replayed proof %d: %v", i, err)
+		}
+	}
+	// The replayed chain continues the persisted one, not a fresh one.
+	if got := l2.Head(); got.Chain == hx(GenesisChain()) || got.Batches != 3 {
+		t.Fatalf("head after reopen: %+v", got)
+	}
+	if headBefore.Batches == 3 {
+		// pending tail was sealed by Close, so batches grew from 2 to 3
+		t.Fatalf("pre-close head already had 3 batches: %+v", headBefore)
+	}
+	// Appends continue the sequence.
+	e, appended, err := l2.Append(testEntry(100))
+	if err != nil || !appended || e.Seq != 9 {
+		t.Fatalf("post-reopen append: seq=%d appended=%t err=%v", e.Seq, appended, err)
+	}
+}
+
+// TestFileStoreDetectsTamper: flipping one byte inside a persisted
+// entry makes the recomputed batch root diverge and Open fail.
+func TestFileStoreDetectsTamper(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(store, Config{BatchSize: 2, Now: fixedClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 4)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seg := filepath.Join(dir, "seg-000001.log")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper a fingerprint hex digit: JSON stays valid and the record
+	// length is unchanged, so only the Merkle recompute can notice.
+	tampered := strings.Replace(string(data), `"fingerprint":"00000000dead0001"`, `"fingerprint":"00000000dead00ff"`, 1)
+	if tampered == string(data) {
+		t.Fatal("tamper target not found in segment")
+	}
+	if err := os.WriteFile(seg, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if _, err := Open(store2, Config{}); err == nil || !strings.Contains(err.Error(), "root mismatch") {
+		t.Fatalf("tampered ledger opened: %v", err)
+	}
+}
+
+// TestFileStoreTornTail: an interrupted final write (partial record,
+// or a sealed batch whose root row never landed) is dropped on replay
+// instead of failing the boot; everything before it survives.
+func TestFileStoreTornTail(t *testing.T) {
+	build := func(t *testing.T) string {
+		dir := t.TempDir()
+		store, err := OpenFileStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(store, Config{BatchSize: 2, Now: fixedClock()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendN(t, l, 4) // 2 sealed batches
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	reopen := func(t *testing.T, dir string) *Ledger {
+		store, err := OpenFileStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(store, Config{})
+		if err != nil {
+			t.Fatalf("torn tail failed the boot: %v", err)
+		}
+		t.Cleanup(func() { l.Close() })
+		return l
+	}
+
+	t.Run("partial final record", func(t *testing.T) {
+		dir := build(t)
+		seg := filepath.Join(dir, "seg-000001.log")
+		data, _ := os.ReadFile(seg)
+		// Also truncate roots.log to one row, else the second root would
+		// commit a batch whose record we cut (a reported gap, not a tail).
+		roots := filepath.Join(dir, "roots.log")
+		rdata, _ := os.ReadFile(roots)
+		lines := strings.SplitAfter(string(rdata), "\n")
+		os.WriteFile(roots, []byte(lines[0]), 0o644)
+		os.WriteFile(seg, data[:len(data)-7], 0o644)
+		l := reopen(t, dir)
+		if l.Replayed() != 2 || l.BatchCount() != 1 {
+			t.Fatalf("replayed=%d batches=%d, want 2/1", l.Replayed(), l.BatchCount())
+		}
+	})
+	t.Run("batch without root row", func(t *testing.T) {
+		dir := build(t)
+		roots := filepath.Join(dir, "roots.log")
+		rdata, _ := os.ReadFile(roots)
+		lines := strings.SplitAfter(string(rdata), "\n")
+		if len(lines) < 2 {
+			t.Fatal("expected 2 root rows")
+		}
+		os.WriteFile(roots, []byte(lines[0]), 0o644)
+		l := reopen(t, dir)
+		if l.Replayed() != 2 || l.BatchCount() != 1 {
+			t.Fatalf("replayed=%d batches=%d, want 2/1", l.Replayed(), l.BatchCount())
+		}
+	})
+	t.Run("root row without batch is corruption", func(t *testing.T) {
+		dir := build(t)
+		seg := filepath.Join(dir, "seg-000001.log")
+		data, _ := os.ReadFile(seg)
+		lines := strings.SplitAfter(string(data), "\n")
+		os.WriteFile(seg, []byte(lines[0]), 0o644)
+		store, err := OpenFileStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer store.Close()
+		if _, err := Open(store, Config{}); err == nil {
+			t.Fatal("lost entries went unnoticed")
+		}
+	})
+}
+
+// TestFileStoreSegmentRollover: a store that rolls segments replays
+// identically.
+func TestFileStoreSegmentRollover(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.maxBytes = 512 // force frequent rollover
+	l, err := Open(store, Config{BatchSize: 2, Now: fixedClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 20)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := segIndices(dir)
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %v", segs)
+	}
+	store2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(store2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Replayed() != 20 || l2.BatchCount() != 10 {
+		t.Fatalf("replayed=%d batches=%d", l2.Replayed(), l2.BatchCount())
+	}
+	if _, err := VerifyRootChain(l2.Roots(0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEachOrder: Each walks sealed then pending entries in seq order.
+func TestEachOrder(t *testing.T) {
+	l := openMem(t, 3)
+	appendN(t, l, 5)
+	var seqs []uint64
+	l.Each(func(e Entry) bool {
+		seqs = append(seqs, e.Seq)
+		return true
+	})
+	if fmt.Sprint(seqs) != "[1 2 3 4 5]" {
+		t.Fatalf("Each order: %v", seqs)
+	}
+	var first []uint64
+	l.Each(func(e Entry) bool {
+		first = append(first, e.Seq)
+		return len(first) < 2
+	})
+	if len(first) != 2 {
+		t.Fatalf("early stop walked %d entries", len(first))
+	}
+}
+
+// TestClosedLedger: operations after Close fail cleanly.
+func TestClosedLedger(t *testing.T) {
+	l := openMem(t, 4)
+	appendN(t, l, 2)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append(testEntry(9)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := l.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("flush after close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

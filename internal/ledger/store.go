@@ -1,0 +1,108 @@
+package ledger
+
+import (
+	"sync"
+	"time"
+)
+
+// Batch is one sealed run of entries: its Merkle root, the chain value
+// it extended, and the resulting chain link.
+type Batch struct {
+	Index        int
+	Entries      []Entry
+	Root         [32]byte
+	PrevChain    [32]byte
+	Chain        [32]byte
+	SealedUnixNS int64
+
+	// leaves memoizes the entry leaf hashes for proof generation.
+	leavesOnce sync.Once
+	leaves     [][32]byte
+}
+
+// Leaves returns the batch's leaf hashes, computed once.
+func (b *Batch) Leaves() [][32]byte {
+	b.leavesOnce.Do(func() {
+		b.leaves = make([][32]byte, len(b.Entries))
+		for i := range b.Entries {
+			b.leaves[i] = b.Entries[i].LeafHash()
+		}
+	})
+	return b.leaves
+}
+
+// RootRecord is the root-chain row of one sealed batch — the compact,
+// durably fsync'd commitment an auditor walks to tie any inclusion
+// proof to the current head. Hashes are hex.
+type RootRecord struct {
+	Index        int    `json:"index"`
+	Entries      int    `json:"entries"`
+	FirstSeq     uint64 `json:"first_seq"`
+	Root         string `json:"root"`
+	PrevChain    string `json:"prev_chain"`
+	Chain        string `json:"chain"`
+	SealedUnixNS int64  `json:"sealed_unix_ns"`
+}
+
+// Record returns the batch's root-chain row.
+func (b *Batch) Record() RootRecord {
+	var first uint64
+	if len(b.Entries) > 0 {
+		first = b.Entries[0].Seq
+	}
+	return RootRecord{
+		Index:        b.Index,
+		Entries:      len(b.Entries),
+		FirstSeq:     first,
+		Root:         hx(b.Root),
+		PrevChain:    hx(b.PrevChain),
+		Chain:        hx(b.Chain),
+		SealedUnixNS: b.SealedUnixNS,
+	}
+}
+
+// Store is the ledger's durability backend. The ledger keeps its
+// queryable state (entries, index, chain) in memory; the store's job
+// is strictly append + replay. AppendBatch must make the batch durable
+// before returning (a file store fsyncs); Replay must yield exactly
+// the durable batches, in index order, dropping at most an un-sealed
+// torn tail from a crash mid-append. Stores are called with the ledger
+// mutex held and need no internal locking beyond their own files.
+type Store interface {
+	AppendBatch(b *Batch) error
+	Replay(fn func(b *Batch) error) error
+	Close() error
+}
+
+// MemStore is the volatile backend: batches live only in process
+// memory. It exists so the ledger (and its API surface: proofs,
+// pagination, the root chain) is always on even when no -ledger-dir is
+// configured — only restart persistence is lost.
+type MemStore struct {
+	batches []*Batch
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// AppendBatch retains the batch in memory.
+func (m *MemStore) AppendBatch(b *Batch) error {
+	m.batches = append(m.batches, b)
+	return nil
+}
+
+// Replay yields the retained batches in order.
+func (m *MemStore) Replay(fn func(b *Batch) error) error {
+	for _, b := range m.batches {
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close is a no-op.
+func (m *MemStore) Close() error { return nil }
+
+// nowNS is the default clock; tests override Config.Now.
+func nowNS() int64 { return time.Now().UnixNano() }

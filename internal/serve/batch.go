@@ -148,6 +148,8 @@ func (s *Server) certifyItem(req Request, inst *Instance, key RequestKey) func(c
 			s.reg.Add("singleflight_shared_total", 1)
 		default:
 			s.reg.Add("cache_misses_total", 1)
+			// Batch verdicts certify on the same ledger as interactive ones.
+			s.appendLedger(resp)
 		}
 		out := *resp // per-item copy: the cached value stays pristine
 		out.CacheHit = outcome == Hit
@@ -162,22 +164,22 @@ func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 	s.reg.Add("requests_total", 1)
 	s.reg.Add("batch_requests_total", 1)
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		s.fail(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
 	var breq BatchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 256<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&breq); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.fail(w, r, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	if len(breq.Items) == 0 {
-		s.fail(w, http.StatusBadRequest, "batch has no items")
+		s.fail(w, r, http.StatusBadRequest, CodeBadRequest, "batch has no items")
 		return
 	}
 	if len(breq.Items) > s.cfg.MaxBatchItems {
-		s.fail(w, http.StatusRequestEntityTooLarge,
+		s.fail(w, r, http.StatusRequestEntityTooLarge, CodeTooLarge,
 			"batch has %d items, limit %d", len(breq.Items), s.cfg.MaxBatchItems)
 		return
 	}
@@ -189,18 +191,18 @@ func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 	for i := range breq.Items {
 		req := breq.Items[i] // copy: the closure must not alias the loop slice
 		if !KnownProtocol(req.Protocol) {
-			s.fail(w, http.StatusBadRequest,
+			s.fail(w, r, http.StatusBadRequest, CodeUnknownProtocol,
 				"item %d: unknown protocol %q (have %s)", i, req.Protocol, protocol.NameList())
 			return
 		}
-		inst, err := s.buildInstance(&req)
+		inst, err := BuildInstance(&req)
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, "item %d: bad instance: %v", i, err)
+			s.fail(w, r, http.StatusBadRequest, CodeBadRequest, "item %d: bad instance: %v", i, err)
 			return
 		}
 		g := inst.G
 		if g.N() > s.cfg.MaxNodes || g.M() > s.cfg.MaxEdges {
-			s.fail(w, http.StatusRequestEntityTooLarge,
+			s.fail(w, r, http.StatusRequestEntityTooLarge, CodeTooLarge,
 				"item %d: instance too large: n=%d m=%d (limits n<=%d m<=%d)",
 				i, g.N(), g.M(), s.cfg.MaxNodes, s.cfg.MaxEdges)
 			return
@@ -231,13 +233,13 @@ func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, batch.ErrTenantQueueFull):
-			s.shed(w, "tenant %q queue full, retry later", tenant)
+			s.shed(w, r, "tenant %q queue full, retry later", tenant)
 		case errors.Is(err, batch.ErrTooManyJobs):
-			s.shed(w, "job table full, retry later")
+			s.shed(w, r, "job table full, retry later")
 		case errors.Is(err, batch.ErrClosed):
-			s.fail(w, http.StatusServiceUnavailable, "server shutting down")
+			s.fail(w, r, http.StatusServiceUnavailable, CodeUnavailable, "server shutting down")
 		default:
-			s.fail(w, http.StatusBadRequest, "bad batch: %v", err)
+			s.fail(w, r, http.StatusBadRequest, CodeBadRequest, "bad batch: %v", err)
 		}
 		return
 	}
@@ -284,7 +286,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodDelete:
 		if !s.batch.Cancel(id) {
-			s.fail(w, http.StatusNotFound, "no such job %q", id)
+			s.fail(w, r, http.StatusNotFound, CodeNotFound, "no such job %q", id)
 			return
 		}
 		s.reg.Add("responses_total{code=200}", 1)
@@ -296,7 +298,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
 			wait, err := time.ParseDuration(waitStr)
 			if err != nil {
-				s.fail(w, http.StatusBadRequest, "bad wait duration %q: %v", waitStr, err)
+				s.fail(w, r, http.StatusBadRequest, CodeBadRequest, "bad wait duration %q: %v", waitStr, err)
 				return
 			}
 			if wait > s.cfg.MaxWait {
@@ -309,13 +311,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			snap, ok = s.batch.Get(id)
 		}
 		if !ok {
-			s.fail(w, http.StatusNotFound, "no such job %q", id)
+			s.fail(w, r, http.StatusNotFound, CodeNotFound, "no such job %q", id)
 			return
 		}
 		s.reg.Add("responses_total{code=200}", 1)
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(jobJSON(snap))
 	default:
-		s.fail(w, http.StatusMethodNotAllowed, "GET or DELETE only")
+		s.fail(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET or DELETE only")
 	}
 }

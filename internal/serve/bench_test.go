@@ -15,7 +15,10 @@ import (
 // seeds so every iteration runs the protocol.
 func BenchmarkServeThroughput(b *testing.B) {
 	bench := func(b *testing.B, body func(i int) string) {
-		s := New(Config{})
+		s, err := New(Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
 		defer s.Close()
 		h := s.Handler()
 		b.ReportAllocs()

@@ -91,6 +91,27 @@ func (c *Cache) Do(key RequestKey, fn func() (*Response, error)) (*Response, Out
 	return f.val, Computed, f.err
 }
 
+// Put inserts a response directly, bypassing singleflight — the boot
+// path replaying the persisted ledger into the cache. An existing
+// entry wins (it may carry richer data, e.g. round stats); retention
+// disabled means no-op.
+func (c *Cache) Put(key RequestKey, val *Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return
+	}
+	if _, ok := c.items[key]; ok {
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
 // Len returns the number of cached responses.
 func (c *Cache) Len() int {
 	c.mu.Lock()

@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/ledger"
+)
+
+// The certificate resource: every Computed certify verdict is appended
+// to the Merkle-batched ledger (internal/ledger) keyed by the
+// canonical request hash, and served back at
+// GET /v1/certificates/{hash} with its inclusion proof once the batch
+// seals. The ledger is also the service's warm-start state: on boot
+// the persisted entries replay into the result cache, so a restarted
+// server answers previously certified requests as cache hits.
+
+// List pagination bounds (clamped server-side; the effective limit is
+// echoed in the response so clients can detect the clamp).
+const (
+	defaultListLimit    = 50
+	maxListLimit        = 200
+	defaultListLimitStr = "50"
+	maxListLimitStr     = "200"
+)
+
+// setupLedger opens the ledger (on-disk when Config.LedgerDir is set,
+// in-memory otherwise; disabled when LedgerBatchSize is negative) and
+// wires its observability: append counter, flush-latency histogram,
+// and scrape-time gauges over entry/batch/pending counts.
+func (s *Server) setupLedger(cfg Config) error {
+	if cfg.LedgerBatchSize < 0 {
+		return nil
+	}
+	var store ledger.Store
+	if cfg.LedgerDir != "" {
+		fs, err := ledger.OpenFileStore(cfg.LedgerDir)
+		if err != nil {
+			return err
+		}
+		store = fs
+	} else {
+		store = ledger.NewMemStore()
+	}
+	flushHist := s.reg.HistogramFor("ledger_batch_flush_ns")
+	flushInterval := cfg.LedgerFlushInterval
+	if flushInterval < 0 {
+		flushInterval = 0 // timer disabled; Close still seals the tail
+	}
+	led, err := ledger.Open(store, ledger.Config{
+		BatchSize:     cfg.LedgerBatchSize,
+		FlushInterval: flushInterval,
+		OnFlush: func(entries int, d time.Duration) {
+			flushHist.Observe(d.Nanoseconds())
+			s.reg.Add("ledger_flushed_entries_total", int64(entries))
+		},
+		OnError: func(error) { s.reg.Add("ledger_flush_errors_total", 1) },
+	})
+	if err != nil {
+		store.Close()
+		return err
+	}
+	s.ledger = led
+	s.ledgerAppends = s.reg.Counter("ledger_appends_total")
+	s.reg.SetGaugeFunc("ledger_entries", func() int64 { return int64(led.EntriesTotal()) })
+	s.reg.SetGaugeFunc("ledger_batches", func() int64 { return int64(led.BatchCount()) })
+	s.reg.SetGaugeFunc("ledger_pending", func() int64 { return int64(led.PendingCount()) })
+	return nil
+}
+
+// replayLedgerIntoCache warms the result cache from the persisted
+// ledger at boot: the tail of the entry sequence, up to the cache
+// capacity (older entries would be evicted immediately anyway). A
+// replayed response reports cache_hit=true when served, exactly like
+// a response cached in-process.
+func (s *Server) replayLedgerIntoCache() {
+	if s.ledger == nil || s.cfg.CacheCapacity <= 0 || s.ledger.Replayed() == 0 {
+		return
+	}
+	var skip uint64
+	if total, capacity := s.ledger.EntriesTotal(), uint64(s.cfg.CacheCapacity); total > capacity {
+		skip = total - capacity
+	}
+	var n int64
+	s.ledger.Each(func(e ledger.Entry) bool {
+		if e.Seq > skip {
+			s.cache.Put(RequestKey(e.Key), responseFromEntry(e))
+			n++
+		}
+		return true
+	})
+	s.reg.Add("ledger_cache_replayed_total", n)
+}
+
+// entryFromResponse projects a certify response onto the durable
+// ledger entry shape. Seq and UnixNS are assigned by the ledger.
+func entryFromResponse(resp *Response) ledger.Entry {
+	return ledger.Entry{
+		Key:           resp.Key,
+		Protocol:      resp.Protocol,
+		Nodes:         resp.Nodes,
+		Edges:         resp.Edges,
+		Seed:          resp.Seed,
+		Accepted:      resp.Accepted,
+		ProverFailed:  resp.ProverFailed,
+		Rounds:        resp.Rounds,
+		ProofSizeBits: resp.ProofSizeBits,
+		TotalBits:     resp.TotalBits,
+		MaxCoinBits:   resp.MaxCoinBits,
+		Fingerprint:   resp.Fingerprint,
+	}
+}
+
+// responseFromEntry reconstructs the cacheable response from a ledger
+// entry. Per-round stats are not persisted (they are diagnostic, not
+// part of the verdict), so a replayed response omits them.
+func responseFromEntry(e ledger.Entry) *Response {
+	return &Response{
+		Protocol:      e.Protocol,
+		Key:           e.Key,
+		Nodes:         e.Nodes,
+		Edges:         e.Edges,
+		Seed:          e.Seed,
+		Accepted:      e.Accepted,
+		ProverFailed:  e.ProverFailed,
+		Rounds:        e.Rounds,
+		ProofSizeBits: e.ProofSizeBits,
+		TotalBits:     e.TotalBits,
+		MaxCoinBits:   e.MaxCoinBits,
+		Fingerprint:   e.Fingerprint,
+	}
+}
+
+// appendLedger records a freshly Computed verdict. Dedup is the
+// ledger's job (content-addressed by Key), so cache evictions and
+// restarts never mint duplicate certificates. A seal error after a
+// successful append is not a request failure: the entry stays pending
+// and the next flush retries.
+func (s *Server) appendLedger(resp *Response) {
+	if s.ledger == nil {
+		return
+	}
+	_, appended, err := s.ledger.Append(entryFromResponse(resp))
+	if appended {
+		s.ledgerAppends.Add(1)
+	}
+	if err != nil {
+		s.reg.Add("ledger_append_errors_total", 1)
+	}
+}
+
+// CertificateJSON is the GET /v1/certificates/{hash} response body.
+type CertificateJSON struct {
+	Entry ledger.Entry `json:"entry"`
+	// Status is "sealed" once the entry's batch has a Merkle root in
+	// the chain (Proof present), "pending" before that.
+	Status string            `json:"status"`
+	Proof  *ledger.ProofJSON `json:"proof,omitempty"`
+}
+
+// CertificateListJSON is the GET /v1/certificates response body.
+type CertificateListJSON struct {
+	Certificates []ledger.Entry `json:"certificates"`
+	Count        int            `json:"count"`
+	// Limit echoes the effective (clamped) page size.
+	Limit   int  `json:"limit"`
+	HasMore bool `json:"has_more"`
+	// NextAfter is the cursor for the next page when HasMore.
+	NextAfter uint64 `json:"next_after,omitempty"`
+}
+
+// RootzJSON is the GET /v1/ledger/rootz response body: the chain head,
+// plus the root records from ?from= onward for offline verification.
+type RootzJSON struct {
+	ledger.Head
+	Roots []ledger.RootRecord `json:"roots,omitempty"`
+}
+
+// ledgerEnabled guards the certificate routes; when the ledger is
+// disabled they answer 503 rather than 404 (the resource exists, the
+// subsystem is off).
+func (s *Server) ledgerEnabled(w http.ResponseWriter, r *http.Request) bool {
+	if s.ledger == nil {
+		s.fail(w, r, http.StatusServiceUnavailable, CodeUnavailable, "certificate ledger disabled")
+		return false
+	}
+	return true
+}
+
+// handleCertificate serves one certificate by canonical request hash,
+// with its inclusion proof once sealed.
+func (s *Server) handleCertificate(w http.ResponseWriter, r *http.Request) {
+	s.reg.Add("requests_total", 1)
+	if r.Method != http.MethodGet {
+		s.fail(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		return
+	}
+	if !s.ledgerEnabled(w, r) {
+		return
+	}
+	hash := r.PathValue("hash")
+	e, status, ok := s.ledger.Get(hash)
+	if !ok {
+		s.fail(w, r, http.StatusNotFound, CodeNotFound, "no certificate for key %q", hash)
+		return
+	}
+	out := CertificateJSON{Entry: e, Status: string(status)}
+	if status == ledger.StatusSealed {
+		p, err := s.ledger.Proof(hash)
+		if err != nil {
+			s.fail(w, r, http.StatusInternalServerError, CodeInternal, "proof for sealed entry: %v", err)
+			return
+		}
+		pj := p.JSON()
+		out.Proof = &pj
+	}
+	s.reg.Add("responses_total{code=200}", 1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleCertificateList pages through the ledger in sequence order.
+func (s *Server) handleCertificateList(w http.ResponseWriter, r *http.Request) {
+	s.reg.Add("requests_total", 1)
+	if r.Method != http.MethodGet {
+		s.fail(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		return
+	}
+	if !s.ledgerEnabled(w, r) {
+		return
+	}
+	q := r.URL.Query()
+	var after uint64
+	if v := q.Get("after"); v != "" {
+		parsed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			s.fail(w, r, http.StatusBadRequest, CodeBadRequest, "bad after cursor %q: %v", v, err)
+			return
+		}
+		after = parsed
+	}
+	limit := defaultListLimit
+	if v := q.Get("limit"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil {
+			s.fail(w, r, http.StatusBadRequest, CodeBadRequest, "bad limit %q: %v", v, err)
+			return
+		}
+		limit = parsed
+		if limit < 1 {
+			limit = 1
+		}
+		if limit > maxListLimit {
+			limit = maxListLimit
+		}
+	}
+	entries, more := s.ledger.List(q.Get("protocol"), after, limit)
+	out := CertificateListJSON{
+		Certificates: entries,
+		Count:        len(entries),
+		Limit:        limit,
+		HasMore:      more,
+	}
+	if more && len(entries) > 0 {
+		out.NextAfter = entries[len(entries)-1].Seq
+	}
+	if out.Certificates == nil {
+		out.Certificates = []ledger.Entry{} // an empty page is [], not null
+	}
+	s.reg.Add("responses_total{code=200}", 1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleRootz serves the ledger chain head; with ?from=N it appends
+// the root records from batch N onward, which is exactly what an
+// offline verifier (dipcert) needs to walk the chain from a proof's
+// batch to the advertised head.
+func (s *Server) handleRootz(w http.ResponseWriter, r *http.Request) {
+	s.reg.Add("requests_total", 1)
+	if r.Method != http.MethodGet {
+		s.fail(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		return
+	}
+	if !s.ledgerEnabled(w, r) {
+		return
+	}
+	out := RootzJSON{Head: s.ledger.Head()}
+	if v := r.URL.Query().Get("from"); v != "" {
+		from, err := strconv.Atoi(v)
+		if err != nil || from < 0 {
+			s.fail(w, r, http.StatusBadRequest, CodeBadRequest, "bad from index %q", v)
+			return
+		}
+		out.Roots = s.ledger.Roots(from)
+	}
+	s.reg.Add("responses_total{code=200}", 1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// The unified error envelope: every non-2xx response body is an
+// ErrorJSON with a stable machine-readable code, a human-readable
+// message, and the request id from the middleware — so clients can
+// branch on Code and operators can grep logs by request_id without
+// parsing prose. The legacy bare-string field survives only on the
+// deprecated unversioned routes, for clients that still read .error.
+
+// Stable error codes. These are API surface: clients switch on them,
+// so renaming one is a breaking change (list them in /v1/specz-adjacent
+// docs, SERVICE.md "Error envelope").
+const (
+	// CodeBadRequest: malformed body, bad instance, bad parameters.
+	CodeBadRequest = "bad_request"
+	// CodeUnknownProtocol: the named protocol is not registered; the
+	// message lists the registry.
+	CodeUnknownProtocol = "unknown_protocol"
+	// CodeNotFound: no such resource (certificate, job).
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed: wrong HTTP method for the route.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeTooLarge: instance or batch exceeds the configured limits.
+	CodeTooLarge = "too_large"
+	// CodeShed: backpressure (429) — the response carries Retry-After.
+	CodeShed = "shed"
+	// CodeDeadline: the run was aborted by its deadline (504).
+	CodeDeadline = "deadline"
+	// CodeUnavailable: the server is shutting down or a subsystem
+	// (e.g. the ledger) is disabled (503).
+	CodeUnavailable = "unavailable"
+	// CodeInternal: unexpected server-side failure (500).
+	CodeInternal = "internal"
+)
+
+// ErrorJSON is the error response body of every non-2xx status.
+type ErrorJSON struct {
+	// Code is the stable machine-readable error class.
+	Code string `json:"code"`
+	// Message is the human-readable diagnosis.
+	Message string `json:"message"`
+	// RequestID echoes X-Request-Id for log correlation.
+	RequestID string `json:"request_id,omitempty"`
+	// Error mirrors Message on the deprecated unversioned routes only,
+	// for pre-envelope clients; absent under /v1.
+	Error string `json:"error,omitempty"`
+}
+
+// legacyRequest reports whether r arrived on an unversioned route —
+// those keep the legacy .error field in failure bodies.
+func legacyRequest(r *http.Request) bool {
+	return !strings.HasPrefix(r.URL.Path, "/v1/")
+}
+
+// fail writes the error envelope. code is one of the Code constants;
+// the format/args become the message.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, status int, code string, format string, args ...any) {
+	s.reg.Add(fmt.Sprintf("responses_total{code=%d}", status), 1)
+	body := ErrorJSON{
+		Code:      code,
+		Message:   fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get("X-Request-Id"),
+	}
+	if legacyRequest(r) {
+		body.Error = body.Message
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+// shed sends a 429 CodeShed envelope with the saturation-derived
+// Retry-After header.
+func (s *Server) shed(w http.ResponseWriter, r *http.Request, format string, args ...any) {
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSecs()))
+	s.fail(w, r, http.StatusTooManyRequests, CodeShed, format, args...)
+}

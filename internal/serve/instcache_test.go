@@ -86,7 +86,10 @@ func certifyPath(t *testing.T, h http.Handler, seed int) {
 // disabled, the same pair freezes twice.
 func TestCertifyInternsInstances(t *testing.T) {
 	reg := obs.NewRegistry()
-	s := New(Config{Registry: reg})
+	s, err := New(Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 	h := s.Handler()
 
@@ -103,7 +106,10 @@ func TestCertifyInternsInstances(t *testing.T) {
 		t.Fatalf("freeze delta with interning = %d, want exactly 1", delta)
 	}
 
-	s2 := New(Config{Registry: obs.NewRegistry(), InstanceCacheCapacity: -1})
+	s2, err := New(Config{Registry: obs.NewRegistry(), InstanceCacheCapacity: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s2.Close()
 	h2 := s2.Handler()
 	before2 := dip.FreezeCount()

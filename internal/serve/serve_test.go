@@ -14,7 +14,10 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -162,7 +165,7 @@ func TestCertifyBadRequests(t *testing.T) {
 		if resp.StatusCode != tc.wantCode {
 			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.wantCode)
 		}
-		var e errorJSON
+		var e ErrorJSON
 		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
 			t.Errorf("%s: error body missing: %v", tc.name, err)
 		}
@@ -245,7 +248,7 @@ func TestCertifyUnknownProtocolListsRegistry(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400", resp.StatusCode)
 	}
-	var e errorJSON
+	var e ErrorJSON
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 		t.Fatal(err)
 	}

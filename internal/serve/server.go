@@ -9,7 +9,6 @@ import (
 	"math/rand"
 	"net/http"
 	"runtime"
-	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -18,6 +17,7 @@ import (
 	"repro/internal/dip"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/protocol"
 )
@@ -83,6 +83,21 @@ type Config struct {
 	// MaxWait caps the ?wait= long-poll duration on /v1/jobs/{id}
 	// (default 30s).
 	MaxWait time.Duration
+
+	// Certificate ledger settings (GET /v1/certificates, /v1/ledger/rootz).
+	// LedgerDir selects the append-only on-disk backend, replayed and
+	// integrity-verified on boot; empty means the in-memory store (the
+	// ledger works, but does not survive a restart).
+	LedgerDir string
+	// LedgerBatchSize seals a Merkle batch once that many verdicts are
+	// pending (default 64; 1 seals every append immediately). Negative
+	// disables the ledger entirely — the certificate routes answer 503.
+	LedgerBatchSize int
+	// LedgerFlushInterval seals a quiet tail on a timer so entries do
+	// not sit pending (= proofless) indefinitely under low traffic
+	// (default 2s; negative disables the timer — entries seal on size
+	// or on Close only).
+	LedgerFlushInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +148,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxWait <= 0 {
 		c.MaxWait = 30 * time.Second
+	}
+	if c.LedgerBatchSize == 0 {
+		c.LedgerBatchSize = 64
+	}
+	if c.LedgerFlushInterval == 0 {
+		c.LedgerFlushInterval = 2 * time.Second
 	}
 	return c
 }
@@ -201,11 +222,6 @@ type Response struct {
 	WallNS   int64 `json:"wall_ns"`
 }
 
-// errorJSON is the error response body of every non-2xx status.
-type errorJSON struct {
-	Error string `json:"error"`
-}
-
 // Server is the certification service. Create with New, expose via
 // Handler, release with Close.
 type Server struct {
@@ -219,6 +235,12 @@ type Server struct {
 	handler   http.Handler // mux wrapped in the per-request middleware
 	access    *accessLogger
 	nextReqID atomic.Uint64
+	// spec is the route table (routes.go): registration source and the
+	// /v1/specz body. ledger is the certificate ledger, nil when
+	// disabled; ledgerAppends is its pre-resolved append counter.
+	spec          []RouteJSON
+	ledger        *ledger.Ledger
+	ledgerAppends obs.CounterHandle
 	// Pre-resolved metric handles for the per-request hot path
 	// (initMetricHandles); keys are route patterns, outcome classes,
 	// and stage names respectively.
@@ -230,8 +252,11 @@ type Server struct {
 	protoCount map[string]obs.CounterHandle
 }
 
-// New starts the worker pool and returns a ready server.
-func New(cfg Config) *Server {
+// New opens the certificate ledger (replaying and verifying any
+// persisted history, then warming the result cache from it), starts
+// the worker pool, and returns a ready server. The error is the
+// ledger's: a corrupt or tampered on-disk history refuses to serve.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:       cfg,
@@ -257,28 +282,27 @@ func New(cfg Config) *Server {
 		MaxJobs:        cfg.MaxJobs,
 		Registry:       cfg.Registry,
 	})
-	// The versioned surface is canonical; the unversioned legacy paths
-	// serve the same handlers but advertise their successor via the
-	// Deprecation / Link headers (RFC 8594 style). /healthz stays
-	// unversioned-friendly without deprecation: probes don't migrate.
-	patterns := []string{
-		"/v1/certify", "/v1/certify/batch", "/v1/jobs/{id}", "/v1/healthz",
-		"/v1/readyz", "/v1/metricsz", "/v1/protocolz", "/v1/soundness",
-		"/certify", "/healthz", "/readyz", "/metricsz", "/protocolz",
+	// The ledger opens before the routes so a corrupt on-disk history
+	// fails construction instead of serving unverifiable certificates.
+	if err := s.setupLedger(cfg); err != nil {
+		s.batch.Close()
+		s.pool.Close()
+		return nil, err
 	}
-	s.mux.HandleFunc("/v1/certify", s.handleCertify)
-	s.mux.HandleFunc("/v1/certify/batch", s.handleBatchSubmit)
-	s.mux.HandleFunc("/v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/v1/readyz", s.handleReadyz)
-	s.mux.HandleFunc("/v1/metricsz", s.handleMetricsz)
-	s.mux.HandleFunc("/v1/protocolz", s.handleProtocolz)
-	s.mux.HandleFunc("/v1/soundness", s.handleSoundness)
-	s.mux.HandleFunc("/certify", s.deprecated("/certify", s.handleCertify))
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/readyz", s.handleReadyz)
-	s.mux.HandleFunc("/metricsz", s.deprecated("/metricsz", s.handleMetricsz))
-	s.mux.HandleFunc("/protocolz", s.deprecated("/protocolz", s.handleProtocolz))
+	// The route table (routes.go) is the registration source: the /v1
+	// surface mounts directly, everything unversioned goes through the
+	// legacy wrapper (deprecation headers + drain counters), and the
+	// same table serves /v1/specz — the mux and the spec cannot drift.
+	s.spec = s.routes()
+	patterns := make([]string, 0, len(s.spec))
+	for _, rt := range s.spec {
+		patterns = append(patterns, rt.Pattern)
+		h := rt.handler
+		if !strings.HasPrefix(rt.Pattern, "/v1/") {
+			h = s.legacy(rt)
+		}
+		s.mux.HandleFunc(rt.Pattern, h)
+	}
 	s.initMetricHandles(patterns)
 	s.protoCount = make(map[string]obs.CounterHandle)
 	for _, d := range protocol.All() {
@@ -309,19 +333,10 @@ func New(cfg Config) *Server {
 		s.reg.SetGaugeFunc(fmt.Sprintf("queue_depth{shard=%d}", sh),
 			func() int64 { return int64(s.pool.QueueDepth(sh)) })
 	}
-	return s
-}
 
-// deprecated wraps a legacy unversioned route: same behavior, plus the
-// standard deprecation headers pointing at the /v1 successor, and a
-// counter so operators can watch legacy traffic drain before removal.
-func (s *Server) deprecated(path string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", path))
-		s.reg.Add("deprecated_requests_total{path="+path+"}", 1)
-		h(w, r)
-	}
+	// Warm start: the persisted verdicts become cache hits immediately.
+	s.replayLedgerIntoCache()
+	return s, nil
 }
 
 // Handler returns the HTTP handler serving the /v1 API (certify,
@@ -334,11 +349,16 @@ func (s *Server) Handler() http.Handler { return s.handler }
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Close shuts the batch manager (cancels outstanding jobs, unblocks
-// long-polls) and then drains the worker pool. In-flight requests
-// finish; subsequent submissions fail with ErrPoolClosed (HTTP 503).
+// long-polls), drains the worker pool, and finally closes the ledger —
+// after the pool, so every verdict an in-flight request produced gets
+// appended and the tail batch seals durably. Subsequent submissions
+// fail with ErrPoolClosed (HTTP 503).
 func (s *Server) Close() {
 	s.batch.Close()
 	s.pool.Close()
+	if s.ledger != nil {
+		s.ledger.Close()
+	}
 }
 
 // maxRetryAfterSecs caps the Retry-After hint on shed responses.
@@ -373,19 +393,6 @@ func (s *Server) retryAfterSecs() int {
 		secs = maxRetryAfterSecs
 	}
 	return secs
-}
-
-// shed sends a 429 with the saturation-derived Retry-After header.
-func (s *Server) shed(w http.ResponseWriter, format string, args ...any) {
-	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
-	s.fail(w, http.StatusTooManyRequests, format, args...)
-}
-
-func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
-	s.reg.Add(fmt.Sprintf("responses_total{code=%d}", code), 1)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(errorJSON{Error: fmt.Sprintf(format, args...)})
 }
 
 // handleHealthz is pure liveness: the process is up and serving. Probes
@@ -431,7 +438,7 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.reg.WritePrometheus(w)
 	default:
-		s.fail(w, http.StatusBadRequest, "unknown format %q (have ndjson, prometheus)", format)
+		s.fail(w, r, http.StatusBadRequest, CodeBadRequest, "unknown format %q (have ndjson, prometheus)", format)
 	}
 }
 
@@ -449,10 +456,11 @@ type ProtocolInfoJSON struct {
 }
 
 // handleProtocolz lists the registered protocols with their descriptor
-// metadata, straight from the internal/protocol registry.
+// metadata, straight from the internal/protocol registry, and
+// cross-links the full machine-readable API surface at /v1/specz.
 func (s *Server) handleProtocolz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		s.fail(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
 	descs := protocol.All()
@@ -470,15 +478,17 @@ func (s *Server) handleProtocolz(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{"protocols": rows})
+	json.NewEncoder(w).Encode(map[string]any{"protocols": rows, "spec_url": "/v1/specz"})
 }
 
-// buildInstance materializes the request's instance, from the inline
+// BuildInstance materializes a request's instance, from the inline
 // edge list or the generator spec, plus the witnesses the run should
 // use: the request's explicit witness_pos, or the generator's own
 // witnesses (the pathouter position vector, the embedded families'
-// rotation system). Errors are client errors (400-class).
-func (s *Server) buildInstance(req *Request) (*Instance, error) {
+// rotation system). Errors are client errors (400-class). Exported for
+// out-of-process replay (cmd/dipcert re-runs a certificate's request
+// locally and confronts the ledger's verdict with the fresh one).
+func BuildInstance(req *Request) (*Instance, error) {
 	inst := &Instance{PathPos: req.WitnessPos}
 	switch {
 	case req.Graph != nil && req.Gen != nil:
@@ -559,18 +569,18 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.reg.Add("requests_total", 1)
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		s.fail(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.fail(w, r, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	if !KnownProtocol(req.Protocol) {
-		s.fail(w, http.StatusBadRequest, "unknown protocol %q (have %s)", req.Protocol, protocol.NameList())
+		s.fail(w, r, http.StatusBadRequest, CodeUnknownProtocol, "unknown protocol %q (have %s)", req.Protocol, protocol.NameList())
 		return
 	}
 	// Inline-graph requests take the deferred-materialization path: the
@@ -585,26 +595,26 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 	if req.Graph != nil && req.Gen == nil {
 		gj := req.Graph
 		if gj.N < 2 {
-			s.fail(w, http.StatusBadRequest, "bad instance: graph.n = %d, need >= 2", gj.N)
+			s.fail(w, r, http.StatusBadRequest, CodeBadRequest, "bad instance: graph.n = %d, need >= 2", gj.N)
 			return
 		}
 		canon, err := canonEdges(gj.N, gj.Edges)
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, "bad instance: %v", err)
+			s.fail(w, r, http.StatusBadRequest, CodeBadRequest, "bad instance: %v", err)
 			return
 		}
 		if req.WitnessPos != nil {
 			if err := checkPermutation(req.WitnessPos, gj.N); err != nil {
-				s.fail(w, http.StatusBadRequest, "bad instance: bad witness_pos: %v", err)
+				s.fail(w, r, http.StatusBadRequest, CodeBadRequest, "bad instance: bad witness_pos: %v", err)
 				return
 			}
 		}
 		nodes, edges = gj.N, len(canon)
 		key = keyFromCanon(req.Protocol, req.Seed, gj.N, canon, req.WitnessPos, nil)
 	} else {
-		built, err := s.buildInstance(&req)
+		built, err := BuildInstance(&req)
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, "bad instance: %v", err)
+			s.fail(w, r, http.StatusBadRequest, CodeBadRequest, "bad instance: %v", err)
 			return
 		}
 		inst = s.internInstance(built)
@@ -615,7 +625,7 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 		key = CanonicalKey(req.Protocol, req.Seed, g.N(), g.Edges(), inst.PathPos, inst.Rotation)
 	}
 	if nodes > s.cfg.MaxNodes || edges > s.cfg.MaxEdges {
-		s.fail(w, http.StatusRequestEntityTooLarge,
+		s.fail(w, r, http.StatusRequestEntityTooLarge, CodeTooLarge,
 			"instance too large: n=%d m=%d (limits n<=%d m<=%d)", nodes, edges, s.cfg.MaxNodes, s.cfg.MaxEdges)
 		return
 	}
@@ -641,7 +651,7 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 			// Deferred materialization: pre-validated, so a failure here
 			// would be a canonEdges/AddEdge disagreement — surfaced, not
 			// swallowed.
-			built, berr := s.buildInstance(&req)
+			built, berr := BuildInstance(&req)
 			if berr != nil {
 				return nil, berr
 			}
@@ -698,14 +708,14 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			s.reg.Add("queue_full_total", 1)
-			s.shed(w, "worker queues full, retry later")
+			s.shed(w, r, "worker queues full, retry later")
 		case errors.Is(err, ErrPoolClosed):
-			s.fail(w, http.StatusServiceUnavailable, "server shutting down")
+			s.fail(w, r, http.StatusServiceUnavailable, CodeUnavailable, "server shutting down")
 		case dip.Aborted(err):
 			s.reg.Add("deadline_exceeded_total", 1)
-			s.fail(w, http.StatusGatewayTimeout, "certification aborted: %v", err)
+			s.fail(w, r, http.StatusGatewayTimeout, CodeDeadline, "certification aborted: %v", err)
 		default:
-			s.fail(w, http.StatusInternalServerError, "certification failed: %v", err)
+			s.fail(w, r, http.StatusInternalServerError, CodeInternal, "certification failed: %v", err)
 		}
 		return
 	}
@@ -717,6 +727,9 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 		s.reg.Add("singleflight_shared_total", 1)
 	default:
 		s.reg.Add("cache_misses_total", 1)
+		// Only a freshly computed verdict appends: hits and shared calls
+		// were certified (and ledgered) by their original computation.
+		s.appendLedger(resp)
 	}
 	out := *resp // per-call copy: the cached value stays pristine
 	out.CacheHit = outcome == Hit

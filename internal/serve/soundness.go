@@ -121,19 +121,19 @@ func (s *Server) handleSoundness(w http.ResponseWriter, r *http.Request) {
 	s.reg.Add("requests_total", 1)
 	s.reg.Add("soundness_requests_total", 1)
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		s.fail(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
 	var req SoundnessRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.fail(w, r, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	cfg, err := checkSweep(&req)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "bad sweep: %v", err)
+		s.fail(w, r, http.StatusBadRequest, CodeBadRequest, "bad sweep: %v", err)
 		return
 	}
 
@@ -161,15 +161,14 @@ func (s *Server) handleSoundness(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(runErr, ErrQueueFull):
 			s.reg.Add("queue_full_total", 1)
-			w.Header().Set("Retry-After", "1")
-			s.fail(w, http.StatusTooManyRequests, "worker queues full, retry later")
+			s.shed(w, r, "worker queues full, retry later")
 		case errors.Is(runErr, ErrPoolClosed):
-			s.fail(w, http.StatusServiceUnavailable, "server shutting down")
+			s.fail(w, r, http.StatusServiceUnavailable, CodeUnavailable, "server shutting down")
 		case dip.Aborted(runErr) || errors.Is(runErr, context.DeadlineExceeded):
 			s.reg.Add("deadline_exceeded_total", 1)
-			s.fail(w, http.StatusGatewayTimeout, "sweep aborted: %v", runErr)
+			s.fail(w, r, http.StatusGatewayTimeout, CodeDeadline, "sweep aborted: %v", runErr)
 		default:
-			s.fail(w, http.StatusInternalServerError, "sweep failed: %v", runErr)
+			s.fail(w, r, http.StatusInternalServerError, CodeInternal, "sweep failed: %v", runErr)
 		}
 		return
 	}
