@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -30,12 +32,20 @@ import (
 // entries that might vanish; conversely a batch record without a root
 // row is an un-committed tail and is dropped on replay.
 type FileStore struct {
-	dir      string
-	seg      *os.File
-	segIdx   int
-	segSize  int64
-	roots    *os.File
-	maxBytes int64
+	dir       string
+	seg       *os.File
+	segIdx    int
+	segSize   int64
+	roots     *os.File
+	rootsSize int64
+	maxBytes  int64
+	// failed poisons the store when a rollback could not restore the
+	// pre-append state: further appends would risk duplicate batch
+	// records, so they fail fast with this error instead.
+	failed error
+	// hookRootErr, set only by tests, injects a root-row write failure
+	// after the segment record has landed (the rollback trigger).
+	hookRootErr func() error
 }
 
 // segMaxBytes is the segment rollover threshold. A single oversized
@@ -71,13 +81,20 @@ func OpenFileStore(dir string) (*FileStore, error) {
 		seg.Close()
 		return nil, fmt.Errorf("ledger: open roots: %w", err)
 	}
+	rst, err := roots.Stat()
+	if err != nil {
+		seg.Close()
+		roots.Close()
+		return nil, err
+	}
 	return &FileStore{
-		dir:      dir,
-		seg:      seg,
-		segIdx:   segIdx,
-		segSize:  st.Size(),
-		roots:    roots,
-		maxBytes: segMaxBytes,
+		dir:       dir,
+		seg:       seg,
+		segIdx:    segIdx,
+		segSize:   st.Size(),
+		roots:     roots,
+		rootsSize: rst.Size(),
+		maxBytes:  segMaxBytes,
 	}, nil
 }
 
@@ -132,18 +149,38 @@ type batchJSON struct {
 
 // AppendBatch durably writes the batch record, rolling the segment
 // first if it is full, then the fsync'd root row that commits it.
+//
+// AppendBatch is safe to retry: the ledger keeps entries pending after
+// a store failure and the flush timer tries the same batch again, so a
+// half-written append (segment record landed but the root row failed,
+// or a partial write of either file) is rolled back — both files are
+// truncated to their pre-append offsets — before the error returns.
+// Without the rollback a retry would append a second record with the
+// same batch index and Replay would permanently refuse to boot. If the
+// rollback itself fails the store is poisoned: every later AppendBatch
+// returns the rollback error instead of risking a duplicate record,
+// and the next Open drops the half-written tail per the replay rules.
 func (s *FileStore) AppendBatch(b *Batch) error {
+	if s.failed != nil {
+		return s.failed
+	}
 	if s.segSize >= s.maxBytes {
-		if err := s.seg.Close(); err != nil {
-			return err
-		}
-		s.segIdx++
-		seg, err := os.OpenFile(filepath.Join(s.dir, segName(s.segIdx)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		// Open the successor before touching the current segment: a
+		// failed open leaves the store exactly as it was, still usable.
+		seg, err := os.OpenFile(filepath.Join(s.dir, segName(s.segIdx+1)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return fmt.Errorf("ledger: roll segment: %w", err)
 		}
+		old := s.seg
 		s.seg = seg
+		s.segIdx++
 		s.segSize = 0
+		if err := old.Close(); err != nil {
+			// The swap already happened and every record in the old
+			// segment was fsync'd at write time, so the store stays
+			// consistent; surface the error and let the caller retry.
+			return fmt.Errorf("ledger: close rolled segment: %w", err)
+		}
 	}
 	rec := batchJSON{
 		Index:        b.Index,
@@ -153,15 +190,48 @@ func (s *FileStore) AppendBatch(b *Batch) error {
 		Chain:        hx(b.Chain),
 		Entries:      b.Entries,
 	}
+	segOff, rootsOff := s.segSize, s.rootsSize
 	n, err := writeRecord(s.seg, rec)
 	s.segSize += n
 	if err != nil {
-		return fmt.Errorf("ledger: append batch %d: %w", b.Index, err)
+		return s.rollback(segOff, rootsOff, fmt.Errorf("ledger: append batch %d: %w", b.Index, err))
 	}
-	if _, err := writeRecord(s.roots, b.Record()); err != nil {
-		return fmt.Errorf("ledger: append root %d: %w", b.Index, err)
+	if s.hookRootErr != nil {
+		if err := s.hookRootErr(); err != nil {
+			return s.rollback(segOff, rootsOff, err)
+		}
+	}
+	n, err = writeRecord(s.roots, b.Record())
+	s.rootsSize += n
+	if err != nil {
+		return s.rollback(segOff, rootsOff, fmt.Errorf("ledger: append root %d: %w", b.Index, err))
 	}
 	return nil
+}
+
+// rollback restores both files to their pre-append offsets after a
+// failed AppendBatch and returns cause. A rollback failure poisons the
+// store (see AppendBatch).
+func (s *FileStore) rollback(segOff, rootsOff int64, cause error) error {
+	if err := truncateTo(s.seg, segOff); err != nil {
+		s.failed = fmt.Errorf("ledger: store unusable: rollback of %v failed: %w", cause, err)
+		return s.failed
+	}
+	s.segSize = segOff
+	if err := truncateTo(s.roots, rootsOff); err != nil {
+		s.failed = fmt.Errorf("ledger: store unusable: rollback of %v failed: %w", cause, err)
+		return s.failed
+	}
+	s.rootsSize = rootsOff
+	return cause
+}
+
+// truncateTo cuts f back to size and makes the cut durable.
+func truncateTo(f *os.File, size int64) error {
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	return f.Sync()
 }
 
 // readRecords scans one length-prefixed file into raw JSON payloads.
@@ -181,6 +251,12 @@ func readRecords(path string) (payloads [][]byte, torn bool, err error) {
 	r := bufio.NewReaderSize(f, 1<<20)
 	for {
 		line, rerr := r.ReadBytes('\n')
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			// A real read error is NOT end-of-data: treating it as one
+			// would silently drop committed records (and, for roots.log,
+			// reuse their batch indices on the next append).
+			return nil, false, fmt.Errorf("read %s: %w", filepath.Base(path), rerr)
+		}
 		if len(line) == 0 {
 			return payloads, false, nil // clean EOF
 		}
@@ -200,7 +276,7 @@ func readRecords(path string) (payloads [][]byte, torn bool, err error) {
 		}
 		payloads = append(payloads, payload)
 		if rerr != nil {
-			return payloads, false, nil
+			return payloads, false, nil // io.EOF right after a complete record
 		}
 	}
 }

@@ -282,8 +282,15 @@ func (l *Ledger) List(protocol string, after uint64, limit int) (entries []Entry
 	if limit <= 0 {
 		return nil, false
 	}
+	// Snapshot under the lock, scan outside it: batches are immutable
+	// once sealed and l.batches is append-only, so a slice-header copy
+	// is a stable view; only the mutable pending tail needs copying.
+	// The O(total entries) protocol-filter walk therefore never blocks
+	// Append/Flush on the certify hot path.
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	batches := l.batches
+	pending := append([]Entry(nil), l.pending...)
+	l.mu.Unlock()
 	collect := func(es []Entry) bool {
 		for i := range es {
 			e := &es[i]
@@ -297,7 +304,7 @@ func (l *Ledger) List(protocol string, after uint64, limit int) (entries []Entry
 		}
 		return false
 	}
-	for _, b := range l.batches {
+	for _, b := range batches {
 		if len(b.Entries) > 0 && b.Entries[len(b.Entries)-1].Seq <= after {
 			continue // whole batch before the cursor
 		}
@@ -305,7 +312,7 @@ func (l *Ledger) List(protocol string, after uint64, limit int) (entries []Entry
 			return entries, true
 		}
 	}
-	return entries, collect(l.pending)
+	return entries, collect(pending)
 }
 
 // Head summarizes the chain state for /v1/ledger/rootz.

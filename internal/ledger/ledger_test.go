@@ -383,6 +383,126 @@ func TestFileStoreTornTail(t *testing.T) {
 	})
 }
 
+// TestFileStoreAppendRetry: a root-row write failure rolls the
+// half-written append back, so the flush timer's automatic retry
+// commits the batch exactly once — no duplicate segment record, and
+// the reopened ledger replays cleanly.
+func TestFileStoreAppendRetry(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("transient disk error")
+	l, err := Open(store, Config{BatchSize: 2, Now: fixedClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 2) // batch 0 seals cleanly
+	segBefore, _ := os.ReadFile(filepath.Join(dir, segName(1)))
+	rootsBefore, _ := os.ReadFile(filepath.Join(dir, "roots.log"))
+
+	store.hookRootErr = func() error { return injected }
+	e, appended, err := l.Append(testEntry(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !appended {
+		t.Fatal("entry 2 reported as duplicate")
+	}
+	if _, _, err := l.Append(testEntry(3)); !errors.Is(err, injected) {
+		t.Fatalf("seal under injected fault: err = %v, want %v", err, injected)
+	}
+	// The failed seal rolled both files back to the committed state and
+	// the entries stay pending (still acknowledged and queryable).
+	if seg, _ := os.ReadFile(filepath.Join(dir, segName(1))); string(seg) != string(segBefore) {
+		t.Fatal("failed append left bytes in the segment")
+	}
+	if roots, _ := os.ReadFile(filepath.Join(dir, "roots.log")); string(roots) != string(rootsBefore) {
+		t.Fatal("failed append left bytes in roots.log")
+	}
+	if l.PendingCount() != 2 || l.BatchCount() != 1 {
+		t.Fatalf("pending=%d batches=%d after failed seal, want 2/1", l.PendingCount(), l.BatchCount())
+	}
+	if _, status, ok := l.Get(e.Key); !ok || status != StatusPending {
+		t.Fatalf("entry 2 after failed seal: ok=%t status=%s", ok, status)
+	}
+
+	// The fault clears; the retry writes batch 1 exactly once.
+	store.hookRootErr = nil
+	if err := l.Flush(); err != nil {
+		t.Fatalf("retry after transient fault: %v", err)
+	}
+	if l.BatchCount() != 2 || l.PendingCount() != 0 {
+		t.Fatalf("batches=%d pending=%d after retry, want 2/0", l.BatchCount(), l.PendingCount())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(store2, Config{})
+	if err != nil {
+		t.Fatalf("reopen after retried append: %v", err)
+	}
+	defer l2.Close()
+	if l2.Replayed() != 4 || l2.BatchCount() != 2 {
+		t.Fatalf("replayed=%d batches=%d, want 4/2", l2.Replayed(), l2.BatchCount())
+	}
+	for i := 0; i < 4; i++ {
+		p, err := l2.Proof(testEntry(i).Key)
+		if err != nil {
+			t.Fatalf("proof %d: %v", i, err)
+		}
+		if err := p.Verify(); err != nil {
+			t.Fatalf("proof %d: %v", i, err)
+		}
+	}
+}
+
+// TestFileStorePoisonedAfterFailedRollback: when the rollback itself
+// cannot restore the pre-append state, the store refuses every later
+// append instead of risking a duplicate batch record.
+func TestFileStorePoisonedAfterFailedRollback(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(store, Config{BatchSize: 2, Now: fixedClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 2)
+	// Closing the segment fd makes both the batch write and the rollback
+	// truncate fail: the store must poison itself.
+	store.seg.Close()
+	if _, _, err := l.Append(testEntry(2)); err != nil {
+		t.Fatalf("append below the batch size must not touch the store: %v", err)
+	}
+	_, _, err = l.Append(testEntry(3)) // seals: write fails, rollback fails
+	if err == nil || !strings.Contains(err.Error(), "store unusable") {
+		t.Fatalf("failed rollback did not poison the store: %v", err)
+	}
+	_, _, err = l.Append(testEntry(4)) // seals again: sticky failure
+	if err == nil || !strings.Contains(err.Error(), "store unusable") {
+		t.Fatalf("poisoned store accepted an append: %v", err)
+	}
+	l.Close() // best effort; the store is wedged by construction
+}
+
+// TestReadRecordsPropagatesReadErrors: a non-EOF read error must not
+// masquerade as clean end-of-data (it would silently truncate the
+// committed set). Opening a directory as a record file is the portable
+// way to make the first read fail.
+func TestReadRecordsPropagatesReadErrors(t *testing.T) {
+	if _, _, err := readRecords(t.TempDir()); err == nil {
+		t.Fatal("read error reported as clean end-of-data")
+	}
+}
+
 // TestFileStoreSegmentRollover: a store that rolls segments replays
 // identically.
 func TestFileStoreSegmentRollover(t *testing.T) {

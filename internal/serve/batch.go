@@ -163,10 +163,6 @@ func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.reg.Add("requests_total", 1)
 	s.reg.Add("batch_requests_total", 1)
-	if r.Method != http.MethodPost {
-		s.fail(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
-		return
-	}
 	var breq BatchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 256<<20))
 	dec.DisallowUnknownFields()

@@ -193,10 +193,6 @@ func (s *Server) ledgerEnabled(w http.ResponseWriter, r *http.Request) bool {
 // with its inclusion proof once sealed.
 func (s *Server) handleCertificate(w http.ResponseWriter, r *http.Request) {
 	s.reg.Add("requests_total", 1)
-	if r.Method != http.MethodGet {
-		s.fail(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
-		return
-	}
 	if !s.ledgerEnabled(w, r) {
 		return
 	}
@@ -224,10 +220,6 @@ func (s *Server) handleCertificate(w http.ResponseWriter, r *http.Request) {
 // handleCertificateList pages through the ledger in sequence order.
 func (s *Server) handleCertificateList(w http.ResponseWriter, r *http.Request) {
 	s.reg.Add("requests_total", 1)
-	if r.Method != http.MethodGet {
-		s.fail(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
-		return
-	}
 	if !s.ledgerEnabled(w, r) {
 		return
 	}
@@ -280,10 +272,6 @@ func (s *Server) handleCertificateList(w http.ResponseWriter, r *http.Request) {
 // batch to the advertised head.
 func (s *Server) handleRootz(w http.ResponseWriter, r *http.Request) {
 	s.reg.Add("requests_total", 1)
-	if r.Method != http.MethodGet {
-		s.fail(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
-		return
-	}
 	if !s.ledgerEnabled(w, r) {
 		return
 	}

@@ -274,8 +274,10 @@ func (s *Server) instrument(next *http.ServeMux) http.Handler {
 		}
 		r = r.WithContext(context.WithValue(r.Context(), reqKey{}, st))
 
+		// The "/" pattern is the enveloped-404 fallback, not a route:
+		// requests landing there keep the "unmatched" metric label.
 		pattern := "unmatched"
-		if _, p := next.Handler(r); p != "" {
+		if _, p := next.Handler(r); p != "" && p != "/" {
 			pattern = p
 		}
 

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"net/http"
+	"strings"
 )
 
 // The route table is the single source of truth for the HTTP surface:
@@ -143,14 +144,43 @@ func (s *Server) routes() []RouteJSON {
 	}
 }
 
-// legacy wraps an unversioned route. Every unversioned registration
-// funnels through here — deprecated routes answer with the RFC 8594
-// headers (Deprecation, Sunset, Link rel="successor-version") plus the
-// drain counter operators watch before removal; probe aliases skip the
-// headers (they are not deprecated) but get their own traffic counter
-// so unversioned probe usage stays visible.
-func (s *Server) legacy(rt RouteJSON) http.HandlerFunc {
+// enforceMethods gates a route's handler on the table's declared
+// Methods, so the mounted behavior matches /v1/specz by construction: a
+// wrong-method request answers a 405 envelope with an Allow header and
+// never reaches the handler. Every registration funnels through here
+// (New), which is what keeps per-handler method checks out of the
+// handlers themselves.
+func (s *Server) enforceMethods(rt RouteJSON) http.HandlerFunc {
 	h := rt.handler
+	allow := strings.Join(rt.Methods, ", ")
+	methods := rt.Methods
+	return func(w http.ResponseWriter, r *http.Request) {
+		for _, m := range methods {
+			if r.Method == m {
+				h(w, r)
+				return
+			}
+		}
+		w.Header().Set("Allow", allow)
+		s.fail(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s only", allow)
+	}
+}
+
+// handleNotFound is the fallback for paths the route table does not
+// mount: the documented error envelope, never ServeMux's plain-text
+// 404 page.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	s.fail(w, r, http.StatusNotFound, CodeNotFound, "no route for %s (see /v1/specz)", r.URL.Path)
+}
+
+// legacy wraps an unversioned route's method-enforced handler h. Every
+// unversioned registration funnels through here — deprecated routes
+// answer with the RFC 8594 headers (Deprecation, Sunset, Link
+// rel="successor-version") plus the drain counter operators watch
+// before removal; probe aliases skip the headers (they are not
+// deprecated) but get their own traffic counter so unversioned probe
+// usage stays visible.
+func (s *Server) legacy(rt RouteJSON, h http.HandlerFunc) http.HandlerFunc {
 	if !rt.Deprecated {
 		counter := s.reg.Counter("legacy_probe_requests_total{path=" + rt.Pattern + "}")
 		return func(w http.ResponseWriter, r *http.Request) {
@@ -179,10 +209,6 @@ type SpecJSON struct {
 // handleSpecz serves the machine-readable API description, generated
 // from the same route table the mux is registered from.
 func (s *Server) handleSpecz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		s.fail(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
-		return
-	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(SpecJSON{
 		Service:    "dipserve",

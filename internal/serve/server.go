@@ -289,20 +289,24 @@ func New(cfg Config) (*Server, error) {
 		s.pool.Close()
 		return nil, err
 	}
-	// The route table (routes.go) is the registration source: the /v1
-	// surface mounts directly, everything unversioned goes through the
-	// legacy wrapper (deprecation headers + drain counters), and the
-	// same table serves /v1/specz — the mux and the spec cannot drift.
+	// The route table (routes.go) is the registration source: every
+	// handler mounts behind the table's method gate (enforceMethods),
+	// everything unversioned additionally goes through the legacy
+	// wrapper (deprecation headers + drain counters), and the same
+	// table serves /v1/specz — the mux and the spec cannot drift.
+	// Paths the table does not mount fall through to the enveloped 404
+	// handler, so every non-2xx body is an ErrorJSON.
 	s.spec = s.routes()
 	patterns := make([]string, 0, len(s.spec))
 	for _, rt := range s.spec {
 		patterns = append(patterns, rt.Pattern)
-		h := rt.handler
+		h := s.enforceMethods(rt)
 		if !strings.HasPrefix(rt.Pattern, "/v1/") {
-			h = s.legacy(rt)
+			h = s.legacy(rt, h)
 		}
 		s.mux.HandleFunc(rt.Pattern, h)
 	}
+	s.mux.HandleFunc("/", s.handleNotFound)
 	s.initMetricHandles(patterns)
 	s.protoCount = make(map[string]obs.CounterHandle)
 	for _, d := range protocol.All() {
@@ -459,10 +463,6 @@ type ProtocolInfoJSON struct {
 // metadata, straight from the internal/protocol registry, and
 // cross-links the full machine-readable API surface at /v1/specz.
 func (s *Server) handleProtocolz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		s.fail(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
-		return
-	}
 	descs := protocol.All()
 	rows := make([]ProtocolInfoJSON, 0, len(descs))
 	for _, d := range descs {
@@ -568,10 +568,6 @@ func checkPermutation(pos []int, n int) error {
 func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.reg.Add("requests_total", 1)
-	if r.Method != http.MethodPost {
-		s.fail(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
-		return
-	}
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	dec.DisallowUnknownFields()

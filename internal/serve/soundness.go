@@ -120,10 +120,6 @@ func (s *Server) handleSoundness(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.reg.Add("requests_total", 1)
 	s.reg.Add("soundness_requests_total", 1)
-	if r.Method != http.MethodPost {
-		s.fail(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
-		return
-	}
 	var req SoundnessRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()

@@ -89,6 +89,60 @@ func TestLegacyPathsDeprecated(t *testing.T) {
 	}
 }
 
+// TestMethodEnforcementAndNotFound: the route table's Methods gate
+// every handler at registration (including the probe paths, which
+// declare GET only), wrong methods answer a 405 envelope with an Allow
+// header, and unmatched paths answer the error envelope — never the
+// mux's plain-text 404 page.
+func TestMethodEnforcementAndNotFound(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct{ method, path, allow string }{
+		{http.MethodPost, "/v1/healthz", "GET"},
+		{http.MethodDelete, "/v1/readyz", "GET"},
+		{http.MethodPost, "/healthz", "GET"},
+		{http.MethodPost, "/readyz", "GET"},
+		{http.MethodGet, "/v1/certify", "POST"},
+		{http.MethodPost, "/v1/jobs/nope", "GET, DELETE"},
+		{http.MethodPost, "/v1/specz", "GET"},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e ErrorJSON
+		json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed || e.Code != CodeMethodNotAllowed {
+			t.Errorf("%s %s: status %d code %q, want 405 %s", tc.method, tc.path, resp.StatusCode, e.Code, CodeMethodNotAllowed)
+		}
+		if got := resp.Header.Get("Allow"); got != tc.allow {
+			t.Errorf("%s %s: Allow %q, want %q", tc.method, tc.path, got, tc.allow)
+		}
+	}
+	for _, path := range []string{"/", "/nope", "/v1/nope", "/v1/certificates/x/y"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e ErrorJSON
+		json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound || e.Code != CodeNotFound {
+			t.Errorf("GET %s: status %d code %q, want enveloped 404 %s", path, resp.StatusCode, e.Code, CodeNotFound)
+		}
+		if !strings.Contains(resp.Header.Get("Content-Type"), "json") {
+			t.Errorf("GET %s: Content-Type %q, want JSON envelope", path, resp.Header.Get("Content-Type"))
+		}
+		if e.RequestID == "" {
+			t.Errorf("GET %s: 404 envelope missing request_id", path)
+		}
+	}
+}
+
 func postSoundness(t *testing.T, ts *httptest.Server, body string) (*http.Response, *SoundnessResponse) {
 	t.Helper()
 	resp, err := http.Post(ts.URL+"/v1/soundness", "application/json", strings.NewReader(body))
